@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 7: diagnosis cost as the template count and
+//! the anomaly length grow (synthetic timing cases, fixed total traffic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_collector::HistoryStore;
+use pinsql_eval::experiments::fig7::timing_case;
+use std::hint::black_box;
+
+fn bench_by_templates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/by_templates");
+    group.sample_size(10);
+    for n_templates in [250usize, 1000, 4000] {
+        let (case, window) = timing_case(n_templates, 180, 31);
+        group.throughput(Throughput::Elements(case.records.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_templates),
+            &n_templates,
+            |b, _| {
+                let pinsql = PinSql::new(PinSqlConfig::default());
+                let history = HistoryStore::new();
+                b.iter(|| black_box(pinsql.diagnose(&case, &window, &history, 1_000_000)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_by_anomaly_len(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/by_anomaly_len");
+    group.sample_size(10);
+    for len_s in [120i64, 480, 1200] {
+        let (case, window) = timing_case(500, len_s, 32);
+        group.throughput(Throughput::Elements(case.records.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len_s), &len_s, |b, _| {
+            let pinsql = PinSql::new(PinSqlConfig::default());
+            let history = HistoryStore::new();
+            b.iter(|| black_box(pinsql.diagnose(&case, &window, &history, 1_000_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_templates, bench_by_anomaly_len);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the hot primitives: Pearson / weighted Pearson
+//! correlation, template clustering (connected components over a
+//! correlation graph), and SQL fingerprinting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pinsql_timeseries::{connected_components, pearson, sigmoid_window_weights, weighted_pearson};
+use std::hint::black_box;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (i as f64 / 25.0).sin() * 10.0 + (x % 1000) as f64 / 100.0
+        })
+        .collect()
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/correlation");
+    for n in [600usize, 2400] {
+        let a = series(n, 1);
+        let b = series(n, 2);
+        let w = sigmoid_window_weights(0, n as i64, 1, n as i64 / 2, n as i64 * 3 / 4, 30.0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pearson", n), &n, |bench, _| {
+            bench.iter(|| black_box(pearson(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("weighted_pearson", n), &n, |bench, _| {
+            bench.iter(|| black_box(weighted_pearson(&a, &b, &w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/clustering");
+    group.sample_size(10);
+    for n_series in [200usize, 1000, 3000] {
+        let data: Vec<Vec<f64>> = (0..n_series).map(|i| series(40, i as u64)).collect();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Elements(n_series as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_series), &n_series, |b, _| {
+            b.iter(|| black_box(connected_components(&refs, 0.8)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let sqls = [
+        "SELECT * FROM user_table WHERE uid = 123456",
+        "UPDATE sales SET qty = qty - 1, updated_at = '2022-01-01' WHERE sku = 'A-42' AND region IN (1,2,3,4,5)",
+        "SELECT o.id, o.total, c.name FROM orders o JOIN customers c ON o.cid = c.id WHERE o.ts > 1640000000 AND o.status = 'open' ORDER BY o.ts DESC LIMIT 50",
+    ];
+    let mut group = c.benchmark_group("primitives/fingerprint");
+    for (i, sql) in sqls.iter().enumerate() {
+        group.throughput(Throughput::Bytes(sql.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(i), sql, |b, sql| {
+            b.iter(|| black_box(pinsql_sqlkit::fingerprint(sql)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation, bench_clustering, bench_fingerprint);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the Table I `Time` column: per-case wall time of
+//! the full PinSQL diagnosis vs the Top-SQL sort, on one representative
+//! generated case per anomaly kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_baselines::{rank_top, TopMetric};
+use pinsql_eval::caseset::{build_case, CaseSetConfig};
+use std::hint::black_box;
+
+fn bench_table1_time(c: &mut Criterion) {
+    let cfg = CaseSetConfig::default().with_cases(4).with_seed(9001);
+    // One case per kind (round-robin order).
+    let cases: Vec<_> = (0..4).map(|i| build_case(&cfg, i)).collect();
+    let mut group = c.benchmark_group("table1_time");
+    group.sample_size(10);
+
+    for (i, case) in cases.iter().enumerate() {
+        let kind = format!("{:?}", case.kind).to_lowercase();
+        group.bench_function(format!("pinsql_diagnose/{kind}_{i}"), |b| {
+            let pinsql = PinSql::new(PinSqlConfig::default());
+            b.iter(|| {
+                black_box(pinsql.diagnose(
+                    &case.case,
+                    &case.window,
+                    &case.history,
+                    case.minutes_origin,
+                ))
+            })
+        });
+        group.bench_function(format!("top_rt_sort/{kind}_{i}"), |b| {
+            b.iter(|| black_box(rank_top(&case.case, &case.window, TopMetric::TotalResponseTime)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_time);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Table III estimators: cost of reconstructing
+//! individual active sessions with each variant (the paper reports the
+//! estimation stage dominating PinSQL's 14.94 s at 8.01 s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinsql::{estimate_sessions, EstimatorKind, PinSqlConfig};
+use pinsql_eval::experiments::fig7::timing_case;
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let (case, _) = timing_case(1000, 300, 77);
+    let mut group = c.benchmark_group("table3/estimators");
+    group.sample_size(10);
+    for (name, kind, k) in [
+        ("by_rt", EstimatorKind::ByRt, 10usize),
+        ("no_buckets", EstimatorKind::NoBuckets, 1),
+        ("buckets_k10", EstimatorKind::Buckets, 10),
+        ("buckets_k20", EstimatorKind::Buckets, 20),
+    ] {
+        let cfg = PinSqlConfig::default().with_estimator(kind).with_buckets(k);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(estimate_sessions(&case, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 7: computing time vs template count / anomaly length.
+//!
+//! Usage: `cargo run -p pinsql-bench --release --bin fig7 [-- SCALE]`
+//! (SCALE 1.0 = the paper-sized sweep up to 6000 templates / 4800 s.)
+
+use pinsql_eval::experiments::fig7;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    eprintln!("running scalability sweeps at scale {scale}...");
+    let f = fig7::run(scale);
+    println!("{f}");
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 8: the repairing case study.
+//!
+//! Usage: `cargo run -p pinsql-bench --release --bin fig8 [-- SEED]`
+
+use pinsql_eval::caseset::CaseSetConfig;
+use pinsql_eval::experiments::fig8;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(fig8::fig8_showcase_seed);
+    let cfg = CaseSetConfig::default().with_seed(seed);
+    eprintln!("replaying the repair storyline (seed {seed}, 5 phase simulations)...");
+    let f = fig8::run(&cfg);
+    println!("{f}");
+}

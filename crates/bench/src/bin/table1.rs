@@ -1,0 +1,17 @@
+//! Regenerates Table I: overall R-SQL / H-SQL identification quality.
+//!
+//! Usage: `cargo run -p pinsql-bench --release --bin table1 [-- N_CASES [SEED]]`
+//! Defaults to the paper's 168 cases (several minutes); pass a smaller
+//! count for a quick look.
+
+use pinsql_eval::caseset::CaseSetConfig;
+use pinsql_eval::experiments::table1;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(168);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let cfg = CaseSetConfig::default().with_cases(n).with_seed(seed);
+    eprintln!("generating and scoring {n} cases (seed {seed})...");
+    let t = table1::run(&cfg);
+    println!("{t}");
+}

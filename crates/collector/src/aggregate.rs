@@ -1,0 +1,270 @@
+//! Batch aggregation of a collection window into per-template series.
+//!
+//! §IV-A: `metric_{Q,t} = Aggregate({metric(q) ∀q ∈ Q, t(q) ∈ [t, t+Δt)})`
+//! — queries are attributed to the interval containing their *arrival*
+//! timestamp. Three metrics are maintained per template at 1-second
+//! granularity (`#execution` count, total response time, total examined
+//! rows); 1-minute series are derived by [`TemplateSeries::per_minute`].
+
+use crate::catalog::TemplateCatalog;
+use pinsql_dbsim::{InstanceMetrics, QueryRecord};
+use pinsql_sqlkit::SqlId;
+use pinsql_timeseries::resample::{downsample, Downsample};
+use pinsql_timeseries::TimeSeries;
+use pinsql_workload::TemplateSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-template metric series over a collection window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemplateSeries {
+    /// Window start (seconds).
+    pub start: i64,
+    /// Executions per second (by arrival).
+    pub execution_count: Vec<f64>,
+    /// Total response time per second, ms.
+    pub total_rt_ms: Vec<f64>,
+    /// Total examined rows per second.
+    pub examined_rows: Vec<f64>,
+}
+
+impl TemplateSeries {
+    fn zeros(start: i64, n: usize) -> Self {
+        Self {
+            start,
+            execution_count: vec![0.0; n],
+            total_rt_ms: vec![0.0; n],
+            examined_rows: vec![0.0; n],
+        }
+    }
+
+    /// Total executions over the whole window.
+    pub fn total_executions(&self) -> f64 {
+        self.execution_count.iter().sum()
+    }
+
+    /// 1-minute execution counts (sum over each 60-second block).
+    ///
+    /// Only *complete* minutes are emitted: a trailing partial minute would
+    /// show an artificial cliff in every template's trend, biasing the
+    /// pairwise correlations the clustering step thresholds.
+    pub fn per_minute(&self) -> Vec<f64> {
+        let full = self.execution_count.len() / 60 * 60;
+        downsample(
+            &TimeSeries::from_values(self.start, 1, self.execution_count[..full].to_vec()),
+            60,
+            Downsample::Sum,
+        )
+        .into_values()
+    }
+}
+
+/// One template's aggregated view within a case.
+#[derive(Debug, Clone)]
+pub struct TemplateData {
+    pub id: SqlId,
+    pub series: TemplateSeries,
+    /// Indices into [`CaseData::records`] of this template's queries,
+    /// ascending by arrival.
+    pub record_idx: Vec<u32>,
+}
+
+/// Everything the root-cause pipeline needs about one collection window.
+#[derive(Debug, Clone)]
+pub struct CaseData {
+    /// Collection window `[ts, te)` in seconds (`ts = a_s − δ_s`).
+    pub ts: i64,
+    pub te: i64,
+    pub catalog: TemplateCatalog,
+    /// Instance metrics for the window.
+    pub metrics: InstanceMetrics,
+    /// All query records arriving in the window, sorted by arrival.
+    pub records: Vec<QueryRecord>,
+    /// Per-template aggregates, in a stable order (sorted by `SqlId`).
+    pub templates: Vec<TemplateData>,
+}
+
+impl CaseData {
+    /// Number of seconds in the window.
+    pub fn n_seconds(&self) -> usize {
+        (self.te - self.ts) as usize
+    }
+
+    /// Index of a template by id.
+    pub fn template_index(&self, id: SqlId) -> Option<usize> {
+        self.templates.binary_search_by_key(&id, |t| t.id).ok()
+    }
+
+    /// The instance active-session series for the window.
+    pub fn instance_session(&self) -> &[f64] {
+        &self.metrics.active_session
+    }
+}
+
+/// Aggregates a simulation log into a [`CaseData`] for the window
+/// `[ts, te)` seconds.
+///
+/// `metrics` must cover the window (it is sliced to it); records outside
+/// the window are dropped, mirroring the collector's retention query.
+pub fn aggregate_case(
+    log: &[QueryRecord],
+    specs: &[TemplateSpec],
+    metrics: &InstanceMetrics,
+    ts: i64,
+    te: i64,
+) -> CaseData {
+    assert!(te > ts, "empty collection window");
+    let catalog = TemplateCatalog::from_specs(specs);
+    let n = (te - ts) as usize;
+    let ts_ms = ts as f64 * 1000.0;
+    let te_ms = te as f64 * 1000.0;
+
+    // Filter + sort the window's records by arrival.
+    let mut records: Vec<QueryRecord> =
+        log.iter().filter(|r| r.start_ms >= ts_ms && r.start_ms < te_ms).copied().collect();
+    records.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+
+    let mut by_template: HashMap<SqlId, TemplateData> = HashMap::with_capacity(catalog.len());
+    for (i, rec) in records.iter().enumerate() {
+        let id = catalog.id_of_spec(rec.spec);
+        let entry = by_template.entry(id).or_insert_with(|| TemplateData {
+            id,
+            series: TemplateSeries::zeros(ts, n),
+            record_idx: Vec::new(),
+        });
+        let sec = ((rec.start_ms - ts_ms) / 1000.0) as usize;
+        let sec = sec.min(n - 1);
+        entry.series.execution_count[sec] += 1.0;
+        entry.series.total_rt_ms[sec] += rec.response_ms;
+        entry.series.examined_rows[sec] += rec.examined_rows as f64;
+        entry.record_idx.push(i as u32);
+    }
+
+    let mut templates: Vec<TemplateData> = by_template.into_values().collect();
+    templates.sort_by_key(|t| t.id);
+
+    let metrics = slice_metrics(metrics, ts, te);
+    CaseData { ts, te, catalog, metrics, records, templates }
+}
+
+/// Restricts instance metrics to `[ts, te)`.
+fn slice_metrics(m: &InstanceMetrics, ts: i64, te: i64) -> InstanceMetrics {
+    let lo = (ts - m.start_second).max(0) as usize;
+    let hi = ((te - m.start_second).max(0) as usize).min(m.active_session.len());
+    let slice = |v: &[f64]| v[lo.min(v.len())..hi.max(lo).min(v.len())].to_vec();
+    InstanceMetrics {
+        start_second: ts,
+        active_session: slice(&m.active_session),
+        cpu_usage: slice(&m.cpu_usage),
+        iops_usage: slice(&m.iops_usage),
+        row_lock_waits: slice(&m.row_lock_waits),
+        mdl_waits: slice(&m.mdl_waits),
+        qps: slice(&m.qps),
+        probes: pinsql_dbsim::probe::ProbeLog {
+            samples: m
+                .probes
+                .samples
+                .iter()
+                .filter(|p| p.second >= ts && p.second < te)
+                .copied()
+                .collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_dbsim::probe::ProbeLog;
+    use pinsql_workload::{CostProfile, SpecId, TableId};
+
+    fn spec(sql: &str) -> TemplateSpec {
+        TemplateSpec::new(sql, CostProfile::point_read(TableId(0)), "t")
+    }
+
+    fn rec(spec_idx: usize, start_ms: f64, rt: f64, rows: u64) -> QueryRecord {
+        QueryRecord { spec: SpecId(spec_idx), start_ms, response_ms: rt, examined_rows: rows }
+    }
+
+    fn empty_metrics(start: i64, n: usize) -> InstanceMetrics {
+        InstanceMetrics {
+            start_second: start,
+            active_session: vec![0.0; n],
+            cpu_usage: vec![0.0; n],
+            iops_usage: vec![0.0; n],
+            row_lock_waits: vec![0.0; n],
+            mdl_waits: vec![0.0; n],
+            qps: vec![0.0; n],
+            probes: ProbeLog::default(),
+        }
+    }
+
+    #[test]
+    fn aggregates_by_arrival_second() {
+        let specs = vec![spec("SELECT * FROM a WHERE x = 1"), spec("SELECT * FROM b WHERE x = 1")];
+        let log = vec![
+            rec(0, 500.0, 10.0, 5),
+            rec(0, 900.0, 20.0, 7),
+            rec(0, 1500.0, 30.0, 2),
+            rec(1, 2500.0, 5.0, 1),
+        ];
+        let case = aggregate_case(&log, &specs, &empty_metrics(0, 4), 0, 4);
+        assert_eq!(case.templates.len(), 2);
+        let a_id = case.catalog.id_of_spec(SpecId(0));
+        let a = &case.templates[case.template_index(a_id).unwrap()];
+        assert_eq!(a.series.execution_count, vec![2.0, 1.0, 0.0, 0.0]);
+        assert_eq!(a.series.total_rt_ms, vec![30.0, 30.0, 0.0, 0.0]);
+        assert_eq!(a.series.examined_rows, vec![12.0, 2.0, 0.0, 0.0]);
+        assert_eq!(a.series.total_executions(), 3.0);
+        assert_eq!(a.record_idx.len(), 3);
+    }
+
+    #[test]
+    fn records_outside_window_are_dropped() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let log = vec![rec(0, -100.0, 1.0, 0), rec(0, 500.0, 1.0, 0), rec(0, 99_999.0, 1.0, 0)];
+        let case = aggregate_case(&log, &specs, &empty_metrics(0, 2), 0, 2);
+        assert_eq!(case.records.len(), 1);
+        assert_eq!(case.templates.len(), 1);
+    }
+
+    #[test]
+    fn records_are_sorted_by_arrival() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let log = vec![rec(0, 1800.0, 1.0, 0), rec(0, 200.0, 1.0, 0), rec(0, 950.0, 1.0, 0)];
+        let case = aggregate_case(&log, &specs, &empty_metrics(0, 2), 0, 2);
+        let starts: Vec<f64> = case.records.iter().map(|r| r.start_ms).collect();
+        assert_eq!(starts, vec![200.0, 950.0, 1800.0]);
+    }
+
+    #[test]
+    fn structurally_equal_specs_aggregate_together() {
+        let specs = vec![
+            spec("SELECT * FROM t WHERE uid = 5"),
+            spec("SELECT * FROM t WHERE uid = 999"),
+        ];
+        let log = vec![rec(0, 100.0, 1.0, 0), rec(1, 200.0, 1.0, 0)];
+        let case = aggregate_case(&log, &specs, &empty_metrics(0, 1), 0, 1);
+        assert_eq!(case.templates.len(), 1);
+        assert_eq!(case.templates[0].series.execution_count[0], 2.0);
+    }
+
+    #[test]
+    fn metrics_are_sliced_to_window() {
+        let mut m = empty_metrics(0, 10);
+        m.active_session = (0..10).map(|i| i as f64).collect();
+        let case = aggregate_case(&[], &[], &m, 3, 7);
+        assert_eq!(case.instance_session(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(case.metrics.start_second, 3);
+        assert_eq!(case.n_seconds(), 4);
+    }
+
+    #[test]
+    fn per_minute_downsampling() {
+        let mut s = TemplateSeries::zeros(0, 120);
+        for i in 0..120 {
+            s.execution_count[i] = 1.0;
+        }
+        assert_eq!(s.per_minute(), vec![60.0, 60.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! The template catalog: one entry per distinct SQL template.
+//!
+//! Workload specs are authored per business intent, but two services can
+//! issue structurally identical SQL; aggregation keys on the [`SqlId`]
+//! fingerprint (exactly how MySQL statement digests behave), so the catalog
+//! folds such specs into one template and remembers which specs
+//! contributed.
+
+use pinsql_sqlkit::{SqlId, StatementKind};
+use pinsql_workload::{SpecId, TemplateSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything known about one SQL template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemplateInfo {
+    pub id: SqlId,
+    /// Canonical normalized statement text.
+    pub text: String,
+    pub kind: StatementKind,
+    pub tables: Vec<String>,
+    /// Workload specs that produce this template.
+    pub specs: Vec<SpecId>,
+    /// Label of the first contributing spec (diagnostic display).
+    pub label: String,
+}
+
+/// Catalog of templates keyed by [`SqlId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TemplateCatalog {
+    map: HashMap<SqlId, TemplateInfo>,
+    /// Per-spec template id, aligned with the workload's spec vector.
+    spec_to_id: Vec<SqlId>,
+}
+
+impl TemplateCatalog {
+    /// Builds the catalog from the workload's specs.
+    pub fn from_specs(specs: &[TemplateSpec]) -> Self {
+        let mut map: HashMap<SqlId, TemplateInfo> = HashMap::with_capacity(specs.len());
+        let mut spec_to_id = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let id = spec.template.id;
+            spec_to_id.push(id);
+            map.entry(id)
+                .and_modify(|info| info.specs.push(SpecId(i)))
+                .or_insert_with(|| TemplateInfo {
+                    id,
+                    text: spec.template.text.clone(),
+                    kind: spec.template.kind,
+                    tables: spec.template.tables.clone(),
+                    specs: vec![SpecId(i)],
+                    label: spec.label.clone(),
+                });
+        }
+        Self { map, spec_to_id }
+    }
+
+    /// The template id a spec maps to.
+    #[inline]
+    pub fn id_of_spec(&self, spec: SpecId) -> SqlId {
+        self.spec_to_id[spec.0]
+    }
+
+    /// Template info by id.
+    pub fn get(&self, id: SqlId) -> Option<&TemplateInfo> {
+        self.map.get(&id)
+    }
+
+    /// Number of distinct templates.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all templates (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &TemplateInfo> {
+        self.map.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_workload::{CostProfile, TableId};
+
+    #[test]
+    fn folds_structurally_identical_specs() {
+        let c = CostProfile::point_read(TableId(0));
+        let specs = vec![
+            TemplateSpec::new("SELECT * FROM t WHERE a = 1", c.clone(), "svc_a.read"),
+            TemplateSpec::new("SELECT * FROM t WHERE a = 22", c.clone(), "svc_b.read"),
+            TemplateSpec::new("SELECT * FROM u WHERE a = 1", c, "svc_c.read"),
+        ];
+        let catalog = TemplateCatalog::from_specs(&specs);
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.id_of_spec(SpecId(0)), catalog.id_of_spec(SpecId(1)));
+        assert_ne!(catalog.id_of_spec(SpecId(0)), catalog.id_of_spec(SpecId(2)));
+        let info = catalog.get(catalog.id_of_spec(SpecId(0))).unwrap();
+        assert_eq!(info.specs, vec![SpecId(0), SpecId(1)]);
+        assert_eq!(info.label, "svc_a.read");
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let catalog = TemplateCatalog::from_specs(&[]);
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.iter().count(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Data collection and pre-processing (§IV-A of the paper).
+//!
+//! Production PinSQL ships query logs through LogStore/Kafka/Flink and
+//! aggregates them into per-template time series at 1-second and 1-minute
+//! granularities. This crate is the in-process substitute:
+//!
+//! * [`catalog`] — the template catalog: `SqlId → (text, kind, tables,
+//!   contributing specs)`, built from workload specs (structurally equal
+//!   SQL from different services folds into one template, as in MySQL
+//!   digests);
+//! * [`logstore`] — a bounded log store with time-based retention (the
+//!   paper keeps three days of raw logs);
+//! * [`aggregate`] — batch aggregation of a collection window into
+//!   [`CaseData`]: per-template `#execution`, total response time, and
+//!   examined-rows series plus the raw records PinSQL's active-session
+//!   estimator needs;
+//! * [`history`] — the long-horizon per-template 1-minute `#execution`
+//!   store used by history-trend verification (1/3/7 days back);
+//! * [`stream`] — a crossbeam-channel streaming pipeline (the Kafka/Flink
+//!   stand-in) that folds records into per-second aggregates as they
+//!   arrive.
+
+pub mod aggregate;
+pub mod catalog;
+pub mod history;
+pub mod logstore;
+pub mod stream;
+
+pub use aggregate::{aggregate_case, CaseData, TemplateData, TemplateSeries};
+pub use catalog::{TemplateCatalog, TemplateInfo};
+pub use history::{HistorySeries, HistoryStore};
+pub use logstore::LogStore;
+pub use stream::StreamAggregator;

@@ -1,0 +1,116 @@
+//! A bounded query-log store with time-based retention.
+//!
+//! The production system persists raw logs in Alibaba LogStore and
+//! invalidates them after three days (§IV-A). This in-process stand-in
+//! keeps records in arrival order and evicts everything older than the
+//! retention horizon relative to the newest appended record.
+
+use pinsql_dbsim::QueryRecord;
+use std::collections::VecDeque;
+
+/// Query-log store with a sliding retention window.
+#[derive(Debug)]
+pub struct LogStore {
+    retention_ms: f64,
+    records: VecDeque<QueryRecord>,
+}
+
+impl LogStore {
+    /// Creates a store retaining `retention_s` seconds of records.
+    ///
+    /// # Panics
+    /// Panics if `retention_s` is not positive.
+    pub fn new(retention_s: f64) -> Self {
+        assert!(retention_s > 0.0, "retention must be positive");
+        Self { retention_ms: retention_s * 1000.0, records: VecDeque::new() }
+    }
+
+    /// The default three-day retention from the paper.
+    pub fn with_default_retention() -> Self {
+        Self::new(3.0 * 24.0 * 3600.0)
+    }
+
+    /// Appends a record (records must arrive in non-decreasing start
+    /// order, as the collector receives them) and evicts expired ones.
+    pub fn append(&mut self, rec: QueryRecord) {
+        debug_assert!(
+            self.records.back().is_none_or(|last| last.start_ms <= rec.start_ms + 1e-6),
+            "log store expects non-decreasing arrivals"
+        );
+        self.records.push_back(rec);
+        let horizon = rec.start_ms - self.retention_ms;
+        while self.records.front().is_some_and(|r| r.start_ms < horizon) {
+            self.records.pop_front();
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records whose arrival falls in `[from_ms, to_ms)`.
+    pub fn query_window(&self, from_ms: f64, to_ms: f64) -> Vec<QueryRecord> {
+        // Records are ordered by arrival: binary search the bounds.
+        let slice = self.records.as_slices();
+        let mut out = Vec::new();
+        for part in [slice.0, slice.1] {
+            let lo = part.partition_point(|r| r.start_ms < from_ms);
+            let hi = part.partition_point(|r| r.start_ms < to_ms);
+            out.extend_from_slice(&part[lo..hi]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_workload::SpecId;
+
+    fn rec(start_ms: f64) -> QueryRecord {
+        QueryRecord { spec: SpecId(0), start_ms, response_ms: 1.0, examined_rows: 0 }
+    }
+
+    #[test]
+    fn retention_evicts_old_records() {
+        let mut store = LogStore::new(10.0); // 10 s
+        store.append(rec(0.0));
+        store.append(rec(5_000.0));
+        store.append(rec(9_999.0));
+        assert_eq!(store.len(), 3);
+        store.append(rec(12_000.0)); // horizon = 2 000 → evicts t=0
+        assert_eq!(store.len(), 3);
+        assert!(store.query_window(0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn query_window_is_half_open() {
+        let mut store = LogStore::new(100.0);
+        for t in [100.0, 200.0, 300.0] {
+            store.append(rec(t));
+        }
+        let w = store.query_window(100.0, 300.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].start_ms, 100.0);
+        assert_eq!(w[1].start_ms, 200.0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = LogStore::with_default_retention();
+        assert!(store.is_empty());
+        assert!(store.query_window(0.0, 1e12).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "retention must be positive")]
+    fn zero_retention_panics() {
+        let _ = LogStore::new(0.0);
+    }
+}

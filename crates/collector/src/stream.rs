@@ -1,0 +1,161 @@
+//! Streaming aggregation — the Kafka/Flink stand-in.
+//!
+//! Collectors on database instances publish query records asynchronously;
+//! an aggregation job folds them into per-template per-second counters in
+//! real time (§IV-A). This module reproduces that topology in-process: a
+//! `crossbeam` channel carries records to a worker thread that maintains a
+//! shared, lock-protected aggregate map, exactly the state the anomaly
+//! detector polls.
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use pinsql_dbsim::QueryRecord;
+use pinsql_sqlkit::SqlId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-template running aggregates at 1-second granularity.
+#[derive(Debug, Default, Clone)]
+pub struct StreamAggregates {
+    /// `(template, second) → (count, total_rt_ms, examined_rows)`.
+    pub cells: HashMap<(SqlId, i64), (f64, f64, f64)>,
+}
+
+impl StreamAggregates {
+    /// The `#execution` count for a template at a second.
+    pub fn executions(&self, id: SqlId, second: i64) -> f64 {
+        self.cells.get(&(id, second)).map_or(0.0, |c| c.0)
+    }
+}
+
+/// A running streaming-aggregation job.
+///
+/// Producers send `(template, record)` pairs through [`StreamAggregator::sender`];
+/// the worker folds them into the shared aggregates. Dropping the sender
+/// (or calling [`StreamAggregator::finish`]) stops the worker.
+pub struct StreamAggregator {
+    sender: Option<Sender<(SqlId, QueryRecord)>>,
+    worker: Option<JoinHandle<()>>,
+    state: Arc<Mutex<StreamAggregates>>,
+}
+
+impl StreamAggregator {
+    /// Spawns the aggregation worker with a bounded channel of `capacity`
+    /// records (providing back-pressure like a real log pipeline).
+    pub fn spawn(capacity: usize) -> Self {
+        let (tx, rx) = bounded::<(SqlId, QueryRecord)>(capacity);
+        let state = Arc::new(Mutex::new(StreamAggregates::default()));
+        let worker_state = Arc::clone(&state);
+        let worker = std::thread::spawn(move || {
+            for (id, rec) in rx {
+                let second = (rec.start_ms / 1000.0).floor() as i64;
+                let mut agg = worker_state.lock();
+                let cell = agg.cells.entry((id, second)).or_insert((0.0, 0.0, 0.0));
+                cell.0 += 1.0;
+                cell.1 += rec.response_ms;
+                cell.2 += rec.examined_rows as f64;
+            }
+        });
+        Self { sender: Some(tx), worker: Some(worker), state }
+    }
+
+    /// The producer endpoint.
+    pub fn sender(&self) -> Sender<(SqlId, QueryRecord)> {
+        self.sender.as_ref().expect("aggregator already finished").clone()
+    }
+
+    /// A snapshot of the current aggregates.
+    pub fn snapshot(&self) -> StreamAggregates {
+        self.state.lock().clone()
+    }
+
+    /// Closes the channel, waits for the worker to drain, and returns the
+    /// final aggregates.
+    pub fn finish(mut self) -> StreamAggregates {
+        self.sender = None; // close the channel
+        if let Some(w) = self.worker.take() {
+            w.join().expect("aggregation worker panicked");
+        }
+        Arc::try_unwrap(std::mem::take(&mut self.state))
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone())
+    }
+}
+
+impl Drop for StreamAggregator {
+    fn drop(&mut self) {
+        self.sender = None;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_workload::SpecId;
+
+    fn rec(start_ms: f64, rt: f64, rows: u64) -> QueryRecord {
+        QueryRecord { spec: SpecId(0), start_ms, response_ms: rt, examined_rows: rows }
+    }
+
+    #[test]
+    fn aggregates_across_threads() {
+        let agg = StreamAggregator::spawn(1024);
+        let id_a = SqlId(1);
+        let id_b = SqlId(2);
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let tx = agg.sender();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let id = if i % 2 == 0 { id_a } else { id_b };
+                        tx.send((id, rec(1000.0 * k as f64 + i as f64, 2.0, 3))).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let out = agg.finish();
+        let total: f64 = out.cells.iter().filter(|((id, _), _)| *id == id_a).map(|(_, c)| c.0).sum();
+        assert_eq!(total, 200.0);
+        let total_b: f64 =
+            out.cells.iter().filter(|((id, _), _)| *id == id_b).map(|(_, c)| c.0).sum();
+        assert_eq!(total_b, 200.0);
+    }
+
+    #[test]
+    fn attribution_by_arrival_second() {
+        let agg = StreamAggregator::spawn(16);
+        let tx = agg.sender();
+        tx.send((SqlId(9), rec(1500.0, 4.0, 2))).unwrap();
+        tx.send((SqlId(9), rec(1999.0, 6.0, 4))).unwrap();
+        tx.send((SqlId(9), rec(2000.0, 1.0, 1))).unwrap();
+        drop(tx);
+        let out = agg.finish();
+        assert_eq!(out.executions(SqlId(9), 1), 2.0);
+        assert_eq!(out.executions(SqlId(9), 2), 1.0);
+        assert_eq!(out.cells[&(SqlId(9), 1)].1, 10.0);
+        assert_eq!(out.cells[&(SqlId(9), 1)].2, 6.0);
+    }
+
+    #[test]
+    fn snapshot_while_running() {
+        let agg = StreamAggregator::spawn(16);
+        let tx = agg.sender();
+        tx.send((SqlId(3), rec(0.0, 1.0, 0))).unwrap();
+        // Give the worker a moment to drain.
+        for _ in 0..200 {
+            if agg.snapshot().executions(SqlId(3), 0) > 0.0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(agg.snapshot().executions(SqlId(3), 0), 1.0);
+        drop(tx);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-second integration of piecewise-constant signals.
+//!
+//! Utilization metrics (cpu_usage, iops_usage) are time integrals of
+//! piecewise-constant functions (the value changes only at events). The
+//! [`SecondIntegrator`] accumulates `value · dt` into per-second bins,
+//! splitting segments that cross second boundaries exactly, and reports the
+//! per-second mean at the end.
+
+/// Integrates a piecewise-constant signal into per-second means.
+#[derive(Debug)]
+pub struct SecondIntegrator {
+    /// Simulation time (ms) of the last observation.
+    last_ms: f64,
+    /// Value that has held since `last_ms`.
+    value: f64,
+    /// Accumulated integral per whole second.
+    bins: Vec<f64>,
+    /// Start of bin 0 in ms.
+    origin_ms: f64,
+}
+
+impl SecondIntegrator {
+    /// Creates an integrator starting at `origin_ms` with initial `value`.
+    pub fn new(origin_ms: f64, value: f64) -> Self {
+        Self { last_ms: origin_ms, value, bins: Vec::new(), origin_ms }
+    }
+
+    fn bin_of(&self, t_ms: f64) -> usize {
+        (((t_ms - self.origin_ms) / 1000.0).floor().max(0.0)) as usize
+    }
+
+    /// Records that the signal changes to `new_value` at time `now_ms`,
+    /// accumulating the old value over `[last, now)`.
+    ///
+    /// # Panics
+    /// Panics if time moves backwards by more than 1 ns.
+    pub fn set(&mut self, now_ms: f64, new_value: f64) {
+        assert!(now_ms >= self.last_ms - 1e-6, "integrator time went backwards");
+        let now_ms = now_ms.max(self.last_ms);
+        let mut t = self.last_ms;
+        while t < now_ms {
+            let bin = self.bin_of(t);
+            let bin_end = self.origin_ms + (bin as f64 + 1.0) * 1000.0;
+            let seg_end = now_ms.min(bin_end);
+            if self.bins.len() <= bin {
+                self.bins.resize(bin + 1, 0.0);
+            }
+            self.bins[bin] += self.value * (seg_end - t);
+            t = seg_end;
+        }
+        self.last_ms = now_ms;
+        self.value = new_value;
+    }
+
+    /// Finalizes at `end_ms` and returns per-second means for each complete
+    /// (or partial trailing) second in `[origin, end)`.
+    pub fn finish(mut self, end_ms: f64) -> Vec<f64> {
+        let value = self.value;
+        self.set(end_ms, value);
+        let total_secs = ((end_ms - self.origin_ms) / 1000.0).ceil().max(0.0) as usize;
+        self.bins.resize(total_secs, 0.0);
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &integral)| {
+                let bin_start = self.origin_ms + i as f64 * 1000.0;
+                let width = (end_ms - bin_start).clamp(1e-9, 1000.0);
+                integral / width
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_yields_constant_means() {
+        let integ = SecondIntegrator::new(0.0, 0.5);
+        let out = integ.finish(3000.0);
+        assert_eq!(out.len(), 3);
+        for v in out {
+            assert!((v - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn step_change_mid_second_averages() {
+        let mut integ = SecondIntegrator::new(0.0, 0.0);
+        integ.set(500.0, 1.0); // 0 for first half, 1 for second half
+        let out = integ.finish(1000.0);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_spanning_multiple_seconds_splits_exactly() {
+        let mut integ = SecondIntegrator::new(0.0, 2.0);
+        integ.set(2500.0, 0.0);
+        let out = integ.finish(4000.0);
+        assert_eq!(out.len(), 4);
+        assert!((out[0] - 2.0).abs() < 1e-9);
+        assert!((out[1] - 2.0).abs() < 1e-9);
+        assert!((out[2] - 1.0).abs() < 1e-9); // half the third second at 2.0
+        assert!((out[3] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_trailing_second_normalizes_by_actual_width() {
+        let integ = SecondIntegrator::new(0.0, 1.0);
+        let out = integ.finish(1500.0);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - 1.0).abs() < 1e-9);
+        assert!((out[1] - 1.0).abs() < 1e-9, "got {}", out[1]);
+    }
+
+    #[test]
+    fn nonzero_origin_bins_align_to_origin() {
+        let mut integ = SecondIntegrator::new(10_000.0, 1.0);
+        integ.set(10_500.0, 3.0);
+        let out = integ.finish(11_000.0);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_sets_at_same_time_keep_last_value() {
+        let mut integ = SecondIntegrator::new(0.0, 0.0);
+        integ.set(0.0, 5.0);
+        integ.set(0.0, 1.0);
+        let out = integ.finish(1000.0);
+        assert!((out[0] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event cloud database instance simulator.
+//!
+//! The paper's evaluation runs against Alibaba RDS MySQL instances; this
+//! crate is the substitute substrate (see DESIGN.md). It reproduces the
+//! *signals PinSQL consumes* — per-query log records and per-second
+//! instance metrics — from first principles:
+//!
+//! * [`ps`] — processor-sharing resources (CPU, IO) with the virtual-time
+//!   formulation: `n` concurrent jobs each progress at rate
+//!   `min(1, capacity/n)`;
+//! * [`locks`] — a strict-FIFO metadata-lock manager per table (so a
+//!   waiting `ALTER TABLE` piles every later statement up behind it, the
+//!   paper's category-3(i) anomaly) and shared/exclusive row-slot locks
+//!   (category-3(ii));
+//! * [`engine`] — the event loop: arrivals → MDL → row locks → CPU phase →
+//!   IO phase → completion, emitting [`QueryRecord`]s;
+//! * [`probe`] — the `SHOW STATUS`-style active-session probe taken at a
+//!   *uniformly random sub-second instant* each second (Fig. 3's `t3`),
+//!   which is exactly the ambiguity §IV-C's bucket estimation resolves;
+//! * [`metrics`] — per-second instance metrics (cpu/iops utilization,
+//!   active session, lock waits);
+//! * [`closedloop`] — a saturation driver (N clients issuing back-to-back
+//!   queries) used for the Table IV Performance-Schema overhead study;
+//! * [`config`] — instance sizing and the Performance-Schema overhead
+//!   model.
+
+pub mod closedloop;
+pub mod config;
+pub mod engine;
+pub mod integrator;
+pub mod locks;
+pub mod metrics;
+pub mod ordf64;
+pub mod probe;
+pub mod ps;
+pub mod record;
+pub mod trace;
+
+pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
+pub use config::{PfsConfig, SimConfig};
+pub use engine::{run_open_loop, SimOutput};
+pub use metrics::InstanceMetrics;
+pub use record::QueryRecord;
+pub use trace::Trace;

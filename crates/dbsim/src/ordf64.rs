@@ -1,0 +1,74 @@
+//! A totally-ordered `f64` wrapper for use as a priority key.
+//!
+//! Simulation times and virtual service times are `f64` milliseconds; the
+//! event queue and the processor-sharing job sets need them as ordered map
+//! keys. `OrdF64` orders by `f64::total_cmp`, and construction asserts the
+//! value is not NaN (a NaN event time is always a bug upstream).
+
+/// A non-NaN `f64` with total ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite (or infinite, but not NaN) value.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN used as ordered key");
+        Self(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut v = [OrdF64::new(3.0), OrdF64::new(-1.0), OrdF64::new(2.5)];
+        v.sort();
+        assert_eq!(v.iter().map(|x| x.get()).collect::<Vec<_>>(), vec![-1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn negative_zero_sorts_before_positive_zero() {
+        // total_cmp semantics; irrelevant for simulation but documented.
+        assert!(OrdF64::new(-0.0) < OrdF64::new(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,174 @@
+//! Portable traces: (de)serializing simulation output.
+//!
+//! Real deployments of PinSQL analyze logs collected elsewhere; this
+//! module gives the simulator the same decoupling — a [`Trace`] bundles
+//! the query log and instance metrics and round-trips through JSON, so
+//! workloads can be simulated once and diagnosed many times (or shipped
+//! between machines, compared across versions, committed as fixtures).
+
+use crate::engine::SimOutput;
+use crate::metrics::InstanceMetrics;
+use crate::record::QueryRecord;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Current trace-format version; bump on breaking changes.
+pub const TRACE_VERSION: u32 = 1;
+
+/// A self-contained simulation trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    pub version: u32,
+    /// Free-form description (scenario, seed, …).
+    pub label: String,
+    pub metrics: InstanceMetrics,
+    pub log: Vec<QueryRecord>,
+}
+
+impl Trace {
+    /// Bundles a simulation output into a trace.
+    pub fn from_output(label: impl Into<String>, output: &SimOutput) -> Self {
+        Self {
+            version: TRACE_VERSION,
+            label: label.into(),
+            metrics: output.metrics.clone(),
+            log: output.log.clone(),
+        }
+    }
+
+    /// Writes the trace as JSON lines: a header line (version, label,
+    /// metrics) followed by one line per query record. Line-oriented so
+    /// large logs stream without a giant in-memory JSON value.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        #[derive(Serialize)]
+        struct Header<'a> {
+            version: u32,
+            label: &'a str,
+            metrics: &'a InstanceMetrics,
+            n_records: usize,
+        }
+        let header = Header {
+            version: self.version,
+            label: &self.label,
+            metrics: &self.metrics,
+            n_records: self.log.len(),
+        };
+        serde_json::to_writer(&mut w, &header).map_err(std::io::Error::other)?;
+        w.write_all(b"\n")?;
+        for rec in &self.log {
+            serde_json::to_writer(&mut w, rec).map_err(std::io::Error::other)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace written by [`Trace::write_jsonl`].
+    ///
+    /// Fails on version mismatch or malformed lines.
+    pub fn read_jsonl<R: BufRead>(r: R) -> std::io::Result<Self> {
+        #[derive(Deserialize)]
+        struct Header {
+            version: u32,
+            label: String,
+            metrics: InstanceMetrics,
+            n_records: usize,
+        }
+        let mut lines = r.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| std::io::Error::other("empty trace"))??;
+        let header: Header =
+            serde_json::from_str(&header_line).map_err(std::io::Error::other)?;
+        if header.version != TRACE_VERSION {
+            return Err(std::io::Error::other(format!(
+                "trace version {} unsupported (expected {TRACE_VERSION})",
+                header.version
+            )));
+        }
+        let mut log = Vec::with_capacity(header.n_records);
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            log.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+        }
+        if log.len() != header.n_records {
+            return Err(std::io::Error::other(format!(
+                "record count mismatch: header {} vs {}",
+                header.n_records,
+                log.len()
+            )));
+        }
+        Ok(Self { version: header.version, label: header.label, metrics: header.metrics, log })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeLog;
+    use pinsql_workload::SpecId;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            version: TRACE_VERSION,
+            label: "unit".into(),
+            metrics: InstanceMetrics {
+                start_second: 3,
+                active_session: vec![1.0, 2.0],
+                cpu_usage: vec![0.5, 0.6],
+                iops_usage: vec![0.1, 0.2],
+                row_lock_waits: vec![0.0, 1.0],
+                mdl_waits: vec![0.0, 0.0],
+                qps: vec![10.0, 12.0],
+                probes: ProbeLog::default(),
+            },
+            log: vec![
+                QueryRecord { spec: SpecId(0), start_ms: 3000.5, response_ms: 12.25, examined_rows: 7 },
+                QueryRecord { spec: SpecId(3), start_ms: 3900.0, response_ms: 0.5, examined_rows: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back.label, "unit");
+        assert_eq!(back.log.len(), 2);
+        assert_eq!(back.log[0].start_ms, 3000.5);
+        assert_eq!(back.log[1].spec, SpecId(3));
+        assert_eq!(back.metrics.active_session, vec![1.0, 2.0]);
+        assert_eq!(back.metrics.start_second, 3);
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert!(Trace::read_jsonl(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_fails() {
+        let mut trace = sample_trace();
+        trace.version = 999;
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        let err = Trace::read_jsonl(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).unwrap();
+        // Drop the last line.
+        let cut = buf.iter().rposition(|&b| b == b'\n').unwrap();
+        let cut2 = buf[..cut].iter().rposition(|&b| b == b'\n').unwrap();
+        let err = Trace::read_jsonl(&buf[..cut2 + 1]).unwrap_err();
+        assert!(err.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the simulator substrates: processor-sharing
+//! invariants, lock-manager safety, and integrator conservation.
+
+use pinsql_dbsim::integrator::SecondIntegrator;
+use pinsql_dbsim::locks::{LockKind, LockManager, QueryId};
+use pinsql_dbsim::ps::PsResource;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Jobs depart in order of remaining work; everyone eventually departs;
+    /// the busy integral never exceeds elapsed time.
+    #[test]
+    fn ps_everyone_departs_and_busy_bounded(
+        capacity in 1.0f64..16.0,
+        demands in prop::collection::vec(0.1f64..500.0, 1..40),
+        gaps in prop::collection::vec(0.0f64..100.0, 1..40),
+    ) {
+        let mut r = PsResource::new(capacity);
+        let mut t = 0.0;
+        let mut expected: HashSet<u64> = HashSet::new();
+        for (i, (&d, &g)) in demands.iter().zip(gaps.iter().cycle()).enumerate() {
+            t += g;
+            r.add(t, i as u64, d);
+            expected.insert(i as u64);
+        }
+        let mut done: Vec<u64> = Vec::new();
+        let mut guard = 0;
+        while !r.is_empty() {
+            let (at, _) = r.next_departure().expect("jobs remain");
+            let at = at.max(t);
+            r.pop_finished(at, 1e-6, &mut done);
+            t = at + 1e-3;
+            guard += 1;
+            prop_assert!(guard < 10_000, "departure loop diverged");
+        }
+        let done_set: HashSet<u64> = done.iter().copied().collect();
+        prop_assert_eq!(done_set, expected);
+        prop_assert!(r.busy_ms() <= t + 1e-6);
+        // Work conservation: total service delivered equals total demand,
+        // and busy time is at least total demand / capacity.
+        let total: f64 = demands.iter().sum();
+        prop_assert!(r.busy_ms() * capacity >= total - 1e-3,
+            "busy {} * cap {} < demand {}", r.busy_ms(), capacity, total);
+    }
+
+    /// The lock manager never grants conflicting holders and always grants
+    /// every queued request exactly once after enough releases.
+    #[test]
+    fn lock_manager_safety_and_liveness(
+        ops in prop::collection::vec((0u32..4, any::<bool>()), 1..200),
+    ) {
+        let mut m = LockManager::new(4);
+        // Track state per (table): holders + queue mirror.
+        #[derive(Default, Clone)]
+        struct Mirror { shared: Vec<QueryId>, excl: Option<QueryId>, queued: Vec<(QueryId, LockKind)> }
+        let mut mirror: Vec<Mirror> = vec![Mirror::default(); 4];
+        let mut granted_buf = Vec::new();
+
+        for (q, (table, exclusive)) in (0u64..).zip(ops.into_iter()) {
+            let t = table as usize;
+            let kind = if exclusive { LockKind::Exclusive } else { LockKind::Shared };
+            if m.request_mdl(q, table, kind) {
+                // Immediate grant: must be compatible with mirror state.
+                prop_assert!(mirror[t].queued.is_empty(), "grant jumped the queue");
+                match kind {
+                    LockKind::Shared => {
+                        prop_assert!(mirror[t].excl.is_none());
+                        mirror[t].shared.push(q);
+                    }
+                    LockKind::Exclusive => {
+                        prop_assert!(mirror[t].excl.is_none() && mirror[t].shared.is_empty());
+                        mirror[t].excl = Some(q);
+                    }
+                }
+            } else {
+                mirror[t].queued.push((q, kind));
+            }
+            // Randomly release one holder (the first shared or the excl).
+            if q.is_multiple_of(2) {
+                granted_buf.clear();
+                if let Some(h) = mirror[t].excl.take() {
+                    let _ = h;
+                    m.release_mdl(table, LockKind::Exclusive, &mut granted_buf);
+                } else if !mirror[t].shared.is_empty() {
+                    mirror[t].shared.remove(0);
+                    m.release_mdl(table, LockKind::Shared, &mut granted_buf);
+                }
+                // Apply grants to the mirror in FIFO order.
+                for &g in &granted_buf {
+                    let pos = mirror[t]
+                        .queued
+                        .iter()
+                        .position(|&(qq, _)| qq == g)
+                        .expect("granted query was queued");
+                    prop_assert_eq!(pos, 0, "grants must be FIFO");
+                    let (qq, k) = mirror[t].queued.remove(0);
+                    match k {
+                        LockKind::Shared => {
+                            prop_assert!(mirror[t].excl.is_none());
+                            mirror[t].shared.push(qq);
+                        }
+                        LockKind::Exclusive => {
+                            prop_assert!(
+                                mirror[t].excl.is_none() && mirror[t].shared.is_empty()
+                            );
+                            mirror[t].excl = Some(qq);
+                        }
+                    }
+                }
+            }
+        }
+        // Waiter accounting agrees with the mirror.
+        let queued_total: usize = mirror.iter().map(|m| m.queued.len()).sum();
+        prop_assert_eq!(m.mdl_waiters(), queued_total);
+    }
+
+    /// Per-second means stay within the range of the observed values.
+    #[test]
+    fn integrator_means_bounded_by_values(
+        steps in prop::collection::vec((1.0f64..3000.0, 0.0f64..50.0), 1..40),
+    ) {
+        let first = steps[0].1;
+        let mut integ = SecondIntegrator::new(0.0, first);
+        let mut t = 0.0;
+        let mut lo = first;
+        let mut hi = first;
+        for &(dt, v) in &steps {
+            t += dt;
+            integ.set(t, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let end = t + 500.0;
+        let out = integ.finish(end);
+        for (i, &mean) in out.iter().enumerate() {
+            prop_assert!(
+                mean >= lo - 1e-9 && mean <= hi + 1e-9,
+                "second {i}: mean {mean} outside [{lo}, {hi}]"
+            );
+        }
+        prop_assert_eq!(out.len(), (end / 1000.0).ceil() as usize);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Basic Perception Layer: robust streaming feature detection.
+//!
+//! For each metric the detector keeps a trailing baseline (rolling median +
+//! MAD over "normal" samples only) and flags samples whose robust z-score
+//! crosses a trigger threshold. Consecutive flagged samples form a
+//! segment; a segment that recovers to baseline within `spike_max_s`
+//! seconds is a *spike*, otherwise it is a *level shift* — after which the
+//! baseline is re-seeded at the new level so detection continues (and so a
+//! later recovery registers as a shift back, not as one endless anomaly).
+
+use crate::features::{Feature, FeatureKind};
+use pinsql_timeseries::rolling::{robust_z, RollingWindow};
+use serde::{Deserialize, Serialize};
+
+/// Detector tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Baseline window length in samples.
+    pub baseline_len: usize,
+    /// Robust z-score that opens an anomaly segment.
+    pub trigger_z: f64,
+    /// Robust z-score below which the metric counts as recovered.
+    pub recover_z: f64,
+    /// Consecutive recovered samples that close a segment.
+    pub recover_len: usize,
+    /// Max seconds a recovering segment may last and still be a spike.
+    pub spike_max_s: i64,
+    /// MAD floor, in metric units, to keep flat baselines from exploding
+    /// the z-score on trivial jitter.
+    pub mad_floor: f64,
+    /// Minimum samples before detection starts (baseline warm-up).
+    pub warmup: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            baseline_len: 120,
+            trigger_z: 6.0,
+            recover_z: 3.0,
+            recover_len: 5,
+            spike_max_s: 60,
+            mad_floor: 1.0,
+            warmup: 20,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A floor appropriate for fraction-valued metrics (cpu/iops usage).
+    pub fn for_utilization() -> Self {
+        Self { mad_floor: 0.02, ..Self::default() }
+    }
+}
+
+/// Detects anomalous features in `series`, whose first sample is at
+/// `start_second` (1-second sampling).
+pub fn detect_features(
+    metric: &str,
+    series: &[f64],
+    start_second: i64,
+    cfg: &DetectorConfig,
+) -> Vec<Feature> {
+    let mut features = Vec::new();
+    let mut baseline = RollingWindow::new(cfg.baseline_len.max(2));
+    let mut i = 0usize;
+    while i < series.len() {
+        let x = series[i];
+        if baseline.len() < cfg.warmup.max(2) {
+            baseline.push(x);
+            i += 1;
+            continue;
+        }
+        let med = baseline.median().expect("warm baseline");
+        let mad = baseline.mad().expect("warm baseline");
+        let z = robust_z(x, med, mad, cfg.mad_floor);
+        if z.abs() < cfg.trigger_z {
+            baseline.push(x);
+            i += 1;
+            continue;
+        }
+        // A segment opens at i. Scan forward until recovery or end.
+        let up = z > 0.0;
+        let seg_start = i;
+        let mut peak_z: f64 = z.abs();
+        let mut recovered_run = 0usize;
+        let mut j = i + 1;
+        let mut seg_end = series.len(); // exclusive index; trimmed on recovery
+        while j < series.len() {
+            let zj = robust_z(series[j], med, mad, cfg.mad_floor);
+            peak_z = peak_z.max(zj.abs());
+            let back = zj.abs() < cfg.recover_z;
+            if back {
+                recovered_run += 1;
+                if recovered_run >= cfg.recover_len {
+                    seg_end = j + 1 - recovered_run;
+                    break;
+                }
+            } else {
+                recovered_run = 0;
+            }
+            j += 1;
+        }
+        let recovered = seg_end < series.len();
+        let duration = (seg_end - seg_start) as i64;
+        let kind = match (recovered && duration <= cfg.spike_max_s, up) {
+            (true, true) => FeatureKind::SpikeUp,
+            (true, false) => FeatureKind::SpikeDown,
+            (false, true) => FeatureKind::LevelShiftUp,
+            (false, false) => FeatureKind::LevelShiftDown,
+        };
+        features.push(Feature {
+            metric: metric.to_string(),
+            kind,
+            start: start_second + seg_start as i64,
+            end: start_second + seg_end as i64,
+            peak_z,
+        });
+        if recovered {
+            // Resume just after the segment; the baseline stays valid.
+            i = seg_end;
+        } else if j >= series.len() && seg_end == series.len() {
+            // Ran to the end of data.
+            break;
+        } else {
+            // Level shift: re-seed the baseline at the new level.
+            let reseed_from = seg_end.min(series.len());
+            baseline = RollingWindow::new(cfg.baseline_len.max(2));
+            for &v in &series[seg_start..reseed_from] {
+                baseline.push(v);
+            }
+            i = reseed_from;
+        }
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(n: usize, level: f64) -> Vec<f64> {
+        (0..n).map(|i| level + ((i * 7) % 3) as f64 * 0.3).collect()
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig { baseline_len: 40, warmup: 10, spike_max_s: 30, ..Default::default() }
+    }
+
+    #[test]
+    fn quiet_series_yields_nothing() {
+        let s = flat(200, 10.0);
+        assert!(detect_features("m", &s, 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn detects_spike_up() {
+        let mut s = flat(200, 10.0);
+        for v in s.iter_mut().skip(100).take(10) {
+            *v = 60.0;
+        }
+        let feats = detect_features("m", &s, 1000, &cfg());
+        assert_eq!(feats.len(), 1);
+        let f = &feats[0];
+        assert_eq!(f.kind, FeatureKind::SpikeUp);
+        assert_eq!(f.metric, "m");
+        assert!(f.start >= 1098 && f.start <= 1101, "start {}", f.start);
+        assert!(f.end >= 1109 && f.end <= 1112, "end {}", f.end);
+        assert!(f.peak_z > 6.0);
+    }
+
+    #[test]
+    fn detects_spike_down() {
+        let mut s = flat(200, 50.0);
+        for v in s.iter_mut().skip(120).take(8) {
+            *v = 0.0;
+        }
+        let feats = detect_features("m", &s, 0, &cfg());
+        assert_eq!(feats.len(), 1);
+        assert_eq!(feats[0].kind, FeatureKind::SpikeDown);
+    }
+
+    #[test]
+    fn detects_level_shift_up_and_recovery_shift() {
+        let mut s = flat(300, 10.0);
+        for v in s.iter_mut().skip(100) {
+            *v += 70.0; // permanent shift
+        }
+        let feats = detect_features("m", &s, 0, &cfg());
+        assert!(!feats.is_empty());
+        assert_eq!(feats[0].kind, FeatureKind::LevelShiftUp);
+        assert_eq!(feats[0].start, 100);
+        // After re-baselining at the new level, no further anomalies.
+        assert_eq!(feats.len(), 1, "{feats:?}");
+    }
+
+    #[test]
+    fn long_slow_anomaly_is_level_shift_not_spike() {
+        let mut s = flat(400, 10.0);
+        // 120-second plateau, longer than spike_max_s.
+        for v in s.iter_mut().skip(100).take(120) {
+            *v = 80.0;
+        }
+        let feats = detect_features("m", &s, 0, &cfg());
+        assert!(!feats.is_empty());
+        assert_eq!(feats[0].kind, FeatureKind::LevelShiftUp);
+    }
+
+    #[test]
+    fn two_separate_spikes_are_two_features() {
+        let mut s = flat(400, 10.0);
+        for v in s.iter_mut().skip(100).take(6) {
+            *v = 70.0;
+        }
+        for v in s.iter_mut().skip(250).take(6) {
+            *v = 70.0;
+        }
+        let feats = detect_features("m", &s, 0, &cfg());
+        assert_eq!(feats.len(), 2, "{feats:?}");
+        assert!(feats.iter().all(|f| f.kind == FeatureKind::SpikeUp));
+    }
+
+    #[test]
+    fn anomaly_running_to_end_of_data_is_reported() {
+        let mut s = flat(150, 10.0);
+        for v in s.iter_mut().skip(130) {
+            *v = 90.0;
+        }
+        let feats = detect_features("m", &s, 0, &cfg());
+        assert_eq!(feats.len(), 1);
+        assert_eq!(feats[0].end, 150);
+    }
+
+    #[test]
+    fn baseline_is_not_poisoned_by_anomaly() {
+        // A spike then a second identical spike: the second must still be
+        // detected, which fails if the spike values entered the baseline.
+        let mut s = flat(300, 10.0);
+        for v in s.iter_mut().skip(100).take(20) {
+            *v = 70.0;
+        }
+        for v in s.iter_mut().skip(200).take(20) {
+            *v = 70.0;
+        }
+        let feats = detect_features("m", &s, 0, &cfg());
+        assert_eq!(feats.len(), 2);
+    }
+
+    #[test]
+    fn short_series_never_warm_enough() {
+        let s = flat(5, 10.0);
+        assert!(detect_features("m", &s, 0, &cfg()).is_empty());
+        assert!(detect_features("m", &[], 0, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn utilization_floor_avoids_jitter_alerts() {
+        let s: Vec<f64> = (0..200).map(|i| 0.30 + ((i % 5) as f64) * 0.002).collect();
+        let feats = detect_features("cpu", &s, 0, &DetectorConfig::for_utilization());
+        assert!(feats.is_empty(), "{feats:?}");
+    }
+}

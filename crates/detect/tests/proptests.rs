@@ -1,0 +1,92 @@
+//! Property-based tests for the detection layer.
+
+use pinsql_detect::{classify, detect_features, DetectorConfig, PhenomenonConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// The detector never panics and every feature is a well-formed,
+    /// in-bounds, non-overlapping segment.
+    #[test]
+    fn features_are_well_formed(
+        series in prop::collection::vec(0.0f64..1e6, 0..500),
+        start in -1000i64..1000,
+    ) {
+        let cfg = DetectorConfig::default();
+        let feats = detect_features("m", &series, start, &cfg);
+        let end = start + series.len() as i64;
+        for f in &feats {
+            prop_assert!(f.start >= start && f.end <= end, "{f:?}");
+            prop_assert!(f.start < f.end, "{f:?}");
+            prop_assert!(f.peak_z >= cfg.trigger_z, "{f:?}");
+        }
+        for pair in feats.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start, "overlap: {pair:?}");
+        }
+    }
+
+    /// A constant series (any level) never alarms.
+    #[test]
+    fn constant_series_never_alarms(level in 0.0f64..1e6, n in 0usize..400) {
+        let series = vec![level; n];
+        let feats = detect_features("m", &series, 0, &DetectorConfig::default());
+        prop_assert!(feats.is_empty(), "{feats:?}");
+    }
+
+    /// Scaling a series and its detector floor together preserves the
+    /// feature segmentation (the detector is scale-equivariant).
+    #[test]
+    fn detection_is_scale_equivariant(
+        base in prop::collection::vec(5.0f64..15.0, 100..200),
+        spike_at in 50usize..90,
+        scale in 0.5f64..200.0,
+    ) {
+        let mut series = base;
+        for v in series.iter_mut().skip(spike_at).take(8) {
+            *v += 200.0;
+        }
+        let cfg = DetectorConfig { baseline_len: 40, warmup: 10, ..Default::default() };
+        let scaled: Vec<f64> = series.iter().map(|v| v * scale).collect();
+        let scaled_cfg = DetectorConfig { mad_floor: cfg.mad_floor * scale, ..cfg.clone() };
+        let a = detect_features("m", &series, 0, &cfg);
+        let b = detect_features("m", &scaled, 0, &scaled_cfg);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.end, y.end);
+            prop_assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    /// Phenomenon classification output is sorted, merged (no same-type
+    /// pair closer than the gap), and duration-filtered.
+    #[test]
+    fn phenomena_are_merged_and_filtered(
+        feats in prop::collection::vec((0i64..1000, 1i64..120), 0..30),
+    ) {
+        use pinsql_detect::{Feature, FeatureKind};
+        let features: Vec<Feature> = feats
+            .iter()
+            .map(|&(start, len)| Feature {
+                metric: "active_session".into(),
+                kind: FeatureKind::SpikeUp,
+                start,
+                end: start + len,
+                peak_z: 10.0,
+            })
+            .collect();
+        let cfg = PhenomenonConfig::default();
+        let out = classify(&features, &cfg);
+        for p in &out {
+            prop_assert!(p.duration() >= cfg.min_duration_s);
+        }
+        for pair in out.windows(2) {
+            prop_assert!(pair[0].start <= pair[1].start, "not sorted");
+            if pair[0].anomaly_type == pair[1].anomaly_type {
+                prop_assert!(
+                    pair[1].start > pair[0].end + cfg.merge_gap_s,
+                    "unmerged same-type phenomena: {pair:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-case diagnostic dump used while tuning the pipeline (not part of
+//! the published experiment set).
+
+use pinsql::{estimate_sessions, identify_rsqls, rank_hsqls, PinSqlConfig};
+use pinsql_eval::caseset::{build_case, CaseSetConfig};
+use pinsql_eval::first_hit_rank;
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("fig8") {
+        scan_fig8();
+        return;
+    }
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let cfg = CaseSetConfig::default().with_cases(n).with_seed(seed);
+    let pcfg = PinSqlConfig::default();
+    for i in 0..n {
+        let lc = build_case(&cfg, i);
+        let est = estimate_sessions(&lc.case, &pcfg);
+        let hsql = rank_hsqls(&lc.case, &est, &lc.window, &pcfg);
+        let out = identify_rsqls(
+            &lc.case,
+            &est,
+            &hsql,
+            &lc.window,
+            &lc.history,
+            lc.minutes_origin,
+            &pcfg,
+        );
+        let ids = |v: &[(usize, f64)]| -> Vec<String> {
+            v.iter()
+                .take(5)
+                .map(|&(idx, s)| {
+                    let t = &lc.case.templates[idx];
+                    let label = lc.case.catalog.get(t.id).map(|i| i.label.clone()).unwrap_or_default();
+                    format!("{label}:{s:.2}")
+                })
+                .collect()
+        };
+        let truth_idx: Vec<usize> =
+            lc.truth.rsqls.iter().filter_map(|id| lc.case.template_index(*id)).collect();
+        let truth_labels: Vec<String> = truth_idx
+            .iter()
+            .map(|&i| {
+                lc.case
+                    .catalog
+                    .get(lc.case.templates[i].id)
+                    .map(|x| x.label.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let ranked_ids: Vec<_> = out.ranked.iter().map(|&(i, _)| lc.case.templates[i].id).collect();
+        let r_rank = first_hit_rank(&ranked_ids, &lc.truth.rsqls);
+        let h_ids: Vec<_> = hsql.ranked.iter().map(|&(i, _)| lc.case.templates[i].id).collect();
+        let h_rank = first_hit_rank(&h_ids, &lc.truth.hsqls);
+        let in_cand = truth_idx.iter().any(|i| out.candidates.contains(i));
+        let in_verified = truth_idx.iter().any(|i| out.verified.contains(i));
+        let cluster_of_truth: Vec<Option<usize>> = truth_idx
+            .iter()
+            .map(|i| out.clusters.iter().position(|c| c.contains(i)))
+            .collect();
+        println!(
+            "case {i} kind={:?} detected={} window=[{},{}] templates={} clusters={} selected={}",
+            lc.kind,
+            lc.detected,
+            lc.window.anomaly_start,
+            lc.window.anomaly_end,
+            lc.case.templates.len(),
+            out.clusters.len(),
+            out.selected_clusters,
+        );
+        println!("  truth R: {truth_labels:?} cluster_of_truth={cluster_of_truth:?}");
+        println!(
+            "  r_rank={r_rank:?} h_rank={h_rank:?} in_candidates={in_cand} in_verified={in_verified} (cand={} verified={})",
+            out.candidates.len(),
+            out.verified.len()
+        );
+        println!("  top rsql: {:?}", ids(&out.ranked));
+        println!("  top hsql: {:?}", ids(&hsql.ranked));
+        println!("  alpha={:.2} beta={:.2}", hsql.alpha, hsql.beta);
+    }
+}
+
+// (appended scan helper — invoked as: debug_cases fig8 <from> <to>)
+
+/// Scans seeds for a fig8 showcase: Top-RT must be a victim (not the
+/// R-SQL) and PinSQL's top-1 must be the injected batch write.
+fn scan_fig8() {
+    use pinsql_baselines::{rank_top, TopMetric};
+    use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, ScenarioConfig};
+    let from: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let to: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(120);
+    for seed in from..to {
+        let scfg = ScenarioConfig::default().with_seed(seed);
+        let base = generate_base(&scfg);
+        let sc = inject(&base, &scfg, AnomalyKind::RowLock);
+        let lc = materialize(&sc, 600);
+        let top_rt = rank_top(&lc.case, &lc.window, TopMetric::TotalResponseTime);
+        let top_rt_id = lc.case.templates[top_rt[0].0].id;
+        let pin = pinsql::PinSql::new(PinSqlConfig::default());
+        let d = pin.diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
+        let ranked_ids: Vec<_> = d.rsqls.iter().map(|r| r.id).collect();
+        let r_rank = first_hit_rank(&ranked_ids, &lc.truth.rsqls);
+        let top_rt_label = lc.case.catalog.get(top_rt_id).map(|i| i.label.clone()).unwrap_or_default();
+        let distinct = !lc.truth.rsqls.contains(&top_rt_id);
+        println!(
+            "seed {seed}: r_rank={r_rank:?} top_rt={top_rt_label} top_rt_is_victim={distinct}"
+        );
+        if r_rank == Some(1) && distinct {
+            println!("  ^ showcase candidate");
+        }
+    }
+}

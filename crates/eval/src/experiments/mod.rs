@@ -1,0 +1,12 @@
+//! One driver per table/figure of the paper's evaluation (§VIII).
+
+pub mod breakdown;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod recurring;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

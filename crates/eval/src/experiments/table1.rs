@@ -1,0 +1,144 @@
+//! Table I — overall R-SQL and H-SQL identification quality.
+//!
+//! For each case, every method produces an R-SQL ranking and an H-SQL
+//! ranking, scored against the labelled sets with Hits@1/Hits@5/MRR plus
+//! mean per-case running time. `Top-All` is the per-case best of the three
+//! single-metric baselines, as in the paper.
+
+use crate::caseset::{build_cases, CaseSetConfig};
+use crate::methods::{rank_with, Method, Rankings};
+use crate::metrics::{first_hit_rank, RankSummary};
+use pinsql::PinSqlConfig;
+use pinsql_baselines::TopMetric;
+use pinsql_scenario::LabeledCase;
+use serde::{Deserialize, Serialize};
+
+/// One method's row (R-SQL and H-SQL summaries).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    pub method: String,
+    pub rsql: RankSummary,
+    pub hsql: RankSummary,
+}
+
+/// The full table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    pub rows: Vec<Row>,
+    pub n_cases: usize,
+}
+
+/// Scores one method over the cases.
+fn score(method: &Method, cases: &[LabeledCase]) -> Row {
+    let mut r_ranks = Vec::with_capacity(cases.len());
+    let mut h_ranks = Vec::with_capacity(cases.len());
+    let mut times = Vec::with_capacity(cases.len());
+    for case in cases {
+        let out = rank_with(method, case);
+        r_ranks.push(first_hit_rank(&out.rsqls, &case.truth.rsqls));
+        h_ranks.push(first_hit_rank(&out.hsqls, &case.truth.hsqls));
+        times.push(out.time_s);
+    }
+    Row {
+        method: method.label(),
+        rsql: RankSummary::from_ranks(&r_ranks, &times),
+        hsql: RankSummary::from_ranks(&h_ranks, &times),
+    }
+}
+
+/// Scores Top-All: per case, the best rank any single-metric baseline
+/// achieves (the DBA pages through all three sorted views).
+fn score_top_all(cases: &[LabeledCase]) -> Row {
+    let mut r_ranks = Vec::with_capacity(cases.len());
+    let mut h_ranks = Vec::with_capacity(cases.len());
+    for case in cases {
+        let outs: Vec<Rankings> =
+            TopMetric::ALL.iter().map(|m| rank_with(&Method::Top(*m), case)).collect();
+        let best = |f: &dyn Fn(&Rankings) -> Option<usize>| -> Option<usize> {
+            outs.iter().filter_map(f).min()
+        };
+        r_ranks.push(best(&|o: &Rankings| first_hit_rank(&o.rsqls, &case.truth.rsqls)));
+        h_ranks.push(best(&|o: &Rankings| first_hit_rank(&o.hsqls, &case.truth.hsqls)));
+    }
+    Row {
+        method: "Top-All".to_string(),
+        rsql: RankSummary::from_ranks(&r_ranks, &[]),
+        hsql: RankSummary::from_ranks(&h_ranks, &[]),
+    }
+}
+
+/// Runs the Table I experiment over a freshly generated case set.
+pub fn run(cfg: &CaseSetConfig) -> Table1 {
+    let cases = build_cases(cfg);
+    run_on(&cases)
+}
+
+/// Runs the Table I experiment on pre-built cases.
+pub fn run_on(cases: &[LabeledCase]) -> Table1 {
+    let mut rows = Vec::new();
+    for metric in TopMetric::ALL {
+        rows.push(score(&Method::Top(metric), cases));
+    }
+    rows.push(score_top_all(cases));
+    rows.push(score(&Method::PinSql(PinSqlConfig::default()), cases));
+    Table1 { rows, n_cases: cases.len() }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table I — overall results over {} cases (H@k in %)", self.n_cases)?;
+        writeln!(
+            f,
+            "{:<10} | {:>6} {:>6} {:>6} {:>10} | {:>6} {:>6} {:>6} {:>10}",
+            "Method", "R-H@1", "R-H@5", "R-MRR", "R-Time", "H-H@1", "H-H@5", "H-MRR", "H-Time"
+        )?;
+        writeln!(f, "{}", "-".repeat(88))?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} | {:>6.1} {:>6.1} {:>6.2} {:>9.3}s | {:>6.1} {:>6.1} {:>6.2} {:>9.3}s",
+                r.method,
+                r.rsql.hits_at_1 * 100.0,
+                r.rsql.hits_at_5 * 100.0,
+                r.rsql.mrr,
+                r.rsql.mean_time_s,
+                r.hsql.hits_at_1 * 100.0,
+                r.hsql.hits_at_5 * 100.0,
+                r.hsql.mrr,
+                r.hsql.mean_time_s,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table1_shape_holds() {
+        // 8 cases (two full rounds of the four kinds) is enough to check
+        // the qualitative ordering without multi-minute test times.
+        let cfg = CaseSetConfig::default().with_cases(8).with_seed(500);
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 5);
+        let pin = t.rows.iter().find(|r| r.method == "PinSQL").unwrap();
+        let top_all = t.rows.iter().find(|r| r.method == "Top-All").unwrap();
+        // The headline claim: PinSQL at least matches the best baseline on
+        // R-SQLs even on this 8-case smoke sample (the full 168-case run in
+        // EXPERIMENTS.md shows the ~20-point margin; with 8 cases ties can
+        // occur).
+        assert!(
+            pin.rsql.hits_at_1 >= top_all.rsql.hits_at_1,
+            "PinSQL {} vs Top-All {}",
+            pin.rsql.hits_at_1,
+            top_all.rsql.hits_at_1
+        );
+        assert!(pin.rsql.hits_at_1 >= 0.5, "PinSQL R-H@1 too low: {}", pin.rsql.hits_at_1);
+        assert!(pin.hsql.hits_at_1 >= top_all.hsql.hits_at_1);
+        let display = t.to_string();
+        assert!(display.contains("PinSQL"));
+        assert!(display.contains("Top-RT"));
+    }
+}

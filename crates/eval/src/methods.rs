@@ -1,0 +1,71 @@
+//! The systems under evaluation.
+
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_baselines::{rank_top, TopMetric};
+use pinsql_scenario::LabeledCase;
+use pinsql_sqlkit::SqlId;
+use std::time::Instant;
+
+/// A method producing R-SQL and H-SQL rankings for a case.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// Full PinSQL (or an ablated variant, via the config's switches).
+    PinSql(PinSqlConfig),
+    /// A single-metric Top-SQL baseline.
+    Top(TopMetric),
+}
+
+impl Method {
+    /// Display name.
+    pub fn label(&self) -> String {
+        match self {
+            Method::PinSql(cfg) if cfg.ablation == Default::default() => "PinSQL".to_string(),
+            Method::PinSql(_) => "PinSQL (ablated)".to_string(),
+            Method::Top(m) => m.label().to_string(),
+        }
+    }
+}
+
+/// R-SQL and H-SQL rankings (template ids, best first) plus wall time.
+#[derive(Debug, Clone)]
+pub struct Rankings {
+    pub rsqls: Vec<SqlId>,
+    pub hsqls: Vec<SqlId>,
+    pub time_s: f64,
+}
+
+/// Runs a method on one case.
+pub fn rank_with(method: &Method, case: &LabeledCase) -> Rankings {
+    let t0 = Instant::now();
+    match method {
+        Method::PinSql(cfg) => {
+            let pinsql = PinSql::new(cfg.clone());
+            let d = pinsql.diagnose(&case.case, &case.window, &case.history, case.minutes_origin);
+            Rankings {
+                rsqls: d.rsqls.iter().map(|r| r.id).collect(),
+                hsqls: d.hsqls.iter().map(|r| r.id).collect(),
+                time_s: t0.elapsed().as_secs_f64(),
+            }
+        }
+        Method::Top(metric) => {
+            let ranked = rank_top(&case.case, &case.window, *metric);
+            let ids: Vec<SqlId> =
+                ranked.iter().map(|&(i, _)| case.case.templates[i].id).collect();
+            Rankings { rsqls: ids.clone(), hsqls: ids, time_s: t0.elapsed().as_secs_f64() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Method::PinSql(PinSqlConfig::default()).label(), "PinSQL");
+        assert_eq!(Method::Top(TopMetric::TotalResponseTime).label(), "Top-RT");
+        let mut cfg = PinSqlConfig::default();
+        cfg.ablation.no_trend_level = true;
+        assert_eq!(Method::PinSql(cfg).label(), "PinSQL (ablated)");
+    }
+}

@@ -1,0 +1,144 @@
+//! PinSQL configuration: the paper's hyper-parameters and the ablation
+//! switchboard used by the Fig. 6 study.
+
+use serde::{Deserialize, Serialize};
+
+/// Which individual-active-session estimator to use (the Table III
+/// variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// `Estimate by RT`: per-second total response time, in seconds, as a
+    /// session proxy.
+    ByRt,
+    /// `Estimate w/o buckets`: expected activity over the whole second.
+    NoBuckets,
+    /// `Estimate (K)`: §IV-C bucket localization of the probe instant.
+    Buckets,
+}
+
+/// Component toggles for the Fig. 6 ablation study. All `false` = full
+/// PinSQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Replace the estimated individual active session with the aggregated
+    /// response-time metric (PinSQL w/o Estimate Session).
+    pub no_estimate_session: bool,
+    /// Drop the trend-level score (PinSQL w/o Trend-level Score).
+    pub no_trend_level: bool,
+    /// Drop the scale-level score (PinSQL w/o Scale-level Score).
+    pub no_scale_level: bool,
+    /// Drop the scale-trend-level score (PinSQL w/o Trend-scale-level).
+    pub no_scale_trend_level: bool,
+    /// Replace the adaptive α/β weights with the constant 1
+    /// (PinSQL w/o Weighted Final Score).
+    pub no_weighted_final: bool,
+    /// Always select exactly the top-1 cluster
+    /// (PinSQL w/o Cumulative Threshold).
+    pub no_cumulative_threshold: bool,
+    /// Rank clusters by Top-RT instead of H-SQL impact
+    /// (PinSQL w/o Direct Cause SQL Ranking).
+    pub no_direct_cause_ranking: bool,
+    /// Skip history trend verification
+    /// (PinSQL w/o History Trend Verification).
+    pub no_history_verification: bool,
+}
+
+/// All tunables, with the defaults of §VIII-A.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PinSqlConfig {
+    /// Look-back before the anomaly, seconds (paper: 30 min).
+    pub delta_s: i64,
+    /// Sigmoid smooth factor `k_s` for the trend-level weights.
+    pub ks: f64,
+    /// Clustering correlation threshold `τ`.
+    pub tau: f64,
+    /// Max clusters examined by the cumulative threshold, `K_c`.
+    pub kc: usize,
+    /// Cumulative correlation threshold `τ_c`.
+    pub tau_c: f64,
+    /// Number of sub-second buckets `K` for session estimation.
+    pub buckets_k: usize,
+    /// Which estimator variant to run.
+    pub estimator: EstimatorKind,
+    /// Tukey fence multiplier for history verification.
+    pub tukey_k: f64,
+    /// Days back to verify against (paper: 1, 3, 7).
+    pub history_days: Vec<u32>,
+    /// Ablation switches (all off for full PinSQL).
+    pub ablation: Ablation,
+}
+
+impl Default for PinSqlConfig {
+    fn default() -> Self {
+        Self {
+            delta_s: 1800,
+            ks: 30.0,
+            tau: 0.8,
+            kc: 5,
+            tau_c: 0.95,
+            buckets_k: 10,
+            estimator: EstimatorKind::Buckets,
+            tukey_k: 1.5,
+            history_days: vec![1, 3, 7],
+            ablation: Ablation::default(),
+        }
+    }
+}
+
+impl PinSqlConfig {
+    /// Builder-style ablation override.
+    pub fn with_ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = ablation;
+        self
+    }
+
+    /// Builder-style look-back override (scenarios use shorter windows
+    /// than production's 30 minutes).
+    pub fn with_delta_s(mut self, delta_s: i64) -> Self {
+        self.delta_s = delta_s;
+        self
+    }
+
+    /// Builder-style estimator override.
+    pub fn with_estimator(mut self, estimator: EstimatorKind) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Builder-style bucket-count override.
+    pub fn with_buckets(mut self, k: usize) -> Self {
+        self.buckets_k = k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PinSqlConfig::default();
+        assert_eq!(c.delta_s, 1800);
+        assert_eq!(c.ks, 30.0);
+        assert_eq!(c.tau, 0.8);
+        assert_eq!(c.kc, 5);
+        assert_eq!(c.tau_c, 0.95);
+        assert_eq!(c.buckets_k, 10);
+        assert_eq!(c.history_days, vec![1, 3, 7]);
+        assert_eq!(c.ablation, Ablation::default());
+    }
+
+    #[test]
+    fn builders() {
+        let c = PinSqlConfig::default()
+            .with_delta_s(600)
+            .with_estimator(EstimatorKind::ByRt)
+            .with_buckets(5)
+            .with_ablation(Ablation { no_trend_level: true, ..Default::default() });
+        assert_eq!(c.delta_s, 600);
+        assert_eq!(c.estimator, EstimatorKind::ByRt);
+        assert_eq!(c.buckets_k, 5);
+        assert!(c.ablation.no_trend_level);
+    }
+}

@@ -1,0 +1,199 @@
+//! Human-readable diagnosis reports.
+//!
+//! The production system surfaces its conclusions in the DAS console; this
+//! module renders a [`Diagnosis`] (plus the case it came from) into the
+//! text a DBA would read: the anomaly window, the top H-SQLs and R-SQLs
+//! with their statements and key statistics, and any suggested repair
+//! actions.
+
+use crate::pipeline::Diagnosis;
+use crate::repair::SuggestedAction;
+use pinsql_collector::CaseData;
+use pinsql_detect::AnomalyWindow;
+use std::fmt::Write as _;
+
+/// Options controlling report size.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOptions {
+    /// How many H-SQLs / R-SQLs to show.
+    pub top_k: usize,
+    /// Truncate statement text to this many characters.
+    pub max_sql_chars: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self { top_k: 5, max_sql_chars: 100 }
+    }
+}
+
+/// Renders the diagnosis as a plain-text report.
+pub fn render_report(
+    case: &CaseData,
+    window: &AnomalyWindow,
+    diagnosis: &Diagnosis,
+    actions: &[SuggestedAction],
+    opts: &ReportOptions,
+) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(out, "PinSQL diagnosis report");
+    let _ = writeln!(out, "=======================");
+    let _ = writeln!(
+        out,
+        "anomaly window : [{}, {}) s  (collection look-back {} s)",
+        window.anomaly_start, window.anomaly_end, window.delta_s
+    );
+    let _ = writeln!(
+        out,
+        "case           : {} templates, {} queries, {} business clusters ({} selected)",
+        case.templates.len(),
+        case.records.len(),
+        diagnosis.n_clusters,
+        diagnosis.selected_clusters
+    );
+    let _ = writeln!(
+        out,
+        "analysis time  : {:.3} s (estimate {:.3} s, H-SQL {:.3} s, R-SQL {:.3} s)",
+        diagnosis.timings.total_s,
+        diagnosis.timings.estimate_s,
+        diagnosis.timings.hsql_s,
+        diagnosis.timings.cluster_s
+    );
+
+    let a_lo = (window.anomaly_start - window.ts()).max(0) as usize;
+    let a_hi = ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
+    let describe = |out: &mut String, index: usize, score: f64| {
+        let tpl = &case.templates[index];
+        let info = case.catalog.get(tpl.id);
+        let execs: f64 = tpl.series.execution_count[a_lo..a_hi.max(a_lo)].iter().sum();
+        let rt: f64 = tpl.series.total_rt_ms[a_lo..a_hi.max(a_lo)].iter().sum();
+        let mean_rt = if execs > 0.0 { rt / execs } else { 0.0 };
+        let text = info.map(|i| i.text.as_str()).unwrap_or("<unknown>");
+        let shown: String = if text.len() > opts.max_sql_chars {
+            format!("{}…", &text[..opts.max_sql_chars])
+        } else {
+            text.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  [{}] score {:+.3}  {} exec, mean rt {:.1} ms",
+            tpl.id.short(),
+            score,
+            execs as u64,
+            mean_rt
+        );
+        let _ = writeln!(out, "        {shown}");
+    };
+
+    let _ = writeln!(out, "\nHigh-impact SQLs (direct causes of the session anomaly):");
+    for r in diagnosis.hsqls.iter().take(opts.top_k) {
+        describe(&mut out, r.index, r.score);
+    }
+    let _ = writeln!(out, "\nRoot-cause SQLs (start of the propagation chain):");
+    for r in diagnosis.rsqls.iter().take(opts.top_k) {
+        describe(&mut out, r.index, r.score);
+    }
+
+    if actions.is_empty() {
+        let _ = writeln!(out, "\nNo repair actions suggested by the configured rules.");
+    } else {
+        let _ = writeln!(out, "\nSuggested repair actions:");
+        for a in actions {
+            let _ = writeln!(
+                out,
+                "  - {:?} on [{}] {}{}",
+                a.action,
+                a.template.short(),
+                a.label,
+                if a.auto_execute { "  (auto-execute)" } else { "  (needs approval)" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EstimatorKind, PinSqlConfig};
+    use crate::pipeline::PinSql;
+    use crate::repair::{suggest_actions, RepairConfig};
+    use pinsql_collector::{aggregate_case, HistoryStore};
+    use pinsql_dbsim::probe::ProbeLog;
+    use pinsql_dbsim::{InstanceMetrics, QueryRecord};
+    use pinsql_workload::{CostProfile, SpecId, TableId, TemplateSpec};
+
+    fn tiny_case() -> (CaseData, AnomalyWindow) {
+        let spec = TemplateSpec::new(
+            "SELECT long_column_name_a, long_column_name_b, long_column_name_c FROM some_rather_long_table_name WHERE note LIKE 'pattern'",
+            CostProfile::poor_scan(TableId(0), 50_000.0),
+            "scanner",
+        );
+        let n = 120usize;
+        let mut log = Vec::new();
+        for t in 0..n as i64 {
+            let k = if t >= 60 { 8 } else { 0 };
+            for j in 0..k {
+                log.push(QueryRecord {
+                    spec: SpecId(0),
+                    start_ms: t as f64 * 1000.0 + j as f64 * 110.0,
+                    response_ms: 200.0,
+                    examined_rows: 50_000,
+                });
+            }
+        }
+        let metrics = InstanceMetrics {
+            start_second: 0,
+            active_session: (0..n).map(|t| if t >= 60 { 9.0 } else { 0.5 }).collect(),
+            cpu_usage: vec![0.4; n],
+            iops_usage: vec![0.2; n],
+            row_lock_waits: vec![0.0; n],
+            mdl_waits: vec![0.0; n],
+            qps: vec![0.0; n],
+            probes: ProbeLog::default(),
+        };
+        let case = aggregate_case(&log, &[spec], &metrics, 0, n as i64);
+        let window = AnomalyWindow { anomaly_start: 60, anomaly_end: 120, delta_s: 60 };
+        (case, window)
+    }
+
+    #[test]
+    fn report_contains_the_essentials() {
+        let (case, window) = tiny_case();
+        let pinsql =
+            PinSql::new(PinSqlConfig::default().with_estimator(EstimatorKind::NoBuckets));
+        let d = pinsql.diagnose(&case, &window, &HistoryStore::new(), 1_000_000);
+        let actions =
+            suggest_actions(&d, &case, &window, "cpu_usage_anomaly", &RepairConfig::default());
+        let report = render_report(&case, &window, &d, &actions, &ReportOptions::default());
+        assert!(report.contains("PinSQL diagnosis report"));
+        assert!(report.contains("anomaly window : [60, 120) s"));
+        assert!(report.contains("Root-cause SQLs"));
+        assert!(report.contains("High-impact SQLs"));
+        assert!(report.contains("OptimizeQuery"), "{report}");
+        // The long SQL is truncated with an ellipsis.
+        assert!(report.contains("…"), "{report}");
+        assert!(!report.contains("WHERE note LIKE ?"), "should have been truncated: {report}");
+    }
+
+    #[test]
+    fn report_without_actions_says_so() {
+        let (case, window) = tiny_case();
+        let pinsql =
+            PinSql::new(PinSqlConfig::default().with_estimator(EstimatorKind::NoBuckets));
+        let d = pinsql.diagnose(&case, &window, &HistoryStore::new(), 1_000_000);
+        let report = render_report(&case, &window, &d, &[], &ReportOptions::default());
+        assert!(report.contains("No repair actions"));
+    }
+
+    #[test]
+    fn top_k_limits_listing() {
+        let (case, window) = tiny_case();
+        let pinsql =
+            PinSql::new(PinSqlConfig::default().with_estimator(EstimatorKind::NoBuckets));
+        let d = pinsql.diagnose(&case, &window, &HistoryStore::new(), 1_000_000);
+        let opts = ReportOptions { top_k: 0, max_sql_chars: 10 };
+        let report = render_report(&case, &window, &d, &[], &opts);
+        assert!(!report.contains("score"), "top_k=0 hides entries: {report}");
+    }
+}

@@ -1,0 +1,447 @@
+//! Individual active-session estimation from query logs (§IV-C).
+//!
+//! A query `q` is active during `[t(q), t(q) + t_res(q))`. For a window
+//! `p`, the probability that the `SHOW STATUS` snapshot observes `q` as
+//! active is `P(observed(p, q)) = |p ∩ [t(q), t(q)+t_res(q))| / |p|`, and
+//! the expected active session over `p` is the sum of those probabilities.
+//!
+//! The monitoring probe reports one number per second but takes it at an
+//! *unknown instant* `t3 ∈ [t, t+1)`. The paper's trick: split the second
+//! into `K` buckets, compute the expected session per bucket, and declare
+//! the probe to have run in the bucket whose expectation is closest to the
+//! reported value. Each template's individual session for that second is
+//! then its expected activity *within the selected bucket*.
+//!
+//! Complexity: `O(records · K)` for the sub-second edges plus `O(1)` per
+//! fully covered second (difference arrays), so minutes-long blocked
+//! queries cost nothing per covered second.
+
+use crate::config::{EstimatorKind, PinSqlConfig};
+use pinsql_collector::CaseData;
+use pinsql_dbsim::QueryRecord;
+
+/// The estimator's output, aligned with `case.templates`.
+#[derive(Debug, Clone)]
+pub struct SessionEstimates {
+    /// Window start (s).
+    pub start: i64,
+    /// Per-template estimated individual active session, one value per
+    /// second of the window.
+    pub per_template: Vec<Vec<f64>>,
+    /// Selected bucket index per second (all zeros for `ByRt`/`NoBuckets`).
+    pub selected_bucket: Vec<usize>,
+    /// Estimated *instance* active session (sum over templates) — the
+    /// quantity Table III compares against the probe ground truth.
+    pub instance_estimate: Vec<f64>,
+}
+
+impl SessionEstimates {
+    /// The estimated session series of template index `i`.
+    pub fn of(&self, i: usize) -> &[f64] {
+        &self.per_template[i]
+    }
+}
+
+/// Estimates individual active sessions for every template of the case.
+pub fn estimate_sessions(case: &CaseData, cfg: &PinSqlConfig) -> SessionEstimates {
+    let kind =
+        if cfg.ablation.no_estimate_session { EstimatorKind::ByRt } else { cfg.estimator };
+    match kind {
+        EstimatorKind::ByRt => estimate_by_rt(case),
+        EstimatorKind::NoBuckets => estimate_with_buckets(case, 1),
+        EstimatorKind::Buckets => estimate_with_buckets(case, cfg.buckets_k.max(1)),
+    }
+}
+
+/// `Estimate by RT`: per-second total response time (in seconds) as the
+/// session proxy — the baseline the paper shows to correlate poorly.
+fn estimate_by_rt(case: &CaseData) -> SessionEstimates {
+    let n = case.n_seconds();
+    let per_template: Vec<Vec<f64>> = case
+        .templates
+        .iter()
+        .map(|t| t.series.total_rt_ms.iter().map(|&ms| ms / 1000.0).collect())
+        .collect();
+    let instance_estimate = sum_columns(&per_template, n);
+    SessionEstimates {
+        start: case.ts,
+        per_template,
+        selected_bucket: vec![0; n],
+        instance_estimate,
+    }
+}
+
+/// Bucketed estimation (`K = 1` reproduces the w/o-buckets variant: the
+/// whole second is one bucket, so `P` is the query's expected activity over
+/// the full second).
+fn estimate_with_buckets(case: &CaseData, k: usize) -> SessionEstimates {
+    let n = case.n_seconds();
+    let ts_ms = case.ts as f64 * 1000.0;
+    let bucket_ms = 1000.0 / k as f64;
+
+    // Pass 1: expected instance session per (bucket, second).
+    // `full[t]` counts queries covering second t entirely (same for every
+    // bucket); `edges[k][t]` accumulates partial-coverage probabilities.
+    let mut full_diff = vec![0.0f64; n + 1];
+    let mut edges = vec![vec![0.0f64; n]; k];
+    for rec in &case.records {
+        accumulate_query(rec, ts_ms, n, bucket_ms, &mut full_diff, &mut edges, None);
+    }
+    let full = prefix_sum(&full_diff, n);
+
+    // Select the bucket whose expectation best matches the probe value.
+    let probe = case.instance_session();
+    let mut selected_bucket = vec![0usize; n];
+    if k > 1 {
+        for t in 0..n {
+            let target = probe.get(t).copied().unwrap_or(0.0);
+            let mut best = 0usize;
+            let mut best_err = f64::INFINITY;
+            for (b, edge) in edges.iter().enumerate() {
+                let est = full[t] + edge[t];
+                let err = (target - est).abs();
+                if err < best_err {
+                    best_err = err;
+                    best = b;
+                }
+            }
+            selected_bucket[t] = best;
+        }
+    }
+
+    // Pass 2: per-template sessions evaluated at the selected buckets.
+    let mut per_template: Vec<Vec<f64>> = Vec::with_capacity(case.templates.len());
+    for tpl in &case.templates {
+        let mut tpl_full_diff = vec![0.0f64; n + 1];
+        let mut tpl_edges = vec![vec![0.0f64; n]; k];
+        for &ri in &tpl.record_idx {
+            accumulate_query(
+                &case.records[ri as usize],
+                ts_ms,
+                n,
+                bucket_ms,
+                &mut tpl_full_diff,
+                &mut tpl_edges,
+                Some(&selected_bucket),
+            );
+        }
+        let tpl_full = prefix_sum(&tpl_full_diff, n);
+        let series: Vec<f64> = (0..n)
+            .map(|t| tpl_full[t] + tpl_edges[selected_bucket[t]][t])
+            .collect();
+        per_template.push(series);
+    }
+
+    let instance_estimate = if k > 1 {
+        // Evaluate the instance expectation at the selected buckets.
+        (0..n).map(|t| full[t] + edges[selected_bucket[t]][t]).collect()
+    } else {
+        (0..n).map(|t| full[t] + edges[0][t]).collect()
+    };
+
+    SessionEstimates { start: case.ts, per_template, selected_bucket, instance_estimate }
+}
+
+/// Adds one query's activity to the difference array (fully covered
+/// seconds) and the edge buckets (partially covered seconds).
+///
+/// When `only_buckets` is provided, edge contributions are computed only
+/// for the per-second selected bucket (pass 2); otherwise for all buckets
+/// (pass 1).
+#[allow(clippy::too_many_arguments)]
+fn accumulate_query(
+    rec: &QueryRecord,
+    ts_ms: f64,
+    n: usize,
+    bucket_ms: f64,
+    full_diff: &mut [f64],
+    edges: &mut [Vec<f64>],
+    only_buckets: Option<&[usize]>,
+) {
+    let s = rec.start_ms;
+    let e = rec.end_ms();
+    if e <= s {
+        return;
+    }
+    let end_ms = ts_ms + n as f64 * 1000.0;
+    let s = s.max(ts_ms);
+    let e = e.min(end_ms);
+    if e <= s {
+        return;
+    }
+    let sec_first = ((s - ts_ms) / 1000.0).floor() as usize;
+    // Last second touched (inclusive); e is exclusive so back off an ulp.
+    let sec_last = (((e - ts_ms) / 1000.0).ceil() as usize).saturating_sub(1).min(n - 1);
+
+    // Fully covered seconds: [full_lo, full_hi).
+    let full_lo = ((s - ts_ms) / 1000.0).ceil() as usize;
+    let full_hi = ((e - ts_ms) / 1000.0).floor() as usize;
+    if full_lo < full_hi {
+        full_diff[full_lo] += 1.0;
+        full_diff[full_hi] -= 1.0;
+    }
+
+    // Partially covered edge seconds: at most sec_first and sec_last.
+    let mut handle_edge = |t: usize| {
+        if t >= n {
+            return;
+        }
+        // Skip if this second is fully covered (handled by the diff array).
+        if t >= full_lo && t < full_hi {
+            return;
+        }
+        let base = ts_ms + t as f64 * 1000.0;
+        match only_buckets {
+            Some(sel) => {
+                let b = sel[t];
+                let lo = base + b as f64 * bucket_ms;
+                let hi = lo + bucket_ms;
+                edges[b][t] += overlap(s, e, lo, hi) / bucket_ms;
+            }
+            None => {
+                for (b, edge) in edges.iter_mut().enumerate() {
+                    let lo = base + b as f64 * bucket_ms;
+                    let hi = lo + bucket_ms;
+                    edge[t] += overlap(s, e, lo, hi) / bucket_ms;
+                }
+            }
+        }
+    };
+    handle_edge(sec_first);
+    if sec_last != sec_first {
+        handle_edge(sec_last);
+    }
+}
+
+#[inline]
+fn overlap(s: f64, e: f64, lo: f64, hi: f64) -> f64 {
+    (e.min(hi) - s.max(lo)).max(0.0)
+}
+
+fn prefix_sum(diff: &[f64], n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &d in diff.iter().take(n) {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+fn sum_columns(rows: &[Vec<f64>], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for row in rows {
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_collector::aggregate_case;
+    use pinsql_dbsim::probe::{ProbeLog, ProbeSample};
+    use pinsql_dbsim::InstanceMetrics;
+    use pinsql_workload::{CostProfile, SpecId, TableId, TemplateSpec};
+
+    fn specs2() -> Vec<TemplateSpec> {
+        let c = CostProfile::point_read(TableId(0));
+        vec![
+            TemplateSpec::new("SELECT * FROM a WHERE x = 1", c.clone(), "a"),
+            TemplateSpec::new("SELECT * FROM b WHERE x = 1", c, "b"),
+        ]
+    }
+
+    fn metrics_with_probes(n: usize, probes: Vec<(i64, u32, f64)>) -> InstanceMetrics {
+        InstanceMetrics {
+            start_second: 0,
+            active_session: {
+                let mut v = vec![0.0; n];
+                for &(s, val, _) in &probes {
+                    v[s as usize] = val as f64;
+                }
+                v
+            },
+            cpu_usage: vec![0.0; n],
+            iops_usage: vec![0.0; n],
+            row_lock_waits: vec![0.0; n],
+            mdl_waits: vec![0.0; n],
+            qps: vec![0.0; n],
+            probes: ProbeLog {
+                samples: probes
+                    .into_iter()
+                    .map(|(second, active_sessions, true_instant_ms)| ProbeSample {
+                        second,
+                        active_sessions,
+                        true_instant_ms,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    fn rec(spec: usize, start: f64, rt: f64) -> pinsql_dbsim::QueryRecord {
+        pinsql_dbsim::QueryRecord {
+            spec: SpecId(spec),
+            start_ms: start,
+            response_ms: rt,
+            examined_rows: 1,
+        }
+    }
+
+    fn cfg(kind: EstimatorKind, k: usize) -> PinSqlConfig {
+        PinSqlConfig::default().with_estimator(kind).with_buckets(k)
+    }
+
+    #[test]
+    fn by_rt_is_total_response_time_in_seconds() {
+        let log = vec![rec(0, 100.0, 500.0), rec(0, 200.0, 500.0), rec(1, 1100.0, 250.0)];
+        let case = aggregate_case(&log, &specs2(), &metrics_with_probes(3, vec![]), 0, 3);
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::ByRt, 10));
+        // Templates sorted by SqlId; find which row is template "a".
+        let a_idx = case
+            .template_index(case.catalog.id_of_spec(SpecId(0)))
+            .unwrap();
+        assert!((est.per_template[a_idx][0] - 1.0).abs() < 1e-12);
+        assert!((est.instance_estimate[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_buckets_matches_expected_activity() {
+        // Query active [500, 1500): expected activity 0.5 in second 0 and
+        // 0.5 in second 1.
+        let log = vec![rec(0, 500.0, 1000.0)];
+        let case = aggregate_case(&log, &specs2(), &metrics_with_probes(3, vec![]), 0, 3);
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::NoBuckets, 10));
+        let a_idx = case.template_index(case.catalog.id_of_spec(SpecId(0))).unwrap();
+        assert!((est.per_template[a_idx][0] - 0.5).abs() < 1e-9);
+        assert!((est.per_template[a_idx][1] - 0.5).abs() < 1e-9);
+        assert!((est.per_template[a_idx][2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_query_counts_one_per_fully_covered_second() {
+        let log = vec![rec(0, 0.0, 5000.0)];
+        let case = aggregate_case(&log, &specs2(), &metrics_with_probes(6, vec![]), 0, 6);
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::NoBuckets, 1));
+        let a_idx = case.template_index(case.catalog.id_of_spec(SpecId(0))).unwrap();
+        for t in 0..5 {
+            assert!((est.per_template[a_idx][t] - 1.0).abs() < 1e-9, "t={t}");
+        }
+        assert!(est.per_template[a_idx][5].abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_selection_recovers_probe_instant() {
+        // Second 0: query active [0, 350). A probe at t3 = 0.32 s sees 1
+        // active session; a probe later sees 0. With K = 10 the estimator
+        // must pick a bucket consistent with the reported value.
+        let log = vec![rec(0, 0.0, 350.0)];
+        // Probe reported 1 at second 0 → buckets 0..3 fully covered (est 1)
+        // are the best match.
+        let case =
+            aggregate_case(&log, &specs2(), &metrics_with_probes(1, vec![(0, 1, 320.0)]), 0, 1);
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::Buckets, 10));
+        assert!(est.selected_bucket[0] < 4, "bucket {}", est.selected_bucket[0]);
+        let a_idx = case.template_index(case.catalog.id_of_spec(SpecId(0))).unwrap();
+        assert!((est.per_template[a_idx][0] - 1.0).abs() < 1e-9);
+
+        // Same data but the probe reported 0 → a late bucket must win.
+        let case0 =
+            aggregate_case(&log, &specs2(), &metrics_with_probes(1, vec![(0, 0, 900.0)]), 0, 1);
+        let est0 = estimate_sessions(&case0, &cfg(EstimatorKind::Buckets, 10));
+        assert!(est0.selected_bucket[0] >= 4, "bucket {}", est0.selected_bucket[0]);
+        assert!(est0.per_template[a_idx][0] < 0.6);
+    }
+
+    #[test]
+    fn instance_estimate_is_sum_of_templates() {
+        let log = vec![
+            rec(0, 100.0, 700.0),
+            rec(1, 300.0, 1400.0),
+            rec(0, 1200.0, 100.0),
+            rec(1, 1900.0, 2300.0),
+        ];
+        let case = aggregate_case(
+            &log,
+            &specs2(),
+            &metrics_with_probes(5, vec![(0, 2, 500.0), (1, 1, 1500.0)]),
+            0,
+            5,
+        );
+        for kind in [EstimatorKind::ByRt, EstimatorKind::NoBuckets, EstimatorKind::Buckets] {
+            let est = estimate_sessions(&case, &cfg(kind, 10));
+            for t in 0..5 {
+                let sum: f64 = est.per_template.iter().map(|row| row[t]).sum();
+                assert!(
+                    (sum - est.instance_estimate[t]).abs() < 1e-9,
+                    "{kind:?} t={t}: {sum} vs {}",
+                    est.instance_estimate[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_forces_rt_estimator() {
+        let log = vec![rec(0, 0.0, 2000.0)];
+        let case = aggregate_case(&log, &specs2(), &metrics_with_probes(2, vec![]), 0, 2);
+        let mut cfg = cfg(EstimatorKind::Buckets, 10);
+        cfg.ablation.no_estimate_session = true;
+        let est = estimate_sessions(&case, &cfg);
+        let a_idx = case.template_index(case.catalog.id_of_spec(SpecId(0))).unwrap();
+        // RT estimator attributes the whole 2 s to the arrival second.
+        assert!((est.per_template[a_idx][0] - 2.0).abs() < 1e-9);
+        assert!(est.per_template[a_idx][1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_case_is_fine() {
+        let case = aggregate_case(&[], &specs2(), &metrics_with_probes(3, vec![]), 0, 3);
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::Buckets, 10));
+        assert!(est.per_template.is_empty());
+        assert_eq!(est.instance_estimate, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn bucketed_beats_rt_on_probe_correlation() {
+        // Synthetic stream with queries of varying lengths: correlation of
+        // the estimate with the true per-second activity must be higher for
+        // the bucketed estimator than for the RT proxy. True activity is
+        // computed from the records at mid-second instants.
+        use pinsql_timeseries::pearson;
+        let mut log = Vec::new();
+        let mut t = 0.0;
+        let mut k = 0u64;
+        while t < 60_000.0 {
+            // deterministic pseudo-random lengths
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let rt = 20.0 + (k % 3000) as f64;
+            let spec = (k % 2) as usize;
+            log.push(rec(spec, t, rt));
+            t += 35.0 + (k % 150) as f64;
+        }
+        let n = 60;
+        // Ground truth via mid-second probes.
+        let probes: Vec<(i64, u32, f64)> = (0..n)
+            .map(|s| {
+                let instant = s as f64 * 1000.0 + 500.0;
+                let active = log.iter().filter(|r| r.active_at(instant)).count() as u32;
+                (s as i64, active, instant)
+            })
+            .collect();
+        let truth: Vec<f64> = probes.iter().map(|&(_, a, _)| a as f64).collect();
+        let case = aggregate_case(&log, &specs2(), &metrics_with_probes(n, probes), 0, n as i64);
+        let est_rt = estimate_sessions(&case, &cfg(EstimatorKind::ByRt, 10));
+        let est_bk = estimate_sessions(&case, &cfg(EstimatorKind::Buckets, 10));
+        let corr_rt = pearson(&est_rt.instance_estimate, &truth);
+        let corr_bk = pearson(&est_bk.instance_estimate, &truth);
+        assert!(
+            corr_bk > corr_rt,
+            "bucketed ({corr_bk:.3}) should beat RT ({corr_rt:.3})"
+        );
+        assert!(corr_bk > 0.9, "bucketed should track truth closely: {corr_bk:.3}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Anomaly injection: the three R-SQL categories of §II.
+//!
+//! Every injector adds a *new root API* whose traffic is zero outside the
+//! anomaly window (a `Step` rate event on a near-zero base), carrying the
+//! root-cause template(s). Lock injectors additionally *amplify* the
+//! victim business (the batch job calls the victim's APIs), reproducing
+//! the real-world coupling that makes the R-SQL and its victims share a
+//! business cluster.
+
+use crate::gen::{BaseWorkload, ScenarioConfig};
+use pinsql_dbsim::SimConfig;
+use pinsql_workload::dag::{Api, Call};
+use pinsql_workload::{
+    CostProfile, EventShape, RateEvent, SpecId, TemplateSpec, TrafficPattern, Workload,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The injected anomaly category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// Category 1: business scenario change (QPS sudden increase).
+    BusinessSpike,
+    /// Category 2: poorly written SQL (huge scans, resource bottleneck).
+    PoorSql,
+    /// Category 3(i): metadata locks from a DDL stream.
+    MdlLock,
+    /// Category 3(ii): row locks from a batch-write stream.
+    RowLock,
+}
+
+impl AnomalyKind {
+    /// All four kinds, for round-robin case generation.
+    pub const ALL: [AnomalyKind; 4] =
+        [AnomalyKind::BusinessSpike, AnomalyKind::PoorSql, AnomalyKind::MdlLock, AnomalyKind::RowLock];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyKind::BusinessSpike => "business_spike",
+            AnomalyKind::PoorSql => "poor_sql",
+            AnomalyKind::MdlLock => "mdl_lock",
+            AnomalyKind::RowLock => "row_lock",
+        }
+    }
+}
+
+/// A fully specified scenario, ready to simulate.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The workload *with* the injected anomaly.
+    pub workload: Workload,
+    /// The clean workload (history synthesis uses this).
+    pub base_workload: Workload,
+    pub sim: SimConfig,
+    pub cfg: ScenarioConfig,
+    pub kind: AnomalyKind,
+    /// Specs whose templates are the ground-truth R-SQLs.
+    pub truth_rsql_specs: Vec<SpecId>,
+    /// The business whose table the lock injectors target (if any).
+    pub victim_business: Option<usize>,
+}
+
+/// Builds a scenario: base workload + injected anomaly of `kind`.
+pub fn inject(base: &BaseWorkload, cfg: &ScenarioConfig, kind: AnomalyKind) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(7));
+    let mut w = base.workload.clone();
+    let mut truth = Vec::new();
+    let mut victim_business = None;
+
+    // The injected root is silent outside the window: near-zero base with a
+    // huge step multiplier.
+    let step = |mult: f64| RateEvent {
+        start: cfg.anomaly_start,
+        end: cfg.anomaly_end,
+        multiplier: mult,
+        shape: EventShape::Step,
+    };
+    let silent_base = 1e-4;
+    let active_rate = |rate: f64| {
+        TrafficPattern::steady(silent_base).with_noise(0.0).with_event(step(rate / silent_base))
+    };
+
+    match kind {
+        AnomalyKind::BusinessSpike => {
+            // A new feature launches: two new, moderately heavy templates
+            // at a rate that oversubscribes the CPU.
+            let biz = rng.random_range(0..base.businesses.len());
+            let table = base.businesses[biz].table;
+            let tname = w.tables[table.0].name.clone();
+            let uniq = w.specs.len();
+            let s1 = SpecId(w.specs.len());
+            w.specs.push(TemplateSpec::new(
+                &format!("SELECT col_{uniq}, col_y FROM {tname} WHERE k_{uniq} > 1 AND k_{uniq} < 2"),
+                CostProfile::range_read(table, 14_000.0), // ~7.4 ms CPU
+                format!("inject.spike_read_{uniq}"),
+            ));
+            let uniq2 = w.specs.len();
+            let s2 = SpecId(w.specs.len());
+            w.specs.push(TemplateSpec::new(
+                &format!("UPDATE {tname} SET col_{uniq2} = 1 WHERE id = 4"),
+                CostProfile::point_write(table),
+                format!("inject.spike_write_{uniq2}"),
+            ));
+            let api = w.dag.push(
+                Api::named("inject_spike")
+                    .query(Call::once(s1))
+                    .query(Call::maybe(s2, 0.5)),
+            );
+            // ~160 invocations/s × 7.4 ms ≈ 1.2 cores of extra CPU load on
+            // a 2-core instance that idles around 15 %.
+            w.roots.push((api, active_rate(rng.random_range(140.0..190.0))));
+            truth.push(s1);
+            truth.push(s2);
+        }
+        AnomalyKind::PoorSql => {
+            // A bad deploy ships an unindexed scan.
+            let biz = rng.random_range(0..base.businesses.len());
+            let table = base.businesses[biz].table;
+            let tname = w.tables[table.0].name.clone();
+            let uniq = w.specs.len();
+            let s = SpecId(w.specs.len());
+            let scanned = rng.random_range(90_000.0..160_000.0); // ~225–400 ms CPU
+            w.specs.push(TemplateSpec::new(
+                &format!("SELECT col_{uniq} FROM {tname} WHERE note_{uniq} LIKE 1"),
+                CostProfile::poor_scan(table, scanned),
+                format!("inject.poor_scan_{uniq}"),
+            ));
+            let api = w.dag.push(Api::named("inject_poor").query(Call::once(s)));
+            w.roots.push((api, active_rate(rng.random_range(8.0..12.0))));
+            truth.push(s);
+        }
+        AnomalyKind::MdlLock | AnomalyKind::RowLock => {
+            // A batch/maintenance job targets one busy business's table:
+            // the blocker statement plus amplified calls of the victim's
+            // own APIs (the job reads through the existing services).
+            let biz = rng.random_range(0..base.businesses.len());
+            victim_business = Some(biz);
+            let business = &base.businesses[biz];
+            let table = business.table;
+            let tname = w.tables[table.0].name.clone();
+            let uniq = w.specs.len();
+            let s = SpecId(w.specs.len());
+            let (spec, blocker_prob, root_rate) = match kind {
+                AnomalyKind::MdlLock => (
+                    TemplateSpec::new(
+                        &format!("ALTER TABLE {tname} ADD COLUMN mig_{uniq} INT"),
+                        CostProfile::ddl(table, rng.random_range(2_500.0..4_500.0)),
+                        format!("inject.ddl_{uniq}"),
+                    ),
+                    0.05,
+                    rng.random_range(2.5..4.0),
+                ),
+                AnomalyKind::RowLock => (
+                    TemplateSpec::new(
+                        &format!("UPDATE {tname} SET col_{uniq} = 1 WHERE grp_{uniq} = 2"),
+                        CostProfile::batch_write(table, 30, rng.random_range(500.0..900.0)),
+                        format!("inject.batch_write_{uniq}"),
+                    ),
+                    0.35,
+                    rng.random_range(2.5..4.0),
+                ),
+                _ => unreachable!(),
+            };
+            w.specs.push(spec);
+            let mut api = Api::named("inject_batch").query(Call::maybe(s, blocker_prob));
+            // Amplify the victim's own child APIs: the batch pipeline calls
+            // them, so victim templates' #execution rises with the blocker.
+            let amplified: Vec<_> = business
+                .apis
+                .iter()
+                .filter(|&&a| a != business.root)
+                .copied()
+                .collect();
+            for &child in amplified.iter().take(2) {
+                api = api.child(Call::times(child, 2));
+            }
+            if amplified.is_empty() {
+                api = api.child(Call::once(business.root));
+            }
+            let api = w.dag.push(api);
+            w.roots.push((api, active_rate(root_rate)));
+            truth.push(s);
+        }
+    }
+
+    debug_assert!(w.dag.validate(w.specs.len()).is_ok());
+    Scenario {
+        workload: w,
+        base_workload: base.workload.clone(),
+        sim: SimConfig {
+            cores: cfg.cores,
+            io_channels: cfg.io_channels,
+            max_sessions: 100_000,
+            pfs: Default::default(),
+            seed: cfg.seed ^ 0x5bd1e995,
+        },
+        cfg: cfg.clone(),
+        kind,
+        truth_rsql_specs: truth,
+        victim_business,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_base;
+
+    fn scenario(kind: AnomalyKind, seed: u64) -> Scenario {
+        let cfg = ScenarioConfig::default().with_seed(seed);
+        let base = generate_base(&cfg);
+        inject(&base, &cfg, kind)
+    }
+
+    #[test]
+    fn injection_adds_specs_and_roots() {
+        for kind in AnomalyKind::ALL {
+            let cfg = ScenarioConfig::default().with_seed(1);
+            let base = generate_base(&cfg);
+            let s = inject(&base, &cfg, kind);
+            assert!(s.workload.specs.len() > base.workload.specs.len(), "{kind:?}");
+            assert_eq!(s.workload.roots.len(), base.workload.roots.len() + 1);
+            assert!(!s.truth_rsql_specs.is_empty());
+            assert!(s.workload.dag.validate(s.workload.specs.len()).is_ok());
+        }
+    }
+
+    #[test]
+    fn injected_root_is_silent_outside_window() {
+        for kind in AnomalyKind::ALL {
+            let s = scenario(kind, 2);
+            let (_, pattern) = s.workload.roots.last().unwrap();
+            assert!(pattern.mean_rate(s.cfg.anomaly_start - 10) < 0.001, "{kind:?}");
+            assert!(pattern.mean_rate(s.cfg.anomaly_start + 10) > 1.0, "{kind:?}");
+            assert!(pattern.mean_rate(s.cfg.anomaly_end + 10) < 0.001, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lock_kinds_record_victim_business() {
+        assert!(scenario(AnomalyKind::MdlLock, 3).victim_business.is_some());
+        assert!(scenario(AnomalyKind::RowLock, 3).victim_business.is_some());
+        assert!(scenario(AnomalyKind::PoorSql, 3).victim_business.is_none());
+    }
+
+    #[test]
+    fn truth_specs_reference_new_templates() {
+        for kind in AnomalyKind::ALL {
+            let cfg = ScenarioConfig::default().with_seed(4);
+            let base = generate_base(&cfg);
+            let s = inject(&base, &cfg, kind);
+            for spec in &s.truth_rsql_specs {
+                assert!(spec.0 >= base.workload.specs.len(), "{kind:?}");
+                assert!(spec.0 < s.workload.specs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn lock_injection_amplifies_victim_templates() {
+        let s = scenario(AnomalyKind::RowLock, 5);
+        let biz = s.victim_business.unwrap();
+        let cfg = ScenarioConfig::default().with_seed(5);
+        let base = generate_base(&cfg);
+        let victim_specs = &base.businesses[biz].specs;
+        // Expected victim rates rise during the anomaly relative to before.
+        let before: f64 = victim_specs
+            .iter()
+            .map(|s2| s.workload.expected_spec_rates(100)[s2.0])
+            .sum();
+        let during: f64 = victim_specs
+            .iter()
+            .map(|s2| s.workload.expected_spec_rates(cfg.anomaly_start + 50)[s2.0])
+            .sum();
+        assert!(during > before * 1.2, "amplification: {before} -> {during}");
+    }
+}

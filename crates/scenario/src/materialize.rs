@@ -1,0 +1,220 @@
+//! Materializing a scenario into a labelled anomaly case.
+//!
+//! Runs the database simulator on the injected workload, aggregates the
+//! collection window, runs the anomaly detector to find the case window
+//! (falling back to the injected hint when detection misses), synthesizes
+//! history, and labels the ground truth:
+//!
+//! * **R-SQLs** — the injected templates (root causes by construction);
+//! * **H-SQLs** — templates whose *true* per-second active session
+//!   (computed from the complete query log) inflates during the anomaly —
+//!   the objective analogue of the DBAs' "direct cause" labels.
+
+use crate::history::synthesize_history;
+use crate::inject::{AnomalyKind, Scenario};
+use pinsql_collector::{aggregate_case, CaseData, HistoryStore};
+use pinsql_detect::{classify, detect_features, AnomalyWindow, DetectorConfig, PhenomenonConfig};
+use pinsql_dbsim::run_open_loop;
+use pinsql_sqlkit::SqlId;
+use serde::{Deserialize, Serialize};
+
+/// Absolute minute index assigned to every case's window start (arbitrary
+/// but fixed; history addresses are relative to it).
+pub const MINUTES_ORIGIN: i64 = 1_000_000;
+
+/// DBA-style labels for one case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    pub rsqls: Vec<SqlId>,
+    pub hsqls: Vec<SqlId>,
+}
+
+/// A fully materialized, labelled anomaly case.
+#[derive(Debug, Clone)]
+pub struct LabeledCase {
+    pub case: CaseData,
+    pub window: AnomalyWindow,
+    pub truth: GroundTruth,
+    pub history: HistoryStore,
+    pub minutes_origin: i64,
+    pub kind: AnomalyKind,
+    /// Whether the detector found the anomaly (vs. the injected hint).
+    pub detected: bool,
+    /// The anomaly type reported by phenomenon perception.
+    pub anomaly_type: String,
+}
+
+/// Simulates and labels a scenario.
+///
+/// `delta_s` is the collection look-back the diagnoser will use; the
+/// produced window is clamped so `[t_s, t_e)` fits in the simulated data.
+pub fn materialize(scenario: &Scenario, delta_s: i64) -> LabeledCase {
+    let cfg = &scenario.cfg;
+    let out = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+
+    // --- Detection over the simulated metrics. ---
+    let det_cfg = DetectorConfig::default();
+    let util_cfg = DetectorConfig::for_utilization();
+    let mut features = Vec::new();
+    for (name, series) in out.metrics.iter_named() {
+        let c = if name.contains("usage") { &util_cfg } else { &det_cfg };
+        features.extend(detect_features(name, series, out.metrics.start_second, c));
+    }
+    let phenomena = classify(&features, &PhenomenonConfig::default());
+    // Prefer the phenomenon overlapping the injected window; else the
+    // longest; else fall back to the injected hint.
+    let hint = (cfg.anomaly_start, cfg.anomaly_end);
+    let best = phenomena
+        .iter()
+        .filter(|p| p.start < hint.1 && p.end > hint.0)
+        .max_by_key(|p| p.duration())
+        .or_else(|| phenomena.iter().max_by_key(|p| p.duration()));
+    let (window, detected, anomaly_type) = match best {
+        Some(p) => (
+            AnomalyWindow::from_phenomenon(p, delta_s).clamped(0, cfg.window_s),
+            true,
+            p.anomaly_type.clone(),
+        ),
+        None => (
+            AnomalyWindow { anomaly_start: hint.0, anomaly_end: hint.1, delta_s }
+                .clamped(0, cfg.window_s),
+            false,
+            "active_session_anomaly".to_string(),
+        ),
+    };
+
+    // --- Aggregate the collection window. ---
+    let case = aggregate_case(&out.log, &scenario.workload.specs, &out.metrics, window.ts(), window.te());
+
+    // --- Ground truth. ---
+    let rsqls: Vec<SqlId> = scenario
+        .truth_rsql_specs
+        .iter()
+        .map(|&s| case.catalog.id_of_spec(s))
+        .collect();
+    let hsqls = label_hsqls(&case, &window);
+
+    // --- History (injected templates are new → absent). ---
+    let window_min = (window.window_len() + 59) / 60;
+    let history = synthesize_history(
+        &scenario.base_workload,
+        MINUTES_ORIGIN,
+        window_min,
+        &[1, 3, 7],
+        cfg.seed,
+        None,
+    );
+
+    LabeledCase {
+        case,
+        window,
+        truth: GroundTruth { rsqls, hsqls },
+        history,
+        minutes_origin: MINUTES_ORIGIN,
+        kind: scenario.kind,
+        detected,
+        anomaly_type,
+    }
+}
+
+/// Labels H-SQLs from the complete log: a template is a direct cause when
+/// its true mean active session during the anomaly is both non-trivial and
+/// a multiple of its pre-anomaly baseline.
+fn label_hsqls(case: &CaseData, window: &AnomalyWindow) -> Vec<SqlId> {
+    let n = case.n_seconds();
+    let a_lo = ((window.anomaly_start - window.ts()).max(0) as usize).min(n);
+    let a_hi = ((window.anomaly_end - window.ts()).max(0) as usize).min(n);
+    if a_hi <= a_lo {
+        return Vec::new();
+    }
+    let ts_ms = window.ts() as f64 * 1000.0;
+    let mut out = Vec::new();
+    let mut best: Option<(SqlId, f64)> = None;
+    for tpl in &case.templates {
+        // True per-second session from the full log (expected activity).
+        let mut anom = 0.0;
+        let mut base = 0.0;
+        for &ri in &tpl.record_idx {
+            let r = &case.records[ri as usize];
+            anom += r.overlap_ms(ts_ms + a_lo as f64 * 1000.0, ts_ms + a_hi as f64 * 1000.0);
+            base += r.overlap_ms(ts_ms, ts_ms + a_lo as f64 * 1000.0);
+        }
+        let anom_mean = anom / 1000.0 / (a_hi - a_lo) as f64;
+        let base_mean = if a_lo > 0 { base / 1000.0 / a_lo as f64 } else { 0.0 };
+        if anom_mean > 1.0 && anom_mean > 3.0 * base_mean + 0.5 {
+            out.push(tpl.id);
+        }
+        if best.is_none() || anom_mean > best.expect("set").1 {
+            best = Some((tpl.id, anom_mean));
+        }
+    }
+    if out.is_empty() {
+        if let Some((id, _)) = best {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_base, ScenarioConfig};
+    use crate::inject::inject;
+
+    fn labeled(kind: AnomalyKind, seed: u64) -> LabeledCase {
+        let cfg = ScenarioConfig::default().with_seed(seed);
+        let base = generate_base(&cfg);
+        let s = inject(&base, &cfg, kind);
+        materialize(&s, 600)
+    }
+
+    #[test]
+    fn business_spike_case_is_detected_and_labelled() {
+        let lc = labeled(AnomalyKind::BusinessSpike, 42);
+        assert!(lc.detected, "the spike must trip the detector");
+        assert!(!lc.truth.rsqls.is_empty());
+        assert!(!lc.truth.hsqls.is_empty());
+        assert!(lc.case.templates.len() > 20);
+        // The injected template is itself a direct cause here.
+        assert!(lc.truth.hsqls.contains(&lc.truth.rsqls[0]), "spike template drives session");
+    }
+
+    #[test]
+    fn lock_case_labels_victims_as_hsqls() {
+        let lc = labeled(AnomalyKind::MdlLock, 43);
+        assert!(lc.detected, "MDL pile-up must trip the detector");
+        // Victims (not the DDL) dominate the H-SQL set: at least one H-SQL
+        // that is not the R-SQL.
+        assert!(
+            lc.truth.hsqls.iter().any(|h| !lc.truth.rsqls.contains(h)),
+            "blocked victims must appear among H-SQLs: {:?}",
+            lc.truth
+        );
+    }
+
+    #[test]
+    fn window_fits_simulated_data() {
+        for kind in AnomalyKind::ALL {
+            let lc = labeled(kind, 44);
+            assert!(lc.window.ts() >= 0);
+            assert!(lc.window.te() <= ScenarioConfig::default().window_s);
+            assert!(lc.window.anomaly_len() > 0);
+            assert_eq!(lc.case.ts, lc.window.ts());
+            assert_eq!(lc.case.te, lc.window.te());
+        }
+    }
+
+    #[test]
+    fn injected_template_present_in_case() {
+        for kind in AnomalyKind::ALL {
+            let lc = labeled(kind, 45);
+            for r in &lc.truth.rsqls {
+                assert!(
+                    lc.case.template_index(*r).is_some(),
+                    "{kind:?}: injected template missing from case data"
+                );
+            }
+        }
+    }
+}

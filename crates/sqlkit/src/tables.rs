@@ -1,0 +1,180 @@
+//! Best-effort extraction of the tables a statement references.
+//!
+//! The simulator's lock managers key on table names: an `UPDATE sales …`
+//! takes row locks on `sales`; an `ALTER TABLE sales …` takes the `sales`
+//! metadata lock and blocks every other statement touching `sales`
+//! (the propagation pattern behind the paper's motivating example).
+//!
+//! This is a heuristic scan, not a parser: it collects identifiers that
+//! follow `FROM`, `JOIN`, `UPDATE`, `INTO`, and `TABLE` keywords, including
+//! comma-separated `FROM a, b` lists and `db.table` qualification (the last
+//! path segment is kept). Sub-queries simply contribute their own `FROM`
+//! targets, which is the right behaviour for lock-footprint purposes.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Keywords after which a table name (or name list) appears.
+fn introduces_table(word: &str) -> bool {
+    word.eq_ignore_ascii_case("from")
+        || word.eq_ignore_ascii_case("join")
+        || word.eq_ignore_ascii_case("update")
+        || word.eq_ignore_ascii_case("into")
+        || word.eq_ignore_ascii_case("table")
+}
+
+/// Words that can legally sit between `JOIN`-ish keywords and the name and
+/// should be skipped (`INNER JOIN`, `LEFT OUTER JOIN`, `TABLE IF EXISTS`).
+fn is_skippable(word: &str) -> bool {
+    ["if", "exists", "ignore", "low_priority", "delayed", "quick"]
+        .iter()
+        .any(|w| word.eq_ignore_ascii_case(w))
+}
+
+/// Returns the distinct referenced tables in first-appearance order.
+pub fn extract_tables(tokens: &[Token]) -> Vec<String> {
+    let mut tables: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Word && introduces_table(&t.text) {
+            // `DELETE FROM`, `INSERT INTO`, `UPDATE`, `FROM a, b`, …
+            let mut j = i + 1;
+            loop {
+                // Skip noise words.
+                while j < tokens.len()
+                    && tokens[j].kind == TokenKind::Word
+                    && is_skippable(&tokens[j].text)
+                {
+                    j += 1;
+                }
+                let Some(name_tok) = tokens.get(j) else { break };
+                if !matches!(name_tok.kind, TokenKind::Word | TokenKind::QuotedIdent) {
+                    break;
+                }
+                // A keyword here (e.g. `FROM SELECT` in a subquery) is not a
+                // table name.
+                if name_tok.kind == TokenKind::Word && is_clause_keyword(&name_tok.text) {
+                    break;
+                }
+                let mut name = name_tok.text.clone();
+                j += 1;
+                // Qualified name: keep the last segment.
+                while j + 1 < tokens.len()
+                    && tokens[j].kind == TokenKind::Punct
+                    && tokens[j].text == "."
+                    && matches!(tokens[j + 1].kind, TokenKind::Word | TokenKind::QuotedIdent)
+                {
+                    name = tokens[j + 1].text.clone();
+                    j += 2;
+                }
+                if !tables.iter().any(|t| t == &name) {
+                    tables.push(name);
+                }
+                // Optional alias: `FROM t a` / `FROM t AS a`.
+                if let Some(next) = tokens.get(j) {
+                    if next.is_word("as") {
+                        j += 2; // skip AS + alias
+                    } else if next.kind == TokenKind::Word && !is_clause_keyword(&next.text) {
+                        j += 1; // bare alias
+                    }
+                }
+                // Comma-separated list continues.
+                match tokens.get(j) {
+                    Some(tok) if tok.kind == TokenKind::Punct && tok.text == "," => j += 1,
+                    _ => break,
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    tables
+}
+
+/// Keywords that terminate a table list (so aliases aren't confused with
+/// further clauses).
+fn is_clause_keyword(word: &str) -> bool {
+    [
+        "select", "where", "set", "values", "value", "join", "inner", "left", "right", "outer",
+        "cross", "on", "group", "order", "having", "limit", "union", "for", "lock", "as", "use",
+        "force", "ignore", "straight_join", "natural",
+    ]
+    .iter()
+    .any(|w| word.eq_ignore_ascii_case(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn tables(sql: &str) -> Vec<String> {
+        extract_tables(&tokenize(sql))
+    }
+
+    #[test]
+    fn simple_statements() {
+        assert_eq!(tables("SELECT * FROM sales WHERE id = 1"), vec!["sales"]);
+        assert_eq!(tables("UPDATE sales SET qty = 2 WHERE id = 1"), vec!["sales"]);
+        assert_eq!(tables("DELETE FROM orders WHERE id = 3"), vec!["orders"]);
+        assert_eq!(tables("INSERT INTO audit_log (a) VALUES (1)"), vec!["audit_log"]);
+    }
+
+    #[test]
+    fn joins_collect_all_tables() {
+        assert_eq!(
+            tables("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn comma_separated_from_list() {
+        assert_eq!(tables("SELECT * FROM a, b, c WHERE a.x = b.x"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn aliases_are_not_tables() {
+        assert_eq!(tables("SELECT * FROM orders o WHERE o.id = 1"), vec!["orders"]);
+        assert_eq!(tables("SELECT * FROM orders AS o JOIN items AS i ON 1"), vec!["orders", "items"]);
+    }
+
+    #[test]
+    fn qualified_names_keep_last_segment() {
+        assert_eq!(tables("SELECT * FROM mydb.sales"), vec!["sales"]);
+    }
+
+    #[test]
+    fn ddl_statements() {
+        assert_eq!(tables("ALTER TABLE sales ADD COLUMN x INT"), vec!["sales"]);
+        assert_eq!(tables("DROP TABLE IF EXISTS tmp_1"), vec!["tmp_1"]);
+        assert_eq!(tables("CREATE TABLE new_t (a INT)"), vec!["new_t"]);
+        assert_eq!(tables("TRUNCATE TABLE logs"), vec!["logs"]);
+    }
+
+    #[test]
+    fn subquery_tables_are_collected() {
+        assert_eq!(
+            tables("SELECT * FROM a WHERE x IN (SELECT y FROM b)"),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        assert_eq!(tables("SELECT * FROM t JOIN t ON 1"), vec!["t"]);
+    }
+
+    #[test]
+    fn quoted_table_names() {
+        assert_eq!(tables("SELECT * FROM `order` WHERE id = 1"), vec!["order"]);
+    }
+
+    #[test]
+    fn no_tables() {
+        assert_eq!(tables("SELECT 1 + 1"), Vec::<String>::new());
+        assert_eq!(tables("BEGIN"), Vec::<String>::new());
+        assert_eq!(tables(""), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the SQL substrate: the templating invariants
+//! that Definition II.3 relies on.
+
+use pinsql_sqlkit::{fingerprint, normalize, tokenize, SqlTemplate, TokenKind};
+use proptest::prelude::*;
+
+/// A strategy producing simple literal values as SQL text.
+fn literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        any::<u32>().prop_map(|n| n.to_string()),
+        any::<i32>().prop_map(|n| format!("{n}")),
+        (0u32..1_000_000).prop_map(|n| format!("{n}.{:02}", n % 100)),
+        "[a-z]{0,12}".prop_map(|s| format!("'{s}'")),
+    ]
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+proptest! {
+    #[test]
+    fn same_shape_same_template(
+        table in ident(),
+        col in ident(),
+        v1 in literal(),
+        v2 in literal(),
+    ) {
+        let q1 = format!("SELECT * FROM {table} WHERE {col} = {v1}");
+        let q2 = format!("SELECT * FROM {table} WHERE {col} = {v2}");
+        prop_assert_eq!(fingerprint(&q1), fingerprint(&q2));
+        prop_assert_eq!(normalize(&q1), normalize(&q2));
+    }
+
+    #[test]
+    fn normalization_is_idempotent(
+        table in ident(),
+        col in ident(),
+        v in literal(),
+    ) {
+        let q = format!("UPDATE {table} SET {col} = {v} WHERE id = 7");
+        let once = normalize(&q);
+        let twice = normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalized_text_contains_no_literals(
+        table in ident(),
+        vs in prop::collection::vec(literal(), 1..6),
+    ) {
+        let list = vs.join(", ");
+        let q = format!("SELECT * FROM {table} WHERE id IN ({list})");
+        let norm = normalize(&q);
+        for tok in tokenize(&norm) {
+            prop_assert!(
+                !matches!(tok.kind, TokenKind::Number | TokenKind::Str),
+                "literal {:?} survived normalization: {norm}",
+                tok
+            );
+        }
+    }
+
+    #[test]
+    fn in_list_arity_is_irrelevant(
+        table in ident(),
+        vs1 in prop::collection::vec(any::<u32>(), 1..8),
+        vs2 in prop::collection::vec(any::<u32>(), 1..8),
+    ) {
+        let q = |vs: &[u32]| {
+            let list = vs.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+            format!("SELECT * FROM {table} WHERE id IN ({list})")
+        };
+        prop_assert_eq!(fingerprint(&q(&vs1)), fingerprint(&q(&vs2)));
+    }
+
+    #[test]
+    fn tokenizer_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = tokenize(&s);
+        let _ = SqlTemplate::of(&s);
+    }
+
+    #[test]
+    fn case_of_keywords_is_irrelevant(table in ident(), col in ident()) {
+        let lower = format!("select {col} from {table} where {col} > 3");
+        let upper = format!("SELECT {col} FROM {table} WHERE {col} > 3");
+        prop_assert_eq!(fingerprint(&lower), fingerprint(&upper));
+    }
+
+    #[test]
+    fn template_tables_found_for_basic_selects(table in ident()) {
+        let t = SqlTemplate::of(&format!("SELECT * FROM {table} WHERE id = 1"));
+        prop_assert_eq!(t.tables, vec![table]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Correlation graphs and connected components for SQL-template clustering.
+//!
+//! §VI clusters SQL templates by the trend of their execution counts: the
+//! pairwise Pearson correlation of the `#execution` series is thresholded at
+//! `τ` to form an adjacency relation, performance metrics are added as
+//! *helper nodes* to densify the graph, and the connected components of the
+//! result are the business clusters. Helper nodes are filtered from the
+//! final clusters by the caller.
+//!
+//! For `N` series of length `L` the pairwise pass is `O(N²·L)` dot products
+//! over pre-normalized vectors (each series is centered and scaled to unit
+//! norm once), which keeps the constant small; PinSQL clusters at 1-minute
+//! granularity precisely so that `L` stays tiny.
+
+/// Disjoint-set union with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp; // path halving
+            x = gp as usize;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups element indices by set. Sets are ordered by their smallest
+    /// member; members within a set are in ascending order.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let r = self.find(i);
+            by_root[r].push(i);
+        }
+        by_root.into_iter().filter(|c| !c.is_empty()).collect()
+    }
+}
+
+/// A node's series, pre-normalized for fast pairwise correlation.
+struct NormalizedNode {
+    /// Centered, unit-norm values; `None` when the series has no variance
+    /// (such nodes correlate with nothing).
+    unit: Option<Vec<f64>>,
+}
+
+fn normalize(values: &[f64], len: usize) -> NormalizedNode {
+    let n = len.min(values.len());
+    if n < 2 {
+        return NormalizedNode { unit: None };
+    }
+    let mean = values[..n].iter().sum::<f64>() / n as f64;
+    let mut centered: Vec<f64> = values[..n].iter().map(|&v| v - mean).collect();
+    let norm = centered.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm <= f64::EPSILON {
+        return NormalizedNode { unit: None };
+    }
+    centered.iter_mut().for_each(|v| *v /= norm);
+    NormalizedNode { unit: Some(centered) }
+}
+
+/// A correlation graph over a set of equally-long series.
+///
+/// Build one with [`CorrelationGraph::new`], then extract clusters with
+/// [`CorrelationGraph::components`].
+pub struct CorrelationGraph {
+    uf: UnionFind,
+}
+
+impl CorrelationGraph {
+    /// Builds the graph: nodes `i, j` are adjacent when
+    /// `pearson(series[i], series[j]) > tau`. Series are truncated to the
+    /// shortest length present; zero-variance series are isolated nodes.
+    pub fn new(series: &[&[f64]], tau: f64) -> Self {
+        let n = series.len();
+        let mut uf = UnionFind::new(n);
+        if n == 0 {
+            return Self { uf };
+        }
+        let min_len = series.iter().map(|s| s.len()).min().unwrap_or(0);
+        let nodes: Vec<NormalizedNode> = series.iter().map(|s| normalize(s, min_len)).collect();
+        for i in 0..n {
+            let Some(ui) = nodes[i].unit.as_deref() else { continue };
+            for (j, node_j) in nodes.iter().enumerate().skip(i + 1) {
+                if uf.connected(i, j) {
+                    // Already in the same component: the dot product can't
+                    // change the clustering, skip it.
+                    continue;
+                }
+                let Some(uj) = node_j.unit.as_deref() else { continue };
+                let dot: f64 = ui.iter().zip(uj).map(|(a, b)| a * b).sum();
+                if dot > tau {
+                    uf.union(i, j);
+                }
+            }
+        }
+        Self { uf }
+    }
+
+    /// Connected components as lists of node indices.
+    pub fn components(mut self) -> Vec<Vec<usize>> {
+        self.uf.components()
+    }
+}
+
+/// One-shot convenience: clusters the series at threshold `tau`.
+///
+/// ```
+/// use pinsql_timeseries::connected_components;
+/// let a = [1.0, 2.0, 3.0, 4.0];
+/// let b = [2.0, 4.0, 6.0, 8.0];   // correlated with a
+/// let c = [9.0, 1.0, 8.0, 2.0];   // correlated with neither
+/// let comps = connected_components(&[&a, &b, &c], 0.8);
+/// assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+/// ```
+pub fn connected_components(series: &[&[f64]], tau: f64) -> Vec<Vec<usize>> {
+    CorrelationGraph::new(series, tau).components()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        uf.union(1, 3);
+        assert!(uf.connected(0, 4));
+        let comps = uf.components();
+        assert_eq!(comps, vec![vec![0, 1, 3, 4], vec![2]]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let comps = connected_components(&[], 0.5);
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn flat_series_are_isolated() {
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        let ramp = [1.0, 2.0, 3.0, 4.0];
+        let comps = connected_components(&[&flat, &ramp, &flat], 0.5);
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn transitive_clustering_via_chain() {
+        // a~b and b~c but a and c only weakly related: a chain still forms
+        // one connected component — exactly what business clustering wants
+        // (templates of one business joined through intermediaries).
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.1, 2.2, 2.9, 4.2, 4.9, 6.1];
+        let c = [1.0, 2.5, 2.7, 4.5, 4.6, 6.5];
+        let comps = connected_components(&[&a, &b, &c], 0.95);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn threshold_splits_weak_pairs() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let noisy = [1.0, 3.5, 2.0, 4.5]; // positive but imperfect correlation
+        let comps_strict = connected_components(&[&a, &noisy], 0.999);
+        assert_eq!(comps_strict.len(), 2);
+        let comps_loose = connected_components(&[&a, &noisy], 0.3);
+        assert_eq!(comps_loose.len(), 1);
+    }
+
+    #[test]
+    fn anti_correlated_series_do_not_join() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        let comps = connected_components(&[&a, &b], 0.5);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn different_lengths_truncate_to_common_prefix() {
+        let a = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let comps = connected_components(&[&a, &b], 0.9);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn helper_node_bridges_two_templates() {
+        // Two templates that correlate with a metric but (due to noise) not
+        // quite with each other still cluster together via the helper node —
+        // the pattern §VI uses performance metrics for.
+        let t1 = [1.0, 2.0, 1.0, 5.0, 6.0, 5.0];
+        let t2 = [2.0, 1.0, 2.0, 6.0, 5.0, 6.0];
+        let metric = [1.5, 1.5, 1.5, 5.5, 5.5, 5.5];
+        let direct = connected_components(&[&t1, &t2], 0.9);
+        assert_eq!(direct.len(), 2, "templates alone should not join at τ=0.9");
+        let with_helper = connected_components(&[&t1, &t2, &metric], 0.9);
+        assert_eq!(with_helper.len(), 1, "helper node should bridge them");
+    }
+}

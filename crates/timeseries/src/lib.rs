@@ -1,0 +1,49 @@
+//! Time-series substrate for the PinSQL reproduction.
+//!
+//! PinSQL (Liu et al., ICDE 2022) reasons about database performance anomalies
+//! entirely through fixed-interval time series: per-instance performance
+//! metrics and per-SQL-template metric sequences. This crate provides the
+//! shared machinery every higher layer builds on:
+//!
+//! * [`TimeSeries`] — a fixed-interval sequence of `f64` observations with a
+//!   start timestamp, addressable either by index or by timestamp
+//!   (Definition II.1 of the paper).
+//! * [`stats`] — means, variances, covariance, Pearson correlation, the
+//!   *weighted* Pearson correlation used by the trend-level score (§V), and
+//!   min-max normalization used by the scale-level score.
+//! * [`weights`] — the sigmoid-based anomaly-window weight function
+//!   `W_t = σ((t-a_s)/k_s) + σ((a_e-t)/k_s) − 1` (Eq. 1).
+//! * [`outlier`] — Tukey's rule, used by the history-trend verification step
+//!   (§VI) to decide whether a template's execution count is anomalous.
+//! * [`changepoint`] — Pettitt's non-parametric change-point test, one of
+//!   the methods §IV-B's detection component integrates; the detector uses
+//!   it to confirm level shifts.
+//! * [`rolling`] — rolling robust statistics (median / MAD / quantiles) used
+//!   by the anomaly-feature detectors in the `pinsql-detect` crate.
+//! * [`graph`] — correlation graphs and connected components (union-find),
+//!   used by SQL-template clustering (§VI).
+//! * [`resample`] — aggregation between the 1-second and 1-minute
+//!   granularities the collector maintains (§IV-A).
+//!
+//! Everything here is deterministic and allocation-conscious; the hot paths
+//! (pairwise correlation, weighted covariance) are written against slices so
+//! callers can pre-normalize once and reuse buffers.
+
+pub mod changepoint;
+pub mod graph;
+pub mod outlier;
+pub mod resample;
+pub mod rolling;
+pub mod series;
+pub mod stats;
+pub mod weights;
+
+pub use changepoint::{has_change_point, pettitt, Pettitt};
+pub use graph::{connected_components, CorrelationGraph, UnionFind};
+pub use outlier::{tukey_fences, Quantiles, TukeyFences};
+pub use series::TimeSeries;
+pub use stats::{
+    covariance, mean, mean_squared_error, min_max_normalize, pearson, std_dev, variance,
+    weighted_covariance, weighted_mean, weighted_pearson,
+};
+pub use weights::{sigmoid, sigmoid_window_weights};

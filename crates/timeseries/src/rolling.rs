@@ -1,0 +1,214 @@
+//! Rolling robust statistics for streaming anomaly detection.
+//!
+//! The Basic Perception Layer (§IV-B) watches each performance metric
+//! round-the-clock. Its detectors need, at every step, a robust estimate of
+//! the recent baseline — we provide a rolling median / MAD (median absolute
+//! deviation) window, plus a simple rolling mean/std for cheap callers.
+//!
+//! The windows here are small (tens to hundreds of samples), so the median
+//! is recomputed from a maintained sorted buffer: `O(w)` per step via binary
+//! search + shift, which comfortably beats fancier structures at these sizes.
+
+/// A fixed-capacity rolling window maintaining its contents both in arrival
+/// order (for eviction) and in sorted order (for quantiles).
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    capacity: usize,
+    /// Ring buffer in arrival order.
+    ring: Vec<f64>,
+    head: usize,
+    len: usize,
+    /// The same values kept sorted.
+    sorted: Vec<f64>,
+}
+
+impl RollingWindow {
+    /// Creates a window holding at most `capacity` recent observations.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rolling window capacity must be positive");
+        Self {
+            capacity,
+            ring: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+            sorted: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of observations currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no observations are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once the window holds `capacity` observations.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Pushes an observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN pushed into rolling window");
+        if self.len == self.capacity {
+            let evicted = self.ring[self.head];
+            let pos = self
+                .sorted
+                .binary_search_by(|v| v.partial_cmp(&evicted).expect("NaN in window"))
+                .expect("evicted value missing from sorted buffer");
+            self.sorted.remove(pos);
+        } else {
+            self.len += 1;
+        }
+        self.ring[self.head] = x;
+        self.head = (self.head + 1) % self.capacity;
+        let pos = self
+            .sorted
+            .partition_point(|&v| v < x);
+        self.sorted.insert(pos, x);
+    }
+
+    /// Median of the current contents; `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        Some(if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2.0
+        })
+    }
+
+    /// Median absolute deviation around the median; `None` when empty.
+    ///
+    /// A `floor` is *not* applied here; detector layers add their own floor
+    /// so that flat baselines don't produce infinite z-scores.
+    pub fn mad(&self) -> Option<f64> {
+        let med = self.median()?;
+        let mut devs: Vec<f64> = self.sorted.iter().map(|&v| (v - med).abs()).collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in window"));
+        let n = devs.len();
+        Some(if n % 2 == 1 {
+            devs[n / 2]
+        } else {
+            (devs[n / 2 - 1] + devs[n / 2]) / 2.0
+        })
+    }
+
+    /// Mean of the current contents; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.sorted.iter().sum::<f64>() / self.len as f64)
+    }
+
+    /// The current contents in sorted order.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Robust z-score of `x` against a (median, mad) baseline with a MAD floor.
+///
+/// The constant 1.4826 rescales MAD to be comparable with a standard
+/// deviation under normality. `mad_floor` guards flat baselines.
+#[inline]
+pub fn robust_z(x: f64, median: f64, mad: f64, mad_floor: f64) -> f64 {
+    (x - median) / (1.4826 * mad.max(mad_floor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_yields_none() {
+        let w = RollingWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.median(), None);
+        assert_eq!(w.mad(), None);
+        assert_eq!(w.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RollingWindow::new(0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut w = RollingWindow::new(5);
+        for x in [3.0, 1.0, 2.0] {
+            w.push(x);
+        }
+        assert_eq!(w.median(), Some(2.0));
+        w.push(10.0);
+        assert_eq!(w.median(), Some(2.5));
+    }
+
+    #[test]
+    fn eviction_keeps_sorted_consistent() {
+        let mut w = RollingWindow::new(3);
+        for x in [5.0, 1.0, 9.0, 2.0, 2.0] {
+            w.push(x);
+        }
+        // window now holds [9, 2, 2]
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.sorted_values(), &[2.0, 2.0, 9.0]);
+        assert_eq!(w.median(), Some(2.0));
+    }
+
+    #[test]
+    fn eviction_with_duplicates() {
+        let mut w = RollingWindow::new(2);
+        w.push(4.0);
+        w.push(4.0);
+        w.push(4.0);
+        w.push(7.0);
+        assert_eq!(w.sorted_values(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn mad_of_constant_window_is_zero() {
+        let mut w = RollingWindow::new(4);
+        for _ in 0..4 {
+            w.push(3.0);
+        }
+        assert_eq!(w.mad(), Some(0.0));
+        // robust_z with a floor stays finite.
+        assert!(robust_z(10.0, 3.0, 0.0, 0.5).is_finite());
+    }
+
+    #[test]
+    fn mad_matches_manual_computation() {
+        let mut w = RollingWindow::new(5);
+        for x in [1.0, 1.0, 2.0, 2.0, 8.0] {
+            w.push(x);
+        }
+        // median = 2, |devs| sorted = [0,0,1,1,6] → mad = 1
+        assert_eq!(w.mad(), Some(1.0));
+    }
+
+    #[test]
+    fn rolling_mean_tracks_window() {
+        let mut w = RollingWindow::new(2);
+        w.push(2.0);
+        w.push(4.0);
+        assert_eq!(w.mean(), Some(3.0));
+        w.push(8.0);
+        assert_eq!(w.mean(), Some(6.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! The sigmoid-based anomaly-window weight function (Eq. 1 of the paper).
+//!
+//! The trend-level score of §V computes a weighted Pearson correlation where
+//! the weight `W_t` is close to 1 inside the anomaly period `[a_s, a_e)` and
+//! decays smoothly outside it:
+//!
+//! ```text
+//! W_t = σ((t − a_s)/k_s) + σ((a_e − t)/k_s) − 1
+//! ```
+//!
+//! As `k_s → 0` this becomes a hard indicator of the anomaly window; as
+//! `k_s → ∞` every weight tends to 1 and the weighted correlation reduces to
+//! the plain Pearson correlation.
+
+/// The logistic sigmoid `σ(x) = 1 / (1 + e^(−x))`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Computes `W_t` for every sampling instant of a series covering
+/// `[ts, te)` at `interval`-second spacing, for an anomaly period
+/// `[anom_start, anom_end)` and smooth factor `ks > 0`.
+///
+/// The returned vector has `ceil((te − ts) / interval)` entries, one per
+/// sample, each in `[0, 1]` (up to floating error; values are clamped).
+///
+/// # Panics
+/// Panics if `ks <= 0`, `interval == 0`, or `te < ts`.
+pub fn sigmoid_window_weights(
+    ts: i64,
+    te: i64,
+    interval: u32,
+    anom_start: i64,
+    anom_end: i64,
+    ks: f64,
+) -> Vec<f64> {
+    assert!(ks > 0.0, "smooth factor ks must be positive");
+    assert!(interval > 0, "interval must be positive");
+    assert!(te >= ts, "window end precedes window start");
+    let step = interval as i64;
+    let n = ((te - ts) as u64).div_ceil(step as u64) as usize;
+    let mut ws = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = (ts + i as i64 * step) as f64;
+        let w = sigmoid((t - anom_start as f64) / ks) + sigmoid((anom_end as f64 - t) / ks) - 1.0;
+        ws.push(w.clamp(0.0, 1.0));
+    }
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(20.0) > 0.999999);
+        assert!(sigmoid(-20.0) < 1e-6);
+        // symmetry: σ(x) + σ(−x) = 1
+        for x in [-3.0, -0.5, 0.1, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_peak_inside_anomaly_window() {
+        let ws = sigmoid_window_weights(0, 100, 1, 40, 60, 2.0);
+        assert_eq!(ws.len(), 100);
+        // Deep inside the anomaly period the weight is ~1
+        // (σ(5) + σ(5) − 1 ≈ 0.9866 at ks = 2).
+        assert!(ws[50] > 0.98);
+        // Far outside it is ~0.
+        assert!(ws[0] < 0.01);
+        assert!(ws[99] < 0.01);
+        // Monotone rise approaching the window.
+        assert!(ws[35] < ws[38]);
+        assert!(ws[38] < ws[41]);
+    }
+
+    #[test]
+    fn small_ks_approaches_hard_indicator() {
+        // Eq. 1: k_s → 0 yields the indicator of [a_s, a_e).
+        let ws = sigmoid_window_weights(0, 100, 1, 40, 60, 1e-3);
+        for (i, &w) in ws.iter().enumerate() {
+            let t = i as i64;
+            if (41..60).contains(&t) {
+                assert!(w > 0.999, "t={t} w={w}");
+            }
+            if !(40..=60).contains(&t) {
+                assert!(w < 0.001, "t={t} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_ks_recovers_plain_pearson() {
+        // The paper states that k_s → ∞ makes the weighted correlation equal
+        // the naive Pearson correlation. (W_t itself tends to 0⁺, but it does
+        // so *uniformly*, and a constant positive weight leaves the weighted
+        // Pearson identical to the plain one.)
+        let ws = sigmoid_window_weights(0, 100, 1, 40, 60, 1e6);
+        let (lo, hi) = ws
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &w| (l.min(w), h.max(w)));
+        assert!(hi - lo < 1e-9, "weights must be near-uniform: lo={lo} hi={hi}");
+        assert!(lo > 0.0, "weights must stay positive");
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() + i as f64 * 0.01).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i as f64 * 0.21).cos() * 2.0).collect();
+        let plain = crate::stats::pearson(&xs, &ys);
+        let weighted = crate::stats::weighted_pearson(&xs, &ys, &ws);
+        assert!((plain - weighted).abs() < 1e-6, "plain={plain} weighted={weighted}");
+    }
+
+    #[test]
+    fn weights_respect_interval() {
+        let ws = sigmoid_window_weights(0, 100, 10, 40, 60, 2.0);
+        assert_eq!(ws.len(), 10);
+        // Sample at t=50 (index 5) is inside the anomaly.
+        assert!(ws[5] > 0.98);
+    }
+
+    #[test]
+    #[should_panic(expected = "ks must be positive")]
+    fn nonpositive_ks_panics() {
+        let _ = sigmoid_window_weights(0, 10, 1, 2, 5, 0.0);
+    }
+}

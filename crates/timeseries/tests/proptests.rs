@@ -1,0 +1,148 @@
+//! Property-based tests for the time-series substrate.
+
+use pinsql_timeseries::rolling::RollingWindow;
+use pinsql_timeseries::{
+    connected_components, mean_squared_error, min_max_normalize, pearson, sigmoid_window_weights,
+    tukey_fences, weighted_pearson, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 2..max_len)
+}
+
+proptest! {
+    #[test]
+    fn pearson_is_symmetric(xs in finite_vec(64), ys in finite_vec(64)) {
+        let a = pearson(&xs, &ys);
+        let b = pearson(&ys, &xs);
+        prop_assert!((a - b).abs() < 1e-9, "a={a} b={b}");
+    }
+
+    #[test]
+    fn pearson_bounded(xs in finite_vec(64), ys in finite_vec(64)) {
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!(!r.is_nan());
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_transform(
+        xs in finite_vec(32),
+        scale in 0.01f64..100.0,
+        shift in -1e3f64..1e3,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| scale * x + shift).collect();
+        let r = pearson(&xs, &ys);
+        // Either xs is constant (r = 0) or correlation is exactly 1.
+        prop_assert!(r == 0.0 || (r - 1.0).abs() < 1e-6, "r={r}");
+    }
+
+    #[test]
+    fn weighted_pearson_with_uniform_weights_matches_plain(xs in finite_vec(32), ys in finite_vec(32)) {
+        let n = xs.len().min(ys.len());
+        let ws = vec![1.0; n];
+        let a = weighted_pearson(&xs[..n], &ys[..n], &ws);
+        let b = pearson(&xs[..n], &ys[..n]);
+        prop_assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+    }
+
+    #[test]
+    fn weighted_pearson_bounded(
+        xs in finite_vec(32),
+        ys in finite_vec(32),
+        ws in prop::collection::vec(0.0f64..1.0, 2..32),
+    ) {
+        let r = weighted_pearson(&xs, &ys, &ws);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!(!r.is_nan());
+    }
+
+    #[test]
+    fn min_max_normalize_into_unit_interval(mut xs in finite_vec(64)) {
+        min_max_normalize(&mut xs);
+        for &x in &xs {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+        // Some element attains 0 (the minimum maps there).
+        prop_assert!(xs.contains(&0.0));
+    }
+
+    #[test]
+    fn sigmoid_weights_in_unit_interval(
+        span in 1i64..500,
+        a in 0i64..400,
+        len in 1i64..100,
+        ks in 0.01f64..1e4,
+    ) {
+        let ws = sigmoid_window_weights(0, span, 1, a, a + len, ks);
+        prop_assert_eq!(ws.len(), span as usize);
+        for &w in &ws {
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn tukey_fences_contain_the_quartiles(xs in finite_vec(64)) {
+        let f = tukey_fences(&xs, 1.5).unwrap();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        // The median never lies outside the fences.
+        let med = sorted[n / 2];
+        prop_assert!(med >= f.lower - 1e-9 && med <= f.upper + 1e-9);
+    }
+
+    #[test]
+    fn rolling_window_median_matches_naive(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..200),
+        cap in 1usize..20,
+    ) {
+        let mut w = RollingWindow::new(cap);
+        for (i, &x) in xs.iter().enumerate() {
+            w.push(x);
+            let lo = (i + 1).saturating_sub(cap);
+            let mut naive: Vec<f64> = xs[lo..=i].to_vec();
+            naive.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = naive.len();
+            let expect = if n % 2 == 1 {
+                naive[n / 2]
+            } else {
+                (naive[n / 2 - 1] + naive[n / 2]) / 2.0
+            };
+            prop_assert!((w.median().unwrap() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_window_sum_matches_slice_sum(
+        values in prop::collection::vec(-100.0f64..100.0, 0..64),
+        from in -10i64..80,
+        span in 0i64..80,
+    ) {
+        let ts = TimeSeries::from_values(0, 1, values);
+        let a = ts.sum_window(from, from + span);
+        let b: f64 = ts.window(from, from + span).iter().sum();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_nonnegative_and_zero_on_self(xs in finite_vec(64)) {
+        prop_assert_eq!(mean_squared_error(&xs, &xs), 0.0);
+        let ys: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        prop_assert!((mean_squared_error(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_partition_all_nodes(
+        series in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 4..12), 0..12),
+        tau in 0.0f64..1.0,
+    ) {
+        let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let comps = connected_components(&refs, tau);
+        let mut seen: Vec<usize> = comps.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..series.len()).collect();
+        prop_assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,1 @@
+//! Root integration-suite crate (see tests/ and examples/).

@@ -1,0 +1,74 @@
+//! Cross-crate integration tests: workload → simulator → collector →
+//! detector → PinSQL, for every anomaly category.
+
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_eval::first_hit_rank;
+use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, ScenarioConfig};
+
+fn diagnose(kind: AnomalyKind, seed: u64) -> (Option<usize>, Option<usize>, bool) {
+    let cfg = ScenarioConfig::default().with_seed(seed);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, kind);
+    let case = materialize(&scenario, 600);
+    let d = PinSql::new(PinSqlConfig::default()).diagnose(
+        &case.case,
+        &case.window,
+        &case.history,
+        case.minutes_origin,
+    );
+    let r_ids: Vec<_> = d.rsqls.iter().map(|r| r.id).collect();
+    let h_ids: Vec<_> = d.hsqls.iter().map(|h| h.id).collect();
+    (
+        first_hit_rank(&r_ids, &case.truth.rsqls),
+        first_hit_rank(&h_ids, &case.truth.hsqls),
+        case.detected,
+    )
+}
+
+#[test]
+fn business_spike_pipeline() {
+    let (r, h, detected) = diagnose(AnomalyKind::BusinessSpike, 9100);
+    assert!(detected, "spike must be detected");
+    assert_eq!(r, Some(1), "R-SQL top-1");
+    assert_eq!(h, Some(1), "H-SQL top-1");
+}
+
+#[test]
+fn poor_sql_pipeline() {
+    let (r, h, detected) = diagnose(AnomalyKind::PoorSql, 9200);
+    assert!(detected);
+    assert_eq!(r, Some(1));
+    assert_eq!(h, Some(1));
+}
+
+#[test]
+fn mdl_lock_pipeline() {
+    let (r, h, detected) = diagnose(AnomalyKind::MdlLock, 9300);
+    assert!(detected, "the MDL pile-up must be detected");
+    assert!(r.is_some_and(|r| r <= 5), "R-SQL within top-5: {r:?}");
+    assert_eq!(h, Some(1));
+}
+
+#[test]
+fn row_lock_pipeline() {
+    let (r, h, detected) = diagnose(AnomalyKind::RowLock, 9400);
+    assert!(detected, "the row-lock convoy must be detected");
+    assert!(r.is_some_and(|r| r <= 5), "R-SQL within top-5: {r:?}");
+    assert_eq!(h, Some(1));
+}
+
+#[test]
+fn hsqls_differ_from_rsqls_in_lock_cases() {
+    // The paper's core distinction: for lock anomalies the direct causes
+    // (victims) are not the root causes (the blocking statement).
+    let cfg = ScenarioConfig::default().with_seed(9500);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::MdlLock);
+    let case = materialize(&scenario, 600);
+    let victims: Vec<_> =
+        case.truth.hsqls.iter().filter(|h| !case.truth.rsqls.contains(h)).collect();
+    assert!(
+        !victims.is_empty(),
+        "lock cases must have victim H-SQLs that are not R-SQLs"
+    );
+}

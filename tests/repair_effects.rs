@@ -1,0 +1,100 @@
+//! Repairing-module effects, verified through the simulator: throttling
+//! and optimizing the pinpointed R-SQL must actually resolve the anomaly.
+
+use pinsql::repair::{optimize_spec, throttle_spec};
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_dbsim::run_open_loop;
+use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, ScenarioConfig};
+
+fn anomaly_mean(series: &[f64], cfg: &ScenarioConfig) -> f64 {
+    let (lo, hi) = (cfg.anomaly_start as usize, cfg.anomaly_end as usize);
+    series[lo..hi.min(series.len())].iter().sum::<f64>() / (hi - lo) as f64
+}
+
+#[test]
+fn throttling_the_rsql_suppresses_the_anomaly() {
+    let cfg = ScenarioConfig::default().with_seed(71);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::PoorSql);
+    let case = materialize(&scenario, 600);
+    let d = PinSql::new(PinSqlConfig::default()).diagnose(
+        &case.case,
+        &case.window,
+        &case.history,
+        case.minutes_origin,
+    );
+    let rsql = &d.rsqls[0];
+    assert!(case.truth.rsqls.contains(&rsql.id), "diagnosis correct for this seed");
+    let spec = case.case.catalog.get(rsql.id).unwrap().specs[0];
+
+    let original = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+    let throttled_w = throttle_spec(&scenario.workload, spec, 0.02);
+    let throttled = run_open_loop(&throttled_w, &scenario.sim, 0, cfg.window_s);
+
+    let before = anomaly_mean(&original.metrics.active_session, &cfg);
+    let after = anomaly_mean(&throttled.metrics.active_session, &cfg);
+    assert!(
+        after < before * 0.3,
+        "throttling the root cause must deflate the session: {before:.1} -> {after:.1}"
+    );
+}
+
+#[test]
+fn optimizing_the_rsql_resolves_without_losing_traffic() {
+    let cfg = ScenarioConfig::default().with_seed(73);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::PoorSql);
+    let case = materialize(&scenario, 600);
+    let d = PinSql::new(PinSqlConfig::default()).diagnose(
+        &case.case,
+        &case.window,
+        &case.history,
+        case.minutes_origin,
+    );
+    let rsql = &d.rsqls[0];
+    assert!(case.truth.rsqls.contains(&rsql.id), "diagnosis correct for this seed");
+    let spec = case.case.catalog.get(rsql.id).unwrap().specs[0];
+
+    let original = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+    let optimized_w = optimize_spec(&scenario.workload, spec);
+    let optimized = run_open_loop(&optimized_w, &scenario.sim, 0, cfg.window_s);
+
+    let before = anomaly_mean(&original.metrics.active_session, &cfg);
+    let after = anomaly_mean(&optimized.metrics.active_session, &cfg);
+    assert!(
+        after < before * 0.3,
+        "optimizing the root cause must deflate the session: {before:.1} -> {after:.1}"
+    );
+    // Unlike throttling, the statement still runs at full rate.
+    let count = |log: &[pinsql_dbsim::QueryRecord]| {
+        log.iter().filter(|r| r.spec == spec).count() as f64
+    };
+    let executed_before = count(&original.log);
+    let executed_after = count(&optimized.log);
+    assert!(
+        executed_after > executed_before * 0.8,
+        "optimization must not drop traffic: {executed_before} -> {executed_after}"
+    );
+}
+
+#[test]
+fn autoscale_relieves_cpu_pressure() {
+    let cfg = ScenarioConfig::default().with_seed(75);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+    let original = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+    // AutoScale: quadruple the cores (the business wants the traffic).
+    let mut scaled_sim = scenario.sim.clone();
+    scaled_sim.cores *= 4.0;
+    let scaled = run_open_loop(&scenario.workload, &scaled_sim, 0, cfg.window_s);
+    let before = anomaly_mean(&original.metrics.active_session, &cfg);
+    let after = anomaly_mean(&scaled.metrics.active_session, &cfg);
+    assert!(
+        after < before * 0.5,
+        "scaling out must absorb the legitimate spike: {before:.1} -> {after:.1}"
+    );
+    // And throughput goes up, not down.
+    let qps_before: f64 = original.metrics.qps.iter().sum();
+    let qps_after: f64 = scaled.metrics.qps.iter().sum();
+    assert!(qps_after >= qps_before * 0.95);
+}

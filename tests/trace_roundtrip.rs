@@ -1,0 +1,62 @@
+//! Traces decouple simulation from diagnosis: a written-and-reloaded trace
+//! must diagnose identically to the live simulation output.
+
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_collector::aggregate_case;
+use pinsql_dbsim::{run_open_loop, Trace};
+use pinsql_scenario::{generate_base, inject, AnomalyKind, ScenarioConfig};
+use pinsql_detect::AnomalyWindow;
+
+#[test]
+fn diagnosis_is_identical_through_a_trace_round_trip() {
+    let cfg = ScenarioConfig::default().with_seed(81).with_businesses(6);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::PoorSql);
+    let out = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+
+    // Round-trip through the JSONL trace format.
+    let trace = Trace::from_output("poor-sql seed 81", &out);
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).expect("write trace");
+    let reloaded = Trace::read_jsonl(&buf[..]).expect("read trace");
+    assert_eq!(reloaded.label, "poor-sql seed 81");
+    assert_eq!(reloaded.log.len(), out.log.len());
+
+    let window = AnomalyWindow {
+        anomaly_start: cfg.anomaly_start,
+        anomaly_end: cfg.anomaly_end,
+        delta_s: 600,
+    }
+    .clamped(0, cfg.window_s);
+
+    let live = aggregate_case(
+        &out.log,
+        &scenario.workload.specs,
+        &out.metrics,
+        window.ts(),
+        window.te(),
+    );
+    let from_trace = aggregate_case(
+        &reloaded.log,
+        &scenario.workload.specs,
+        &reloaded.metrics,
+        window.ts(),
+        window.te(),
+    );
+
+    let pinsql = PinSql::new(PinSqlConfig::default());
+    let history = pinsql_collector::HistoryStore::new();
+    let d_live = pinsql.diagnose(&live, &window, &history, 1_000_000);
+    let d_trace = pinsql.diagnose(&from_trace, &window, &history, 1_000_000);
+
+    assert_eq!(
+        d_live.rsqls.iter().map(|r| (r.id, r.score.to_bits())).collect::<Vec<_>>(),
+        d_trace.rsqls.iter().map(|r| (r.id, r.score.to_bits())).collect::<Vec<_>>(),
+        "R-SQL rankings must be bit-identical through the trace"
+    );
+    assert_eq!(
+        d_live.hsqls.iter().map(|r| r.id).collect::<Vec<_>>(),
+        d_trace.hsqls.iter().map(|r| r.id).collect::<Vec<_>>()
+    );
+    assert_eq!(d_live.n_clusters, d_trace.n_clusters);
+}
