@@ -1,9 +1,13 @@
 //! Micro-benchmarks of the hot primitives: Pearson / weighted Pearson
 //! correlation, template clustering (connected components over a
-//! correlation graph), and SQL fingerprinting.
+//! correlation graph), the normalized-matrix graph kernel vs the naive
+//! scalar pair loop, and SQL fingerprinting.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pinsql_timeseries::{connected_components, pearson, sigmoid_window_weights, weighted_pearson};
+use pinsql_timeseries::{
+    connected_components, connected_components_par, pearson, sigmoid_window_weights,
+    weighted_pearson, NormalizedMatrix,
+};
 use std::hint::black_box;
 
 fn series(n: usize, seed: u64) -> Vec<f64> {
@@ -49,6 +53,55 @@ fn bench_clustering(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE's headline comparison: building the τ-thresholded pairwise
+/// correlation graph with (a) the naive O(n²·L) scalar `pearson` pair
+/// loop, (b) the `NormalizedMatrix` dot-product kernel (moments hoisted,
+/// contiguous rows), and (c) the kernel fanned out across all cores.
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/graph_build");
+    group.sample_size(10);
+    const L: usize = 40;
+    const TAU: f64 = 0.8;
+    for n_series in [100usize, 1000, 3000] {
+        let data: Vec<Vec<f64>> = (0..n_series).map(|i| series(L, i as u64)).collect();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Elements((n_series * n_series) as u64 / 2));
+        group.bench_with_input(
+            BenchmarkId::new("scalar_pair_loop", n_series),
+            &n_series,
+            |b, &n| {
+                b.iter(|| {
+                    let mut edges = 0usize;
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            if pearson(refs[i], refs[j]) > TAU {
+                                edges += 1;
+                            }
+                        }
+                    }
+                    black_box(edges)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("normalized_matrix", n_series),
+            &n_series,
+            |b, _| b.iter(|| black_box(connected_components(&refs, TAU))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("normalized_matrix_par", n_series),
+            &n_series,
+            |b, _| b.iter(|| black_box(connected_components_par(&refs, TAU, 0))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matrix_build_only", n_series),
+            &n_series,
+            |b, _| b.iter(|| black_box(NormalizedMatrix::from_series(&refs))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_fingerprint(c: &mut Criterion) {
     let sqls = [
         "SELECT * FROM user_table WHERE uid = 123456",
@@ -65,5 +118,11 @@ fn bench_fingerprint(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_correlation, bench_clustering, bench_fingerprint);
+criterion_group!(
+    benches,
+    bench_correlation,
+    bench_clustering,
+    bench_graph_build,
+    bench_fingerprint
+);
 criterion_main!(benches);

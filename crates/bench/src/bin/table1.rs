@@ -1,8 +1,14 @@
 //! Regenerates Table I: overall R-SQL / H-SQL identification quality.
 //!
-//! Usage: `cargo run -p pinsql-bench --release --bin table1 [-- N_CASES [SEED]]`
+//! Usage: `cargo run -p pinsql-bench --release --bin table1 [-- N_CASES [SEED [PARALLELISM]]]`
 //! Defaults to the paper's 168 cases (several minutes); pass a smaller
-//! count for a quick look.
+//! count for a quick look. PARALLELISM `0` (default) uses all cores for
+//! the per-case fan-out, `1` forces the pre-parallelism serial path; the
+//! quality rows are identical either way.
+//!
+//! Besides the printed table, writes the full structure (including the
+//! per-stage timing decomposition of the PinSQL row) to
+//! `results/bench_table1.json`.
 
 use pinsql_eval::caseset::CaseSetConfig;
 use pinsql_eval::experiments::table1;
@@ -10,8 +16,21 @@ use pinsql_eval::experiments::table1;
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(168);
     let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let parallelism: usize =
+        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(0);
     let cfg = CaseSetConfig::default().with_cases(n).with_seed(seed);
-    eprintln!("generating and scoring {n} cases (seed {seed})...");
-    let t = table1::run(&cfg);
+    eprintln!("generating and scoring {n} cases (seed {seed}, parallelism {parallelism})...");
+    let t = table1::run_par(&cfg, parallelism);
     println!("{t}");
+
+    let out = "results/bench_table1.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .map_err(|e| e.to_string())
+        .and_then(|_| serde_json::to_string_pretty(&t).map_err(|e| e.to_string()))
+        .and_then(|json| std::fs::write(out, json).map_err(|e| e.to_string()))
+    {
+        eprintln!("failed to write {out}: {e}");
+    } else {
+        eprintln!("wrote {out}");
+    }
 }

@@ -47,7 +47,14 @@ pub fn build_case(cfg: &CaseSetConfig, i: usize) -> LabeledCase {
 
 /// Builds the whole case set (sequentially; each case is independent).
 pub fn build_cases(cfg: &CaseSetConfig) -> Vec<LabeledCase> {
-    (0..cfg.n_cases).map(|i| build_case(cfg, i)).collect()
+    build_cases_par(cfg, 1)
+}
+
+/// Builds the whole case set fanning out over `workers` threads (`0` =
+/// all cores). Case `i` depends only on `seed + i`, so the produced set
+/// is identical for every worker count.
+pub fn build_cases_par(cfg: &CaseSetConfig, workers: usize) -> Vec<LabeledCase> {
+    pinsql_timeseries::par_map(cfg.n_cases, workers, |i| build_case(cfg, i))
 }
 
 #[cfg(test)]

@@ -7,12 +7,13 @@
 //! (the root cause dominates); lock cases are where R-SQL ≠ H-SQL and the
 //! baselines collapse while PinSQL keeps most of its accuracy.
 
-use crate::caseset::{build_cases, CaseSetConfig};
-use crate::methods::{rank_with, Method};
+use crate::caseset::{build_cases_par, CaseSetConfig};
+use crate::methods::{rank_with, split_parallelism, Method};
 use crate::metrics::{first_hit_rank, RankSummary};
 use pinsql::PinSqlConfig;
 use pinsql_baselines::TopMetric;
 use pinsql_scenario::{AnomalyKind, LabeledCase};
+use pinsql_timeseries::par_map;
 use serde::{Deserialize, Serialize};
 
 /// One (method, category) cell.
@@ -31,17 +32,30 @@ pub struct Breakdown {
     pub n_cases: usize,
 }
 
-/// Runs the breakdown over a generated case set.
+/// Runs the breakdown over a generated case set (all cores).
 pub fn run(cfg: &CaseSetConfig) -> Breakdown {
-    let cases = build_cases(cfg);
-    run_on(&cases)
+    run_par(cfg, 0)
 }
 
-/// Runs the breakdown on pre-built cases.
+/// [`run`] with an explicit parallelism knob (`0` = all cores, `1` =
+/// serial). Cells are identical for every value.
+pub fn run_par(cfg: &CaseSetConfig, parallelism: usize) -> Breakdown {
+    let (workers, _) = split_parallelism(parallelism);
+    let cases = build_cases_par(cfg, workers);
+    run_on_par(&cases, parallelism)
+}
+
+/// Runs the breakdown on pre-built cases (all cores).
 pub fn run_on(cases: &[LabeledCase]) -> Breakdown {
+    run_on_par(cases, 0)
+}
+
+/// [`run_on`] with an explicit parallelism knob.
+pub fn run_on_par(cases: &[LabeledCase], parallelism: usize) -> Breakdown {
+    let (workers, inner) = split_parallelism(parallelism);
     let methods = vec![
         Method::Top(TopMetric::TotalResponseTime),
-        Method::PinSql(PinSqlConfig::default()),
+        Method::PinSql(PinSqlConfig::default().with_parallelism(inner)),
     ];
     let mut cells = Vec::new();
     for method in &methods {
@@ -50,11 +64,10 @@ pub fn run_on(cases: &[LabeledCase]) -> Breakdown {
             if subset.is_empty() {
                 continue;
             }
-            let mut ranks = Vec::with_capacity(subset.len());
-            for case in &subset {
-                let rk = rank_with(method, case);
-                ranks.push(first_hit_rank(&rk.rsqls, &case.truth.rsqls));
-            }
+            let ranks = par_map(subset.len(), workers, |i| {
+                let rk = rank_with(method, subset[i]);
+                first_hit_rank(&rk.rsqls, &subset[i].truth.rsqls)
+            });
             cells.push(Cell {
                 method: method.label(),
                 kind: kind.label().to_string(),

@@ -3,11 +3,12 @@
 //! Each variant disables exactly one component of PinSQL; all variants run
 //! on the same case set so the deltas are paired.
 
-use crate::caseset::{build_cases, CaseSetConfig};
-use crate::methods::{rank_with, Method};
+use crate::caseset::{build_cases_par, CaseSetConfig};
+use crate::methods::{rank_with, split_parallelism, Method};
 use crate::metrics::{first_hit_rank, RankSummary};
 use pinsql::{Ablation, PinSqlConfig};
 use pinsql_scenario::LabeledCase;
+use pinsql_timeseries::par_map;
 use serde::{Deserialize, Serialize};
 
 /// One ablation variant's scores.
@@ -52,26 +53,44 @@ pub fn variants() -> Vec<(String, Ablation)> {
     v
 }
 
-/// Runs the ablation study over a freshly generated case set.
+/// Runs the ablation study over a freshly generated case set (all cores).
 pub fn run(cfg: &CaseSetConfig) -> Fig6 {
-    let cases = build_cases(cfg);
-    run_on(&cases)
+    run_par(cfg, 0)
 }
 
-/// Runs the ablation study on pre-built cases.
+/// [`run`] with an explicit parallelism knob (`0` = all cores, `1` =
+/// serial). Scores are identical for every value.
+pub fn run_par(cfg: &CaseSetConfig, parallelism: usize) -> Fig6 {
+    let (workers, _) = split_parallelism(parallelism);
+    let cases = build_cases_par(cfg, workers);
+    run_on_par(&cases, parallelism)
+}
+
+/// Runs the ablation study on pre-built cases (all cores).
 pub fn run_on(cases: &[LabeledCase]) -> Fig6 {
+    run_on_par(cases, 0)
+}
+
+/// [`run_on`] with an explicit parallelism knob.
+pub fn run_on_par(cases: &[LabeledCase], parallelism: usize) -> Fig6 {
+    let (workers, inner) = split_parallelism(parallelism);
     let mut out = Vec::new();
     for (name, ablation) in variants() {
-        let method = Method::PinSql(PinSqlConfig::default().with_ablation(ablation));
-        let mut r_ranks = Vec::with_capacity(cases.len());
-        let mut h_ranks = Vec::with_capacity(cases.len());
-        let mut times = Vec::with_capacity(cases.len());
-        for case in cases {
+        let method = Method::PinSql(
+            PinSqlConfig::default().with_ablation(ablation).with_parallelism(inner),
+        );
+        let per_case = par_map(cases.len(), workers, |i| {
+            let case = &cases[i];
             let rk = rank_with(&method, case);
-            r_ranks.push(first_hit_rank(&rk.rsqls, &case.truth.rsqls));
-            h_ranks.push(first_hit_rank(&rk.hsqls, &case.truth.hsqls));
-            times.push(rk.time_s);
-        }
+            (
+                first_hit_rank(&rk.rsqls, &case.truth.rsqls),
+                first_hit_rank(&rk.hsqls, &case.truth.hsqls),
+                rk.time_s,
+            )
+        });
+        let r_ranks: Vec<_> = per_case.iter().map(|c| c.0).collect();
+        let h_ranks: Vec<_> = per_case.iter().map(|c| c.1).collect();
+        let times: Vec<_> = per_case.iter().map(|c| c.2).collect();
         out.push(Variant {
             name,
             rsql: RankSummary::from_ranks(&r_ranks, &times),

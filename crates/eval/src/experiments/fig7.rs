@@ -36,6 +36,9 @@ pub struct Point {
 pub struct Fig7 {
     pub by_templates: Vec<Point>,
     pub by_anomaly_len: Vec<Point>,
+    /// Resolved worker-thread count the measured diagnoser ran with.
+    #[serde(default)]
+    pub parallelism: usize,
 }
 
 /// Builds a synthetic timing case: `n_templates` templates with Poisson
@@ -106,9 +109,9 @@ pub fn timing_case(
     (case, window)
 }
 
-fn measure(n_templates: usize, anomaly_len_s: i64, seed: u64) -> Point {
+fn measure(n_templates: usize, anomaly_len_s: i64, seed: u64, parallelism: usize) -> Point {
     let (case, window) = timing_case(n_templates, anomaly_len_s, seed);
-    let pinsql = PinSql::new(PinSqlConfig::default());
+    let pinsql = PinSql::new(PinSqlConfig::default().with_parallelism(parallelism));
     let t0 = std::time::Instant::now();
     let _ = pinsql.diagnose(&case, &window, &HistoryStore::new(), 1_000_000);
     Point {
@@ -120,9 +123,16 @@ fn measure(n_templates: usize, anomaly_len_s: i64, seed: u64) -> Point {
     }
 }
 
-/// Runs both sweeps. `scale` trims the largest points for quick runs
-/// (1.0 = full paper-scale sweep).
+/// Runs both sweeps with the serial diagnoser. `scale` trims the largest
+/// points for quick runs (1.0 = full paper-scale sweep).
 pub fn run(scale: f64) -> Fig7 {
+    run_par(scale, 1)
+}
+
+/// [`run`] with a parallelism knob for the *measured* diagnoser (`0` =
+/// all cores, `1` = serial). The sweep loop itself stays serial so each
+/// point is timed on an otherwise idle machine.
+pub fn run_par(scale: f64, parallelism: usize) -> Fig7 {
     let template_sweep: Vec<usize> = [250usize, 500, 1000, 2000, 4000, 6000]
         .iter()
         .map(|&n| ((n as f64 * scale) as usize).max(50))
@@ -131,10 +141,17 @@ pub fn run(scale: f64) -> Fig7 {
         .iter()
         .map(|&s| ((s as f64 * scale) as i64).max(60))
         .collect();
-    let by_templates =
-        template_sweep.iter().map(|&n| measure(n, (600.0 * scale) as i64 + 60, 7001)).collect();
-    let by_anomaly_len = anomaly_sweep.iter().map(|&s| measure(1000, s, 7002)).collect();
-    Fig7 { by_templates, by_anomaly_len }
+    let by_templates = template_sweep
+        .iter()
+        .map(|&n| measure(n, (600.0 * scale) as i64 + 60, 7001, parallelism))
+        .collect();
+    let by_anomaly_len =
+        anomaly_sweep.iter().map(|&s| measure(1000, s, 7002, parallelism)).collect();
+    Fig7 {
+        by_templates,
+        by_anomaly_len,
+        parallelism: pinsql_timeseries::effective_parallelism(parallelism),
+    }
 }
 
 impl std::fmt::Display for Fig7 {

@@ -14,8 +14,10 @@
 //! decoy-top-1 rate (how often the diagnoser's top pick is the decoy).
 
 use crate::caseset::CaseSetConfig;
+use crate::methods::split_parallelism;
 use crate::metrics::{first_hit_rank, RankSummary};
 use pinsql::{Ablation, PinSql, PinSqlConfig};
+use pinsql_timeseries::par_map;
 use pinsql_scenario::{
     generate_base, inject, materialize, synthesize_history, AnomalyKind, Scenario,
 };
@@ -86,8 +88,15 @@ fn plant_decoy(scenario: &mut Scenario) -> SpecId {
     spec
 }
 
-/// Runs the experiment over `n_cases` cases.
+/// Runs the experiment over `n_cases` cases (all cores).
 pub fn run(cfg: &CaseSetConfig, n_cases: usize) -> Recurring {
+    run_par(cfg, n_cases, 0)
+}
+
+/// [`run`] with an explicit parallelism knob (`0` = all cores, `1` =
+/// serial). Scores are identical for every value; cases fan out and each
+/// diagnosis runs serially.
+pub fn run_par(cfg: &CaseSetConfig, n_cases: usize, parallelism: usize) -> Recurring {
     struct CaseOutcome {
         r_rank_with: Option<usize>,
         r_rank_without: Option<usize>,
@@ -95,8 +104,8 @@ pub fn run(cfg: &CaseSetConfig, n_cases: usize) -> Recurring {
         decoy_top1_without: bool,
         time_with: f64,
     }
-    let mut outcomes = Vec::with_capacity(n_cases);
-    for i in 0..n_cases {
+    let (workers, inner) = split_parallelism(parallelism);
+    let outcomes = par_map(n_cases, workers, |i| {
         let kind = AnomalyKind::ALL[i % AnomalyKind::ALL.len()];
         let scenario_cfg = cfg.scenario.clone().with_seed(cfg.seed + i as u64);
         let base = generate_base(&scenario_cfg);
@@ -119,7 +128,9 @@ pub fn run(cfg: &CaseSetConfig, n_cases: usize) -> Recurring {
         let decoy_id: SqlId = case.case.catalog.id_of_spec(decoy_spec);
 
         let run_arm = |ablation: Ablation| {
-            let pinsql = PinSql::new(PinSqlConfig::default().with_ablation(ablation));
+            let pinsql = PinSql::new(
+                PinSqlConfig::default().with_ablation(ablation).with_parallelism(inner),
+            );
             let t0 = std::time::Instant::now();
             let d =
                 pinsql.diagnose(&case.case, &case.window, &case.history, case.minutes_origin);
@@ -133,14 +144,14 @@ pub fn run(cfg: &CaseSetConfig, n_cases: usize) -> Recurring {
         let (r_with, decoy_with, t_with) = run_arm(Ablation::default());
         let (r_without, decoy_without, _) =
             run_arm(Ablation { no_history_verification: true, ..Default::default() });
-        outcomes.push(CaseOutcome {
+        CaseOutcome {
             r_rank_with: r_with,
             r_rank_without: r_without,
             decoy_top1_with: decoy_with,
             decoy_top1_without: decoy_without,
             time_with: t_with,
-        });
-    }
+        }
+    });
 
     let arm = |name: &str, ranks: Vec<Option<usize>>, decoys: usize, times: &[f64]| Arm {
         name: name.to_string(),

@@ -6,11 +6,12 @@
 //! knob around the paper's default on a fixed case set and reports R-SQL
 //! MRR, showing how flat (robust) or peaked (fragile) each choice is.
 
-use crate::caseset::{build_cases, CaseSetConfig};
-use crate::methods::{rank_with, Method};
+use crate::caseset::{build_cases_par, CaseSetConfig};
+use crate::methods::{rank_with, split_parallelism, Method};
 use crate::metrics::{first_hit_rank, mean_reciprocal_rank};
 use pinsql::PinSqlConfig;
 use pinsql_scenario::LabeledCase;
+use pinsql_timeseries::par_map;
 use serde::{Deserialize, Serialize};
 
 /// One sweep over one knob.
@@ -30,19 +31,25 @@ pub struct Sensitivity {
     pub n_cases: usize,
 }
 
-fn mrr_with(cases: &[LabeledCase], cfg: PinSqlConfig) -> f64 {
+fn mrr_with(cases: &[LabeledCase], cfg: PinSqlConfig, workers: usize) -> f64 {
     let method = Method::PinSql(cfg);
-    let ranks: Vec<Option<usize>> = cases
-        .iter()
-        .map(|case| first_hit_rank(&rank_with(&method, case).rsqls, &case.truth.rsqls))
-        .collect();
+    let ranks = par_map(cases.len(), workers, |i| {
+        first_hit_rank(&rank_with(&method, &cases[i]).rsqls, &cases[i].truth.rsqls)
+    });
     mean_reciprocal_rank(&ranks)
 }
 
-/// Runs all four sweeps on one generated case set.
+/// Runs all four sweeps on one generated case set (all cores).
 pub fn run(cfg: &CaseSetConfig) -> Sensitivity {
-    let cases = build_cases(cfg);
-    let base = PinSqlConfig::default();
+    run_par(cfg, 0)
+}
+
+/// [`run`] with an explicit parallelism knob (`0` = all cores, `1` =
+/// serial). Sweep points are identical for every value.
+pub fn run_par(cfg: &CaseSetConfig, parallelism: usize) -> Sensitivity {
+    let (workers, inner) = split_parallelism(parallelism);
+    let cases = build_cases_par(cfg, workers);
+    let base = PinSqlConfig::default().with_parallelism(inner);
 
     let mut sweeps = Vec::new();
 
@@ -52,7 +59,7 @@ pub fn run(cfg: &CaseSetConfig) -> Sensitivity {
         default_value: base.tau,
         points: tau_values
             .iter()
-            .map(|&tau| (tau, mrr_with(&cases, PinSqlConfig { tau, ..base.clone() })))
+            .map(|&tau| (tau, mrr_with(&cases, PinSqlConfig { tau, ..base.clone() }, workers)))
             .collect(),
     });
 
@@ -62,7 +69,7 @@ pub fn run(cfg: &CaseSetConfig) -> Sensitivity {
         default_value: base.tau_c,
         points: tau_c_values
             .iter()
-            .map(|&tau_c| (tau_c, mrr_with(&cases, PinSqlConfig { tau_c, ..base.clone() })))
+            .map(|&tau_c| (tau_c, mrr_with(&cases, PinSqlConfig { tau_c, ..base.clone() }, workers)))
             .collect(),
     });
 
@@ -72,7 +79,7 @@ pub fn run(cfg: &CaseSetConfig) -> Sensitivity {
         default_value: base.ks,
         points: ks_values
             .iter()
-            .map(|&ks| (ks, mrr_with(&cases, PinSqlConfig { ks, ..base.clone() })))
+            .map(|&ks| (ks, mrr_with(&cases, PinSqlConfig { ks, ..base.clone() }, workers)))
             .collect(),
     });
 
@@ -82,7 +89,7 @@ pub fn run(cfg: &CaseSetConfig) -> Sensitivity {
         default_value: base.buckets_k as f64,
         points: k_values
             .iter()
-            .map(|&k| (k as f64, mrr_with(&cases, base.clone().with_buckets(k))))
+            .map(|&k| (k as f64, mrr_with(&cases, base.clone().with_buckets(k), workers)))
             .collect(),
     });
 

@@ -5,12 +5,13 @@
 //! mean per-case running time. `Top-All` is the per-case best of the three
 //! single-metric baselines, as in the paper.
 
-use crate::caseset::{build_cases, CaseSetConfig};
-use crate::methods::{rank_with, Method, Rankings};
+use crate::caseset::CaseSetConfig;
+use crate::methods::{rank_with, split_parallelism, Method, Rankings};
 use crate::metrics::{first_hit_rank, RankSummary};
-use pinsql::PinSqlConfig;
+use pinsql::{PinSqlConfig, StageTimings};
 use pinsql_baselines::TopMetric;
 use pinsql_scenario::LabeledCase;
+use pinsql_timeseries::par_map;
 use serde::{Deserialize, Serialize};
 
 /// One method's row (R-SQL and H-SQL summaries).
@@ -19,6 +20,9 @@ pub struct Row {
     pub method: String,
     pub rsql: RankSummary,
     pub hsql: RankSummary,
+    /// Mean per-stage timing decomposition (PinSQL rows only).
+    #[serde(default)]
+    pub stage: Option<StageTimings>,
 }
 
 /// The full table.
@@ -26,62 +30,95 @@ pub struct Row {
 pub struct Table1 {
     pub rows: Vec<Row>,
     pub n_cases: usize,
+    /// Resolved per-case fan-out the table was produced with.
+    #[serde(default)]
+    pub parallelism: usize,
 }
 
-/// Scores one method over the cases.
-fn score(method: &Method, cases: &[LabeledCase]) -> Row {
-    let mut r_ranks = Vec::with_capacity(cases.len());
-    let mut h_ranks = Vec::with_capacity(cases.len());
-    let mut times = Vec::with_capacity(cases.len());
-    for case in cases {
+/// Scores one method over the cases, fanning out per case (`workers` ≥ 1;
+/// cases are independent, merged by index, so the quality rows are
+/// identical for every worker count — only wall clock changes).
+fn score(method: &Method, cases: &[LabeledCase], workers: usize) -> Row {
+    let per_case = par_map(cases.len(), workers, |i| {
+        let case = &cases[i];
         let out = rank_with(method, case);
-        r_ranks.push(first_hit_rank(&out.rsqls, &case.truth.rsqls));
-        h_ranks.push(first_hit_rank(&out.hsqls, &case.truth.hsqls));
-        times.push(out.time_s);
-    }
+        (
+            first_hit_rank(&out.rsqls, &case.truth.rsqls),
+            first_hit_rank(&out.hsqls, &case.truth.hsqls),
+            out.time_s,
+            out.stage,
+        )
+    });
+    let r_ranks: Vec<_> = per_case.iter().map(|c| c.0).collect();
+    let h_ranks: Vec<_> = per_case.iter().map(|c| c.1).collect();
+    let times: Vec<_> = per_case.iter().map(|c| c.2).collect();
+    let stages: Vec<StageTimings> = per_case.iter().filter_map(|c| c.3).collect();
     Row {
         method: method.label(),
         rsql: RankSummary::from_ranks(&r_ranks, &times),
         hsql: RankSummary::from_ranks(&h_ranks, &times),
+        stage: if stages.is_empty() { None } else { Some(StageTimings::mean_of(&stages)) },
     }
 }
 
 /// Scores Top-All: per case, the best rank any single-metric baseline
 /// achieves (the DBA pages through all three sorted views).
-fn score_top_all(cases: &[LabeledCase]) -> Row {
-    let mut r_ranks = Vec::with_capacity(cases.len());
-    let mut h_ranks = Vec::with_capacity(cases.len());
-    for case in cases {
+fn score_top_all(cases: &[LabeledCase], workers: usize) -> Row {
+    let per_case = par_map(cases.len(), workers, |i| {
+        let case = &cases[i];
         let outs: Vec<Rankings> =
             TopMetric::ALL.iter().map(|m| rank_with(&Method::Top(*m), case)).collect();
         let best = |f: &dyn Fn(&Rankings) -> Option<usize>| -> Option<usize> {
             outs.iter().filter_map(f).min()
         };
-        r_ranks.push(best(&|o: &Rankings| first_hit_rank(&o.rsqls, &case.truth.rsqls)));
-        h_ranks.push(best(&|o: &Rankings| first_hit_rank(&o.hsqls, &case.truth.hsqls)));
-    }
+        (
+            best(&|o: &Rankings| first_hit_rank(&o.rsqls, &case.truth.rsqls)),
+            best(&|o: &Rankings| first_hit_rank(&o.hsqls, &case.truth.hsqls)),
+        )
+    });
+    let r_ranks: Vec<_> = per_case.iter().map(|c| c.0).collect();
+    let h_ranks: Vec<_> = per_case.iter().map(|c| c.1).collect();
     Row {
         method: "Top-All".to_string(),
         rsql: RankSummary::from_ranks(&r_ranks, &[]),
         hsql: RankSummary::from_ranks(&h_ranks, &[]),
+        stage: None,
     }
 }
 
-/// Runs the Table I experiment over a freshly generated case set.
+/// Runs the Table I experiment over a freshly generated case set, using
+/// all available cores for the per-case fan-out.
 pub fn run(cfg: &CaseSetConfig) -> Table1 {
-    let cases = build_cases(cfg);
-    run_on(&cases)
+    run_par(cfg, 0)
 }
 
-/// Runs the Table I experiment on pre-built cases.
+/// [`run`] with an explicit parallelism knob (`0` = all cores, `1` =
+/// serial). Quality rows are identical for every value.
+pub fn run_par(cfg: &CaseSetConfig, parallelism: usize) -> Table1 {
+    let (workers, _) = split_parallelism(parallelism);
+    let cases = crate::caseset::build_cases_par(cfg, workers);
+    run_on_par(&cases, parallelism)
+}
+
+/// Runs the Table I experiment on pre-built cases (all cores).
 pub fn run_on(cases: &[LabeledCase]) -> Table1 {
+    run_on_par(cases, 0)
+}
+
+/// [`run_on`] with an explicit parallelism knob.
+pub fn run_on_par(cases: &[LabeledCase], parallelism: usize) -> Table1 {
+    let (workers, inner) = split_parallelism(parallelism);
     let mut rows = Vec::new();
     for metric in TopMetric::ALL {
-        rows.push(score(&Method::Top(metric), cases));
+        rows.push(score(&Method::Top(metric), cases, workers));
     }
-    rows.push(score_top_all(cases));
-    rows.push(score(&Method::PinSql(PinSqlConfig::default()), cases));
-    Table1 { rows, n_cases: cases.len() }
+    rows.push(score_top_all(cases, workers));
+    rows.push(score(
+        &Method::PinSql(PinSqlConfig::default().with_parallelism(inner)),
+        cases,
+        workers,
+    ));
+    Table1 { rows, n_cases: cases.len(), parallelism: workers }
 }
 
 impl std::fmt::Display for Table1 {

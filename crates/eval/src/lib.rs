@@ -18,6 +18,6 @@ pub mod experiments;
 pub mod methods;
 pub mod metrics;
 
-pub use caseset::{build_cases, CaseSetConfig};
-pub use methods::{rank_with, Method, Rankings};
+pub use caseset::{build_cases, build_cases_par, CaseSetConfig};
+pub use methods::{rank_with, split_parallelism, Method, Rankings};
 pub use metrics::{first_hit_rank, hits_at_k, mean_reciprocal_rank, RankSummary};

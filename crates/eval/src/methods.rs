@@ -32,6 +32,9 @@ pub struct Rankings {
     pub rsqls: Vec<SqlId>,
     pub hsqls: Vec<SqlId>,
     pub time_s: f64,
+    /// Per-stage wall-clock decomposition (PinSQL only; baselines have no
+    /// stages).
+    pub stage: Option<pinsql::StageTimings>,
 }
 
 /// Runs a method on one case.
@@ -45,14 +48,34 @@ pub fn rank_with(method: &Method, case: &LabeledCase) -> Rankings {
                 rsqls: d.rsqls.iter().map(|r| r.id).collect(),
                 hsqls: d.hsqls.iter().map(|r| r.id).collect(),
                 time_s: t0.elapsed().as_secs_f64(),
+                stage: Some(d.timings),
             }
         }
         Method::Top(metric) => {
             let ranked = rank_top(&case.case, &case.window, *metric);
             let ids: Vec<SqlId> =
                 ranked.iter().map(|&(i, _)| case.case.templates[i].id).collect();
-            Rankings { rsqls: ids.clone(), hsqls: ids, time_s: t0.elapsed().as_secs_f64() }
+            Rankings {
+                rsqls: ids.clone(),
+                hsqls: ids,
+                time_s: t0.elapsed().as_secs_f64(),
+                stage: None,
+            }
         }
+    }
+}
+
+/// How an experiment splits a `parallelism` knob (`0` = all cores)
+/// between its per-case fan-out and the diagnoser itself: with more than
+/// one worker the cases fan out and each diagnosis runs serially (cases
+/// dominate and oversubscribing threads helps nobody); with one worker
+/// everything is serial — exactly the pre-knob behaviour.
+pub fn split_parallelism(parallelism: usize) -> (usize, usize) {
+    let resolved = pinsql_timeseries::effective_parallelism(parallelism);
+    if resolved > 1 {
+        (resolved, 1)
+    } else {
+        (1, 1)
     }
 }
 

@@ -64,6 +64,13 @@ pub struct PinSqlConfig {
     pub tukey_k: f64,
     /// Days back to verify against (paper: 1, 3, 7).
     pub history_days: Vec<u32>,
+    /// Worker threads for the parallel hot paths (clustering, session
+    /// estimation, H-SQL scoring): `0` = all available cores, `1` =
+    /// serial. Results are identical for every value — parallelism only
+    /// fans out independent (i, j)/template units with a deterministic
+    /// merge order.
+    #[serde(default)]
+    pub parallelism: usize,
     /// Ablation switches (all off for full PinSQL).
     pub ablation: Ablation,
 }
@@ -80,6 +87,7 @@ impl Default for PinSqlConfig {
             estimator: EstimatorKind::Buckets,
             tukey_k: 1.5,
             history_days: vec![1, 3, 7],
+            parallelism: 0,
             ablation: Ablation::default(),
         }
     }
@@ -110,6 +118,18 @@ impl PinSqlConfig {
         self.buckets_k = k;
         self
     }
+
+    /// Builder-style parallelism override (`0` = all cores, `1` = serial).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The resolved worker-thread count (`parallelism`, with `0` mapped to
+    /// the machine's available cores).
+    pub fn effective_parallelism(&self) -> usize {
+        pinsql_timeseries::effective_parallelism(self.parallelism)
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +146,21 @@ mod tests {
         assert_eq!(c.tau_c, 0.95);
         assert_eq!(c.buckets_k, 10);
         assert_eq!(c.history_days, vec![1, 3, 7]);
+        assert_eq!(c.parallelism, 0, "default parallelism is all-cores (0)");
         assert_eq!(c.ablation, Ablation::default());
+    }
+
+    #[test]
+    fn parallelism_builder_and_resolution() {
+        let c = PinSqlConfig::default().with_parallelism(3);
+        assert_eq!(c.parallelism, 3);
+        assert_eq!(c.effective_parallelism(), 3);
+        let auto = PinSqlConfig::default();
+        assert!(auto.effective_parallelism() >= 1);
+        assert_eq!(
+            PinSqlConfig::default().with_parallelism(1).effective_parallelism(),
+            1
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::session_estimate::SessionEstimates;
 use pinsql_collector::CaseData;
 use pinsql_detect::AnomalyWindow;
 use pinsql_timeseries::{
-    min_max_normalize, pearson, sigmoid_window_weights, weighted_pearson,
+    min_max_normalize, par_map, pearson, sigmoid_window_weights, weighted_pearson,
 };
 
 /// Division guard for the session share.
@@ -71,21 +71,22 @@ pub fn rank_hsqls(
         cfg.ks,
     );
     let ab = cfg.ablation;
+    let parallelism = cfg.effective_parallelism();
 
     // Anomaly-window slice bounds within the collection window.
     let a_lo = (window.anomaly_start - window.ts()).max(0) as usize;
     let a_hi = ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
 
-    // Trend level.
-    let trend: Vec<f64> = (0..n)
-        .map(|i| {
-            if ab.no_trend_level {
-                0.0
-            } else {
-                weighted_pearson(est.of(i), session, &weights)
-            }
-        })
-        .collect();
+    // Trend level. Per-template scores are independent, so both weighted-
+    // correlation loops fan out; the merge is by template index, keeping
+    // the scores bit-identical to the serial loop.
+    let trend: Vec<f64> = par_map(n, parallelism, |i| {
+        if ab.no_trend_level {
+            0.0
+        } else {
+            weighted_pearson(est.of(i), session, &weights)
+        }
+    });
 
     // Scale level: total session inside the anomaly window, min-max over
     // templates, rescaled into [-1, 1].
@@ -101,20 +102,18 @@ pub fn rank_hsqls(
     }
 
     // Scale-trend level: corr(session_Q / session, session).
-    let scale_trend: Vec<f64> = (0..n)
-        .map(|i| {
-            if ab.no_scale_trend_level {
-                return 0.0;
-            }
-            let share: Vec<f64> = est
-                .of(i)
-                .iter()
-                .zip(session)
-                .map(|(&q, &s)| if s.abs() < SHARE_EPS { 0.0 } else { q / s })
-                .collect();
-            pearson(&share, session)
-        })
-        .collect();
+    let scale_trend: Vec<f64> = par_map(n, parallelism, |i| {
+        if ab.no_scale_trend_level {
+            return 0.0;
+        }
+        let share: Vec<f64> = est
+            .of(i)
+            .iter()
+            .zip(session)
+            .map(|(&q, &s)| if s.abs() < SHARE_EPS { 0.0 } else { q / s })
+            .collect();
+        pearson(&share, session)
+    });
 
     // Adaptive weights.
     let (alpha, beta) = if ab.no_weighted_final {

@@ -30,6 +30,28 @@ pub struct StageTimings {
     pub hsql_s: f64,
     pub cluster_s: f64,
     pub total_s: f64,
+    /// Resolved worker-thread count the diagnosis ran with (1 = serial),
+    /// so timing rows are attributable to a parallelism level.
+    #[serde(default)]
+    pub parallelism: usize,
+}
+
+impl StageTimings {
+    /// Merges per-case timings into a mean (for Table I rows). Empty input
+    /// yields all-zero timings.
+    pub fn mean_of(samples: &[StageTimings]) -> StageTimings {
+        if samples.is_empty() {
+            return StageTimings::default();
+        }
+        let n = samples.len() as f64;
+        StageTimings {
+            estimate_s: samples.iter().map(|s| s.estimate_s).sum::<f64>() / n,
+            hsql_s: samples.iter().map(|s| s.hsql_s).sum::<f64>() / n,
+            cluster_s: samples.iter().map(|s| s.cluster_s).sum::<f64>() / n,
+            total_s: samples.iter().map(|s| s.total_s).sum::<f64>() / n,
+            parallelism: samples[0].parallelism,
+        }
+    }
 }
 
 /// A complete diagnosis of one anomaly case.
@@ -102,6 +124,7 @@ impl PinSql {
                 hsql_s: (t2 - t1).as_secs_f64(),
                 cluster_s: (t3 - t2).as_secs_f64(),
                 total_s: (t3 - t0).as_secs_f64(),
+                parallelism: self.cfg.effective_parallelism(),
             },
         }
     }
@@ -175,5 +198,31 @@ mod tests {
         assert!(d.selected_clusters >= 1);
         assert!(d.timings.total_s >= d.timings.estimate_s);
         assert!(d.timings.total_s > 0.0);
+        assert!(d.timings.parallelism >= 1);
+    }
+
+    #[test]
+    fn stage_timings_mean() {
+        let a = StageTimings {
+            estimate_s: 1.0,
+            hsql_s: 2.0,
+            cluster_s: 3.0,
+            total_s: 6.0,
+            parallelism: 4,
+        };
+        let b = StageTimings {
+            estimate_s: 3.0,
+            hsql_s: 4.0,
+            cluster_s: 5.0,
+            total_s: 12.0,
+            parallelism: 4,
+        };
+        let m = StageTimings::mean_of(&[a, b]);
+        assert_eq!(m.estimate_s, 2.0);
+        assert_eq!(m.hsql_s, 3.0);
+        assert_eq!(m.cluster_s, 4.0);
+        assert_eq!(m.total_s, 9.0);
+        assert_eq!(m.parallelism, 4);
+        assert_eq!(StageTimings::mean_of(&[]), StageTimings::default());
     }
 }

@@ -24,7 +24,7 @@ use crate::session_estimate::SessionEstimates;
 use pinsql_collector::{CaseData, HistoryStore};
 use pinsql_detect::AnomalyWindow;
 use pinsql_timeseries::resample::{downsample, Downsample};
-use pinsql_timeseries::{connected_components, pearson, tukey_fences, TimeSeries};
+use pinsql_timeseries::{connected_components_par, par_map, pearson, tukey_fences, TimeSeries};
 
 /// Everything the R-SQL stage produces (kept for diagnostics and tests).
 #[derive(Debug, Clone)]
@@ -66,15 +66,20 @@ pub fn identify_rsqls(
         };
     }
     let session = case.instance_session();
+    let parallelism = cfg.effective_parallelism();
 
     // --- 1. Clustering on 1-minute execution trends + metric helpers. ---
+    // The per-minute resampling and the pairwise correlation graph are the
+    // dominant cost at paper-scale template counts; both fan out over
+    // independent units (templates / pair-loop rows) with index-ordered
+    // merges, so the clustering is identical at every parallelism level.
     let tpl_minutes: Vec<Vec<f64>> =
-        case.templates.iter().map(|t| t.series.per_minute()).collect();
+        par_map(n, parallelism, |i| case.templates[i].series.per_minute());
     let helper_series: Vec<Vec<f64>> = helper_nodes(case);
     let mut series_refs: Vec<&[f64]> = Vec::with_capacity(n + helper_series.len());
     series_refs.extend(tpl_minutes.iter().map(|v| v.as_slice()));
     series_refs.extend(helper_series.iter().map(|v| v.as_slice()));
-    let raw_components = connected_components(&series_refs, cfg.tau);
+    let raw_components = connected_components_par(&series_refs, cfg.tau, parallelism);
     let mut clusters: Vec<Vec<usize>> = raw_components
         .into_iter()
         .map(|c| c.into_iter().filter(|&i| i < n).collect::<Vec<_>>())
@@ -128,11 +133,10 @@ pub fn identify_rsqls(
     let verified: Vec<usize> = if cfg.ablation.no_history_verification {
         candidates.clone()
     } else {
-        candidates
-            .iter()
-            .copied()
-            .filter(|&i| verify_history(case, i, window, history, minutes_origin, cfg))
-            .collect()
+        let keep = par_map(candidates.len(), parallelism, |ci| {
+            verify_history(case, candidates[ci], window, history, minutes_origin, cfg)
+        });
+        candidates.iter().zip(keep).filter(|(_, k)| *k).map(|(&i, _)| i).collect()
     };
     // The paper keeps only verified templates; if verification empties the
     // set (e.g. no history at all and a flat current trend), fall back to
@@ -150,10 +154,10 @@ pub fn identify_rsqls(
         Downsample::Mean,
     )
     .into_values();
-    let mut ranked: Vec<(usize, f64)> = final_set
-        .iter()
-        .map(|&i| (i, pearson(&tpl_minutes[i], &session_min)))
-        .collect();
+    let mut ranked: Vec<(usize, f64)> = par_map(final_set.len(), parallelism, |fi| {
+        let i = final_set[fi];
+        (i, pearson(&tpl_minutes[i], &session_min))
+    });
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     RsqlOutcome { ranked, clusters, selected_clusters, candidates, verified }

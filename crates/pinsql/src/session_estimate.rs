@@ -19,6 +19,7 @@
 use crate::config::{EstimatorKind, PinSqlConfig};
 use pinsql_collector::CaseData;
 use pinsql_dbsim::QueryRecord;
+use pinsql_timeseries::par_map;
 
 /// The estimator's output, aligned with `case.templates`.
 #[derive(Debug, Clone)]
@@ -46,10 +47,13 @@ impl SessionEstimates {
 pub fn estimate_sessions(case: &CaseData, cfg: &PinSqlConfig) -> SessionEstimates {
     let kind =
         if cfg.ablation.no_estimate_session { EstimatorKind::ByRt } else { cfg.estimator };
+    let parallelism = cfg.effective_parallelism();
     match kind {
         EstimatorKind::ByRt => estimate_by_rt(case),
-        EstimatorKind::NoBuckets => estimate_with_buckets(case, 1),
-        EstimatorKind::Buckets => estimate_with_buckets(case, cfg.buckets_k.max(1)),
+        EstimatorKind::NoBuckets => estimate_with_buckets(case, 1, parallelism),
+        EstimatorKind::Buckets => {
+            estimate_with_buckets(case, cfg.buckets_k.max(1), parallelism)
+        }
     }
 }
 
@@ -74,7 +78,12 @@ fn estimate_by_rt(case: &CaseData) -> SessionEstimates {
 /// Bucketed estimation (`K = 1` reproduces the w/o-buckets variant: the
 /// whole second is one bucket, so `P` is the query's expected activity over
 /// the full second).
-fn estimate_with_buckets(case: &CaseData, k: usize) -> SessionEstimates {
+///
+/// Pass 2 (per-template accumulation) fans out over templates with up to
+/// `parallelism` workers; each template's series depends only on its own
+/// records and the shared selected-bucket vector, so the output is
+/// bit-identical for every parallelism level.
+fn estimate_with_buckets(case: &CaseData, k: usize, parallelism: usize) -> SessionEstimates {
     let n = case.n_seconds();
     let ts_ms = case.ts as f64 * 1000.0;
     let bucket_ms = 1000.0 / k as f64;
@@ -110,27 +119,25 @@ fn estimate_with_buckets(case: &CaseData, k: usize) -> SessionEstimates {
     }
 
     // Pass 2: per-template sessions evaluated at the selected buckets.
-    let mut per_template: Vec<Vec<f64>> = Vec::with_capacity(case.templates.len());
-    for tpl in &case.templates {
-        let mut tpl_full_diff = vec![0.0f64; n + 1];
-        let mut tpl_edges = vec![vec![0.0f64; n]; k];
-        for &ri in &tpl.record_idx {
-            accumulate_query(
-                &case.records[ri as usize],
-                ts_ms,
-                n,
-                bucket_ms,
-                &mut tpl_full_diff,
-                &mut tpl_edges,
-                Some(&selected_bucket),
-            );
-        }
-        let tpl_full = prefix_sum(&tpl_full_diff, n);
-        let series: Vec<f64> = (0..n)
-            .map(|t| tpl_full[t] + tpl_edges[selected_bucket[t]][t])
-            .collect();
-        per_template.push(series);
-    }
+    let per_template: Vec<Vec<f64>> =
+        par_map(case.templates.len(), parallelism, |tpl_idx| {
+            let tpl = &case.templates[tpl_idx];
+            let mut tpl_full_diff = vec![0.0f64; n + 1];
+            let mut tpl_edges = vec![vec![0.0f64; n]; k];
+            for &ri in &tpl.record_idx {
+                accumulate_query(
+                    &case.records[ri as usize],
+                    ts_ms,
+                    n,
+                    bucket_ms,
+                    &mut tpl_full_diff,
+                    &mut tpl_edges,
+                    Some(&selected_bucket),
+                );
+            }
+            let tpl_full = prefix_sum(&tpl_full_diff, n);
+            (0..n).map(|t| tpl_full[t] + tpl_edges[selected_bucket[t]][t]).collect()
+        });
 
     let instance_estimate = if k > 1 {
         // Evaluate the instance expectation at the selected buckets.
@@ -395,6 +402,35 @@ mod tests {
         // RT estimator attributes the whole 2 s to the arrival second.
         assert!((est.per_template[a_idx][0] - 2.0).abs() < 1e-9);
         assert!(est.per_template[a_idx][1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_estimation_is_bit_identical() {
+        let mut log = Vec::new();
+        for t in 0..20 {
+            for j in 0..6 {
+                log.push(rec((t + j) % 2, t as f64 * 1000.0 + j as f64 * 157.0, 730.0));
+            }
+        }
+        let case = aggregate_case(
+            &log,
+            &specs2(),
+            &metrics_with_probes(20, vec![(3, 2, 400.0), (11, 4, 800.0)]),
+            0,
+            20,
+        );
+        for kind in [EstimatorKind::NoBuckets, EstimatorKind::Buckets] {
+            let serial = estimate_sessions(&case, &cfg(kind, 10).with_parallelism(1));
+            for p in [0usize, 2, 4, 16] {
+                let par = estimate_sessions(&case, &cfg(kind, 10).with_parallelism(p));
+                assert_eq!(serial.selected_bucket, par.selected_bucket, "{kind:?} p={p}");
+                for (a, b) in serial.per_template.iter().zip(&par.per_template) {
+                    let bits =
+                        |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(a), bits(b), "{kind:?} p={p}");
+                }
+            }
+        }
     }
 
     #[test]

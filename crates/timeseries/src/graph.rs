@@ -7,10 +7,18 @@
 //! result are the business clusters. Helper nodes are filtered from the
 //! final clusters by the caller.
 //!
-//! For `N` series of length `L` the pairwise pass is `O(N²·L)` dot products
-//! over pre-normalized vectors (each series is centered and scaled to unit
-//! norm once), which keeps the constant small; PinSQL clusters at 1-minute
-//! granularity precisely so that `L` stays tiny.
+//! The pairwise pass runs over a [`NormalizedMatrix`]: every series is
+//! centered and scaled to unit norm **once**, so each of the `O(N²)` pairs
+//! is a single dot product over contiguous memory instead of a fresh
+//! mean/variance recomputation. Rows of the triangular pair loop are
+//! independent, so the build optionally fans out across threads
+//! ([`CorrelationGraph::with_parallelism`]); the resulting components are
+//! identical for every parallelism level because union-find connectivity
+//! does not depend on edge insertion order and [`UnionFind::components`]
+//! returns a canonical ordering.
+
+use crate::matrix::{dot_kernel, NormalizedMatrix};
+use crate::par::{effective_parallelism, par_flat_map};
 
 /// Disjoint-set union with path halving and union by size.
 #[derive(Debug, Clone)]
@@ -70,6 +78,11 @@ impl UnionFind {
 
     /// Groups element indices by set. Sets are ordered by their smallest
     /// member; members within a set are in ascending order.
+    ///
+    /// The ordering is *canonical*: it depends only on the connectivity
+    /// relation, never on the sequence of `union` calls that produced it —
+    /// the property that lets serial and parallel graph builds return
+    /// byte-identical clusterings.
     pub fn components(&mut self) -> Vec<Vec<usize>> {
         let n = self.parent.len();
         let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -77,71 +90,90 @@ impl UnionFind {
             let r = self.find(i);
             by_root[r].push(i);
         }
-        by_root.into_iter().filter(|c| !c.is_empty()).collect()
+        let mut comps: Vec<Vec<usize>> =
+            by_root.into_iter().filter(|c| !c.is_empty()).collect();
+        // Members are pushed in ascending order, so c[0] is the minimum.
+        comps.sort_by_key(|c| c[0]);
+        comps
     }
-}
-
-/// A node's series, pre-normalized for fast pairwise correlation.
-struct NormalizedNode {
-    /// Centered, unit-norm values; `None` when the series has no variance
-    /// (such nodes correlate with nothing).
-    unit: Option<Vec<f64>>,
-}
-
-fn normalize(values: &[f64], len: usize) -> NormalizedNode {
-    let n = len.min(values.len());
-    if n < 2 {
-        return NormalizedNode { unit: None };
-    }
-    let mean = values[..n].iter().sum::<f64>() / n as f64;
-    let mut centered: Vec<f64> = values[..n].iter().map(|&v| v - mean).collect();
-    let norm = centered.iter().map(|v| v * v).sum::<f64>().sqrt();
-    if norm <= f64::EPSILON {
-        return NormalizedNode { unit: None };
-    }
-    centered.iter_mut().for_each(|v| *v /= norm);
-    NormalizedNode { unit: Some(centered) }
 }
 
 /// A correlation graph over a set of equally-long series.
 ///
-/// Build one with [`CorrelationGraph::new`], then extract clusters with
+/// Build one with [`CorrelationGraph::new`] (serial) or
+/// [`CorrelationGraph::with_parallelism`], then extract clusters with
 /// [`CorrelationGraph::components`].
 pub struct CorrelationGraph {
     uf: UnionFind,
 }
 
 impl CorrelationGraph {
-    /// Builds the graph: nodes `i, j` are adjacent when
+    /// Builds the graph serially: nodes `i, j` are adjacent when
     /// `pearson(series[i], series[j]) > tau`. Series are truncated to the
     /// shortest length present; zero-variance series are isolated nodes.
     pub fn new(series: &[&[f64]], tau: f64) -> Self {
-        let n = series.len();
+        Self::with_parallelism(series, tau, 1)
+    }
+
+    /// Builds the graph with up to `parallelism` worker threads (`0` = all
+    /// cores, `1` = serial). The clustering is identical for every value.
+    pub fn with_parallelism(series: &[&[f64]], tau: f64, parallelism: usize) -> Self {
+        let matrix = NormalizedMatrix::from_series(series);
+        Self::from_matrix(&matrix, tau, parallelism)
+    }
+
+    /// Builds the graph from a pre-normalized matrix (callers that already
+    /// hold one — e.g. to reuse it for other correlations — skip the
+    /// normalization pass entirely).
+    pub fn from_matrix(matrix: &NormalizedMatrix, tau: f64, parallelism: usize) -> Self {
+        let n = matrix.len();
         let mut uf = UnionFind::new(n);
         if n == 0 {
             return Self { uf };
         }
-        let min_len = series.iter().map(|s| s.len()).min().unwrap_or(0);
-        let nodes: Vec<NormalizedNode> = series.iter().map(|s| normalize(s, min_len)).collect();
-        for i in 0..n {
-            let Some(ui) = nodes[i].unit.as_deref() else { continue };
-            for (j, node_j) in nodes.iter().enumerate().skip(i + 1) {
-                if uf.connected(i, j) {
-                    // Already in the same component: the dot product can't
-                    // change the clustering, skip it.
-                    continue;
+        if effective_parallelism(parallelism) <= 1 {
+            // Serial path: interleave dot products with unions so pairs
+            // already known to be connected are skipped.
+            for i in 0..n {
+                let Some(ui) = matrix.row(i) else { continue };
+                for j in (i + 1)..n {
+                    if uf.connected(i, j) {
+                        // Already in the same component: the dot product
+                        // can't change the clustering, skip it.
+                        continue;
+                    }
+                    let Some(uj) = matrix.row(j) else { continue };
+                    if dot_kernel(ui, uj) > tau {
+                        uf.union(i, j);
+                    }
                 }
-                let Some(uj) = node_j.unit.as_deref() else { continue };
-                let dot: f64 = ui.iter().zip(uj).map(|(a, b)| a * b).sum();
-                if dot > tau {
-                    uf.union(i, j);
+            }
+        } else {
+            // Parallel path: rows of the triangular pair loop are
+            // independent, so compute each row's above-threshold edges in
+            // a fan-out and union them afterwards in index order. The
+            // component structure is the same as the serial path's — extra
+            // within-component edges never change connectivity.
+            let edges: Vec<(u32, u32)> = par_flat_map(n, parallelism, |i| {
+                let mut row_edges = Vec::new();
+                let Some(ui) = matrix.row(i) else { return row_edges };
+                for j in (i + 1)..n {
+                    let Some(uj) = matrix.row(j) else { continue };
+                    if dot_kernel(ui, uj) > tau {
+                        row_edges.push((i as u32, j as u32));
+                    }
                 }
+                row_edges
+            });
+            for (i, j) in edges {
+                uf.union(i as usize, j as usize);
             }
         }
         Self { uf }
     }
 
-    /// Connected components as lists of node indices.
+    /// Connected components as lists of node indices (canonical order: by
+    /// smallest member).
     pub fn components(mut self) -> Vec<Vec<usize>> {
         self.uf.components()
     }
@@ -161,6 +193,16 @@ pub fn connected_components(series: &[&[f64]], tau: f64) -> Vec<Vec<usize>> {
     CorrelationGraph::new(series, tau).components()
 }
 
+/// [`connected_components`] with a parallelism knob (`0` = all cores,
+/// `1` = serial); the result is identical for every value.
+pub fn connected_components_par(
+    series: &[&[f64]],
+    tau: f64,
+    parallelism: usize,
+) -> Vec<Vec<usize>> {
+    CorrelationGraph::with_parallelism(series, tau, parallelism).components()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +220,22 @@ mod tests {
         assert!(uf.connected(0, 4));
         let comps = uf.components();
         assert_eq!(comps, vec![vec![0, 1, 3, 4], vec![2]]);
+    }
+
+    #[test]
+    fn components_order_is_union_order_independent() {
+        // Two union sequences producing the same connectivity must yield
+        // the same components vector, whatever roots they end up with.
+        let mut a = UnionFind::new(6);
+        a.union(4, 5);
+        a.union(1, 2);
+        a.union(0, 1);
+        let mut b = UnionFind::new(6);
+        b.union(0, 1);
+        b.union(2, 1);
+        b.union(5, 4);
+        assert_eq!(a.components(), b.components());
+        assert_eq!(a.components(), vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
     }
 
     #[test]
@@ -244,5 +302,30 @@ mod tests {
         assert_eq!(direct.len(), 2, "templates alone should not join at τ=0.9");
         let with_helper = connected_components(&[&t1, &t2, &metric], 0.9);
         assert_eq!(with_helper.len(), 1, "helper node should bridge them");
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // Deterministic pseudo-random series with a few planted clusters.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut series_data: Vec<Vec<f64>> = Vec::new();
+        for i in 0..120usize {
+            let base = i % 7;
+            let s: Vec<f64> = (0..24)
+                .map(|t| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (t as f64 * (base as f64 + 1.0) / 3.0).sin() * 10.0
+                        + (x % 100) as f64 / 100.0
+                })
+                .collect();
+            series_data.push(s);
+        }
+        let refs: Vec<&[f64]> = series_data.iter().map(Vec::as_slice).collect();
+        let serial = connected_components_par(&refs, 0.8, 1);
+        for p in [0, 2, 4, 16] {
+            assert_eq!(connected_components_par(&refs, 0.8, p), serial, "p={p}");
+        }
     }
 }

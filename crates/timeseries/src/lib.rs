@@ -22,6 +22,11 @@
 //!   by the anomaly-feature detectors in the `pinsql-detect` crate.
 //! * [`graph`] — correlation graphs and connected components (union-find),
 //!   used by SQL-template clustering (§VI).
+//! * [`matrix`] — the [`NormalizedMatrix`] correlation kernel: z-scored,
+//!   length-aligned contiguous rows built once per case, so pairwise
+//!   Pearson degrades to a dot product.
+//! * [`par`] — deterministic scoped-thread fan-out ([`par_map`]) used to
+//!   parallelize the embarrassingly parallel diagnosis loops.
 //! * [`resample`] — aggregation between the 1-second and 1-minute
 //!   granularities the collector maintains (§IV-A).
 //!
@@ -31,7 +36,9 @@
 
 pub mod changepoint;
 pub mod graph;
+pub mod matrix;
 pub mod outlier;
+pub mod par;
 pub mod resample;
 pub mod rolling;
 pub mod series;
@@ -39,7 +46,11 @@ pub mod stats;
 pub mod weights;
 
 pub use changepoint::{has_change_point, pettitt, Pettitt};
-pub use graph::{connected_components, CorrelationGraph, UnionFind};
+pub use graph::{
+    connected_components, connected_components_par, CorrelationGraph, UnionFind,
+};
+pub use matrix::NormalizedMatrix;
+pub use par::{available_parallelism, effective_parallelism, par_flat_map, par_map};
 pub use outlier::{tukey_fences, Quantiles, TukeyFences};
 pub use series::TimeSeries;
 pub use stats::{

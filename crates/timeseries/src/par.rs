@@ -1,0 +1,163 @@
+//! Deterministic scoped-thread fan-out for embarrassingly parallel loops.
+//!
+//! Every hot loop in the diagnosis path — pairwise correlation rows,
+//! per-template session accumulation, per-case experiment scoring — maps
+//! an index range through a pure function and collects the results in
+//! index order. [`par_map`] is that primitive: workers claim indices from
+//! a shared atomic counter, compute into thread-local buffers, and the
+//! results are merged *by index*, so the output is bit-identical to the
+//! serial loop no matter how the OS schedules the threads.
+//!
+//! Built on `std::thread::scope` only — no extra dependencies, no thread
+//! pool to keep alive between calls. Spawning a handful of OS threads
+//! costs tens of microseconds, which is noise against the millisecond-to-
+//! second loop bodies this is used for; [`par_map`] falls back to the
+//! plain serial loop when `parallelism <= 1` or when there are fewer
+//! items than would ever amortize a spawn.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the machine can usefully run
+/// (`std::thread::available_parallelism`, 1 if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a parallelism knob: `0` means "all available cores", any
+/// other value is taken literally.
+pub fn effective_parallelism(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        available_parallelism()
+    } else {
+        parallelism
+    }
+}
+
+/// Below this many items a fan-out cannot amortize thread spawns.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Maps `0..n` through `f` with up to `parallelism` worker threads
+/// (`0` = all cores) and returns the results **in index order**.
+///
+/// `f` must be a pure function of the index (it may read shared state,
+/// not mutate it); under that contract the output is identical to
+/// `(0..n).map(f).collect()` for every `parallelism` value, which is the
+/// determinism guarantee the diagnosis pipeline advertises.
+///
+/// Work is distributed dynamically (an atomic claim counter), so skewed
+/// per-item costs — e.g. correlation rows `i` of a triangular pair loop —
+/// still balance across workers.
+///
+/// ```
+/// use pinsql_timeseries::par::par_map;
+/// let serial: Vec<u64> = (0..100).map(|i| (i as u64) * 3).collect();
+/// let parallel = par_map(100, 4, |i| (i as u64) * 3);
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn par_map<T, F>(n: usize, parallelism: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_parallelism(parallelism).min(n / MIN_ITEMS_PER_THREAD.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::with_capacity(n / workers + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+    });
+
+    // Deterministic merge: place every result at its index.
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for chunk in &mut chunks {
+        for (i, v) in chunk.drain(..) {
+            debug_assert!(out[i].is_none(), "index {i} produced twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter().map(|v| v.expect("par_map lost an index")).collect()
+}
+
+/// Like [`par_map`] but flattens per-index result lists, preserving index
+/// order — the shape of "collect all edges of row `i`" loops.
+pub fn par_flat_map<T, F>(n: usize, parallelism: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> Vec<T> + Sync,
+{
+    par_map(n, parallelism, f).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_any_parallelism() {
+        let serial: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for p in [0, 1, 2, 3, 8, 64] {
+            assert_eq!(par_map(257, p, |i| i * i), serial, "p={p}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(par_map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 8, |i| i + 10), vec![10]);
+        assert_eq!(par_map(2, 8, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn flat_map_preserves_index_order() {
+        let out = par_flat_map(10, 4, |i| vec![i * 2, i * 2 + 1]);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_zero() {
+        assert!(effective_parallelism(0) >= 1);
+        assert_eq!(effective_parallelism(1), 1);
+        assert_eq!(effective_parallelism(7), 7);
+    }
+
+    #[test]
+    fn heavy_skew_still_complete() {
+        // Items with wildly different costs: the atomic claim counter must
+        // still hand out every index exactly once.
+        let out = par_map(64, 8, |i| {
+            if i % 13 == 0 {
+                (0..10_000).map(|k| (k ^ i) as u64).sum::<u64>()
+            } else {
+                i as u64
+            }
+        });
+        let serial: Vec<u64> = (0..64)
+            .map(|i| {
+                if i % 13 == 0 {
+                    (0..10_000).map(|k| (k ^ i) as u64).sum::<u64>()
+                } else {
+                    i as u64
+                }
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}
