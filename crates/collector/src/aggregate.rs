@@ -119,9 +119,19 @@ pub fn aggregate_case(
     let ts_ms = ts as f64 * 1000.0;
     let te_ms = te as f64 * 1000.0;
 
-    // Filter + sort the window's records by arrival.
-    let mut records: Vec<QueryRecord> =
-        log.iter().filter(|r| r.start_ms >= ts_ms && r.start_ms < te_ms).copied().collect();
+    // Filter + sort the window's records by arrival. A record with a
+    // non-finite timestamp or response time (corrupted log line) carries no
+    // usable attribution and is dropped with the out-of-window ones.
+    let mut records: Vec<QueryRecord> = log
+        .iter()
+        .filter(|r| {
+            r.start_ms.is_finite()
+                && r.response_ms.is_finite()
+                && r.start_ms >= ts_ms
+                && r.start_ms < te_ms
+        })
+        .copied()
+        .collect();
     records.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
 
     let mut by_template: HashMap<SqlId, TemplateData> = HashMap::with_capacity(catalog.len());
@@ -147,11 +157,18 @@ pub fn aggregate_case(
     CaseData { ts, te, catalog, metrics, records, templates }
 }
 
-/// Restricts instance metrics to `[ts, te)`.
+/// Restricts instance metrics to `[ts, te)`, zeroing any non-finite sample
+/// on the way (a monitoring gap must read as "no load", not poison every
+/// downstream correlation).
 fn slice_metrics(m: &InstanceMetrics, ts: i64, te: i64) -> InstanceMetrics {
     let lo = (ts - m.start_second).max(0) as usize;
     let hi = ((te - m.start_second).max(0) as usize).min(m.active_session.len());
-    let slice = |v: &[f64]| v[lo.min(v.len())..hi.max(lo).min(v.len())].to_vec();
+    let slice = |v: &[f64]| {
+        v[lo.min(v.len())..hi.max(lo).min(v.len())]
+            .iter()
+            .map(|&x| if x.is_finite() { x } else { 0.0 })
+            .collect::<Vec<f64>>()
+    };
     InstanceMetrics {
         start_second: ts,
         active_session: slice(&m.active_session),
@@ -257,6 +274,27 @@ mod tests {
         assert_eq!(case.instance_session(), &[3.0, 4.0, 5.0, 6.0]);
         assert_eq!(case.metrics.start_second, 3);
         assert_eq!(case.n_seconds(), 4);
+    }
+
+    #[test]
+    fn non_finite_records_are_dropped() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let log = vec![
+            rec(0, f64::NAN, 1.0, 0),
+            rec(0, 500.0, f64::INFINITY, 0),
+            rec(0, 900.0, 1.0, 0),
+        ];
+        let case = aggregate_case(&log, &specs, &empty_metrics(0, 2), 0, 2);
+        assert_eq!(case.records.len(), 1);
+        assert_eq!(case.records[0].start_ms, 900.0);
+    }
+
+    #[test]
+    fn sliced_metrics_are_finite() {
+        let mut m = empty_metrics(0, 4);
+        m.active_session = vec![1.0, f64::NAN, f64::INFINITY, 4.0];
+        let case = aggregate_case(&[], &[], &m, 0, 4);
+        assert_eq!(case.instance_session(), &[1.0, 0.0, 0.0, 4.0]);
     }
 
     #[test]

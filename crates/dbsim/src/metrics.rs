@@ -64,6 +64,34 @@ impl InstanceMetrics {
         }
     }
 
+    /// Replaces every non-finite sample across all six series with `0.0`,
+    /// returning how many samples were replaced.
+    ///
+    /// Degraded or synthetic telemetry must never carry NaN/Inf into the
+    /// pipeline (or into a serialized trace — JSON has no NaN), so callers
+    /// that perturb metrics post-hoc sanitize before handing them on. A
+    /// blanked second reads as zero, matching what a monitoring gap looks
+    /// like after gap-filling in production collectors.
+    pub fn sanitize(&mut self) -> usize {
+        let mut replaced = 0;
+        for series in [
+            &mut self.active_session,
+            &mut self.cpu_usage,
+            &mut self.iops_usage,
+            &mut self.row_lock_waits,
+            &mut self.mdl_waits,
+            &mut self.qps,
+        ] {
+            for v in series.iter_mut() {
+                if !v.is_finite() {
+                    *v = 0.0;
+                    replaced += 1;
+                }
+            }
+        }
+        replaced
+    }
+
     /// All `(name, series)` pairs, for iteration by the detection layer.
     pub fn iter_named(&self) -> impl Iterator<Item = (&'static str, &[f64])> {
         [
@@ -101,5 +129,24 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
         assert_eq!(m.iter_named().count(), 6);
+    }
+
+    #[test]
+    fn sanitize_zeroes_non_finite_samples() {
+        let mut m = InstanceMetrics {
+            start_second: 0,
+            active_session: vec![1.0, f64::NAN, 3.0],
+            cpu_usage: vec![0.5, f64::INFINITY, 0.4],
+            iops_usage: vec![0.2, 0.1, 0.3],
+            row_lock_waits: vec![0.0, f64::NEG_INFINITY, 0.0],
+            mdl_waits: vec![0.0, 0.0, 0.0],
+            qps: vec![10.0, 11.0, 12.0],
+            probes: ProbeLog::default(),
+        };
+        assert_eq!(m.sanitize(), 3);
+        assert_eq!(m.active_session, vec![1.0, 0.0, 3.0]);
+        assert_eq!(m.cpu_usage, vec![0.5, 0.0, 0.4]);
+        assert_eq!(m.row_lock_waits, vec![0.0, 0.0, 0.0]);
+        assert_eq!(m.sanitize(), 0);
     }
 }

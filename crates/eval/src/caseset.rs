@@ -1,6 +1,9 @@
 //! Reproducible case-set generation (the ADAC stand-in).
 
-use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, LabeledCase, ScenarioConfig};
+use pinsql_scenario::{
+    generate_base, inject, inject_many, inject_none, materialize, materialize_with,
+    AnomalyKind, LabeledCase, PerturbConfig, ScenarioConfig,
+};
 use serde::{Deserialize, Serialize};
 
 /// Case-set sizing.
@@ -45,6 +48,38 @@ pub fn build_case(cfg: &CaseSetConfig, i: usize) -> LabeledCase {
     materialize(&scenario, cfg.delta_s)
 }
 
+/// Builds one labelled case of the given kinds (empty = negative case,
+/// two or more = overlapping anomalies), with optional telemetry chaos.
+pub fn build_case_with(
+    cfg: &CaseSetConfig,
+    i: usize,
+    kinds: &[AnomalyKind],
+    perturb: Option<&PerturbConfig>,
+) -> LabeledCase {
+    let scenario_cfg = cfg.scenario.clone().with_seed(cfg.seed + i as u64);
+    let base = generate_base(&scenario_cfg);
+    let scenario = inject_many(&base, &scenario_cfg, kinds);
+    materialize_with(&scenario, cfg.delta_s, perturb)
+}
+
+/// Builds one round-robin case with degraded telemetry.
+pub fn build_case_perturbed(
+    cfg: &CaseSetConfig,
+    i: usize,
+    perturb: &PerturbConfig,
+) -> LabeledCase {
+    let kind = AnomalyKind::ALL[i % AnomalyKind::ALL.len()];
+    build_case_with(cfg, i, &[kind], Some(perturb))
+}
+
+/// Builds one negative (no-anomaly) case.
+pub fn build_negative_case(cfg: &CaseSetConfig, i: usize) -> LabeledCase {
+    let scenario_cfg = cfg.scenario.clone().with_seed(cfg.seed + i as u64);
+    let base = generate_base(&scenario_cfg);
+    let scenario = inject_none(&base, &scenario_cfg);
+    materialize(&scenario, cfg.delta_s)
+}
+
 /// Builds the whole case set (sequentially; each case is independent).
 pub fn build_cases(cfg: &CaseSetConfig) -> Vec<LabeledCase> {
     build_cases_par(cfg, 1)
@@ -67,9 +102,26 @@ mod tests {
         let cases = build_cases(&cfg);
         assert_eq!(cases.len(), 4);
         let kinds: Vec<_> = cases.iter().map(|c| c.kind).collect();
-        assert_eq!(kinds, AnomalyKind::ALL.to_vec());
+        assert_eq!(kinds, AnomalyKind::ALL.map(Some).to_vec());
         for c in &cases {
             assert!(!c.truth.rsqls.is_empty());
         }
+    }
+
+    #[test]
+    fn negative_and_perturbed_builders() {
+        let cfg = CaseSetConfig::default().with_cases(1).with_seed(78);
+        let neg = build_negative_case(&cfg, 0);
+        assert!(neg.is_negative());
+        assert!(neg.truth.rsqls.is_empty());
+
+        let clean = build_case(&cfg, 0);
+        let noisy = build_case_perturbed(&cfg, 0, &PerturbConfig::at_intensity(780, 0.6));
+        assert_eq!(noisy.truth.rsqls, clean.truth.rsqls, "truth survives degradation");
+        assert_ne!(
+            noisy.case.records.len(),
+            clean.case.records.len(),
+            "observation degrades"
+        );
     }
 }

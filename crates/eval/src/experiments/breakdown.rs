@@ -60,7 +60,8 @@ pub fn run_on_par(cases: &[LabeledCase], parallelism: usize) -> Breakdown {
     let mut cells = Vec::new();
     for method in &methods {
         for kind in AnomalyKind::ALL {
-            let subset: Vec<&LabeledCase> = cases.iter().filter(|c| c.kind == kind).collect();
+            let subset: Vec<&LabeledCase> =
+                cases.iter().filter(|c| c.kind == Some(kind)).collect();
             if subset.is_empty() {
                 continue;
             }

@@ -1,0 +1,356 @@
+//! Robustness — accuracy vs. telemetry-degradation intensity.
+//!
+//! Production telemetry is never as clean as a simulator's: collectors
+//! drop and duplicate log records, agents blank out seconds of metrics,
+//! clocks skew. This experiment degrades materialized telemetry through
+//! the scenario chaos layer at increasing intensity and re-runs the full
+//! PinSQL pipeline, producing one accuracy-vs-intensity curve per anomaly
+//! kind plus an overlapping-anomaly group, and a false-positive curve over
+//! pure-noise negative cases. Ground truth always comes from the scenario
+//! (what was injected), so the curves measure exactly how much observation
+//! damage the diagnosis survives.
+//!
+//! Cases are paired across intensities: cell `(group, i)` reuses the same
+//! scenario seed at every intensity and only the perturbation seed varies,
+//! so a curve's decay is attributable to degradation, not case variance.
+
+use crate::caseset::{build_case_with, CaseSetConfig};
+use crate::methods::split_parallelism;
+use crate::metrics::{first_hit_rank, RankSummary};
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_scenario::{AnomalyKind, PerturbConfig};
+use pinsql_sqlkit::SqlId;
+use pinsql_timeseries::par_map;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Sizing and sweep shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessConfig {
+    /// Scenario template, base seed, and δ_s (the `n_cases` field is
+    /// ignored; sizing comes from `cases_per_cell`).
+    pub base: CaseSetConfig,
+    /// Cases per (group, intensity) cell.
+    pub cases_per_cell: usize,
+    /// Degradation intensities swept, in `[0, 1]` (0 = clean telemetry).
+    pub intensities: Vec<f64>,
+    /// Pure-noise negative cases per intensity.
+    pub negative_cases: usize,
+    /// Also sweep an overlapping-anomaly group (spike + row locks).
+    pub overlap: bool,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        Self {
+            base: CaseSetConfig::default(),
+            cases_per_cell: 8,
+            intensities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            negative_cases: 8,
+            overlap: true,
+        }
+    }
+}
+
+/// One point of an accuracy-vs-intensity curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurvePoint {
+    pub intensity: f64,
+    pub n_cases: usize,
+    pub rsql: RankSummary,
+    pub hsql: RankSummary,
+    /// Fraction of cases where the detector (not the injected hint) found
+    /// the anomaly window in the degraded metrics.
+    pub detected_rate: f64,
+    /// Fraction of cases where PinSQL asserted at least one R-SQL (the
+    /// `reported_rsqls` gate, not the evaluation-only full ranking).
+    pub reported_rate: f64,
+}
+
+/// One anomaly group's curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Curve {
+    /// `AnomalyKind::label()` for single kinds, `"overlap"` for the
+    /// two-anomaly group.
+    pub kind: String,
+    pub points: Vec<CurvePoint>,
+}
+
+/// False-positive behaviour on pure-noise cases at one intensity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NegativePoint {
+    pub intensity: f64,
+    pub n_cases: usize,
+    /// Fraction where the detector fired despite no injected anomaly.
+    pub detect_fp_rate: f64,
+    /// Fraction where PinSQL *asserted* an R-SQL despite no injected
+    /// anomaly — the headline false-positive number.
+    pub report_fp_rate: f64,
+}
+
+/// The full experiment output (`results/robustness.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Robustness {
+    pub curves: Vec<Curve>,
+    pub negatives: Vec<NegativePoint>,
+    pub cases_per_cell: usize,
+    /// Resolved per-case fan-out the sweep was produced with.
+    #[serde(default)]
+    pub parallelism: usize,
+}
+
+/// The anomaly groups swept: the four single kinds, plus an overlap group.
+fn groups(cfg: &RobustnessConfig) -> Vec<(String, Vec<AnomalyKind>)> {
+    let mut out: Vec<(String, Vec<AnomalyKind>)> = AnomalyKind::ALL
+        .iter()
+        .map(|k| (k.label().to_string(), vec![*k]))
+        .collect();
+    if cfg.overlap {
+        out.push((
+            "overlap".to_string(),
+            vec![AnomalyKind::BusinessSpike, AnomalyKind::RowLock],
+        ));
+    }
+    out
+}
+
+/// Perturbation seed for cell `(group g, intensity ii, case ci)` — distinct
+/// from every scenario seed and from every other cell's.
+fn perturb_seed(base_seed: u64, g: usize, ii: usize, ci: usize) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(((g * 131 + ii) * 131 + ci) as u64)
+}
+
+/// Runs the sweep using all available cores.
+pub fn run(cfg: &RobustnessConfig) -> Robustness {
+    run_par(cfg, 0)
+}
+
+/// [`run`] with an explicit parallelism knob (`0` = all cores, `1` =
+/// serial). Cells are independent and merged by index, so the output is
+/// identical for every value.
+pub fn run_par(cfg: &RobustnessConfig, parallelism: usize) -> Robustness {
+    let (workers, inner) = split_parallelism(parallelism);
+    let pin_cfg = PinSqlConfig::default().with_parallelism(inner);
+    let groups = groups(cfg);
+    let n_int = cfg.intensities.len();
+    let cases = cfg.cases_per_cell;
+
+    // --- Positive cells, flattened: index = (g * n_int + ii) * cases + ci.
+    let per_case = par_map(groups.len() * n_int * cases, workers, |idx| {
+        let ci = idx % cases;
+        let ii = (idx / cases) % n_int;
+        let g = idx / (cases * n_int);
+        let p = PerturbConfig::at_intensity(
+            perturb_seed(cfg.base.seed, g, ii, ci),
+            cfg.intensities[ii],
+        );
+        // Scenario seed depends on (g, ci) only — paired across intensities.
+        let lc = build_case_with(&cfg.base, g * cases + ci, &groups[g].1, Some(&p));
+        let t0 = Instant::now();
+        let d = PinSql::new(pin_cfg.clone()).diagnose(
+            &lc.case,
+            &lc.window,
+            &lc.history,
+            lc.minutes_origin,
+        );
+        let time_s = t0.elapsed().as_secs_f64();
+        let rids: Vec<SqlId> = d.rsqls.iter().map(|r| r.id).collect();
+        let hids: Vec<SqlId> = d.hsqls.iter().map(|r| r.id).collect();
+        (
+            first_hit_rank(&rids, &lc.truth.rsqls),
+            first_hit_rank(&hids, &lc.truth.hsqls),
+            time_s,
+            lc.detected,
+            !d.reported_rsqls.is_empty(),
+        )
+    });
+
+    let mut curves = Vec::new();
+    for (g, (name, _)) in groups.iter().enumerate() {
+        let mut points = Vec::new();
+        for (ii, &intensity) in cfg.intensities.iter().enumerate() {
+            let lo = (g * n_int + ii) * cases;
+            let cell = &per_case[lo..lo + cases];
+            let r_ranks: Vec<_> = cell.iter().map(|c| c.0).collect();
+            let h_ranks: Vec<_> = cell.iter().map(|c| c.1).collect();
+            let times: Vec<_> = cell.iter().map(|c| c.2).collect();
+            let frac = |pred: &dyn Fn(&(Option<usize>, Option<usize>, f64, bool, bool)) -> bool| {
+                cell.iter().filter(|c| pred(c)).count() as f64 / cases.max(1) as f64
+            };
+            points.push(CurvePoint {
+                intensity,
+                n_cases: cases,
+                rsql: RankSummary::from_ranks(&r_ranks, &times),
+                hsql: RankSummary::from_ranks(&h_ranks, &times),
+                detected_rate: frac(&|c| c.3),
+                reported_rate: frac(&|c| c.4),
+            });
+        }
+        curves.push(Curve { kind: name.clone(), points });
+    }
+
+    // --- Negative cells, flattened: index = ii * negs + ci.
+    let negs = cfg.negative_cases;
+    let per_neg = par_map(n_int * negs, workers, |idx| {
+        let ci = idx % negs;
+        let ii = idx / negs;
+        let p = PerturbConfig::at_intensity(
+            perturb_seed(cfg.base.seed, groups.len(), ii, ci),
+            cfg.intensities[ii],
+        );
+        // Scenario seeds continue past the positive groups' range.
+        let lc = build_case_with(&cfg.base, groups.len() * cases + ci, &[], Some(&p));
+        let d = PinSql::new(pin_cfg.clone()).diagnose(
+            &lc.case,
+            &lc.window,
+            &lc.history,
+            lc.minutes_origin,
+        );
+        (lc.detected, !d.reported_rsqls.is_empty())
+    });
+    let negatives = cfg
+        .intensities
+        .iter()
+        .enumerate()
+        .map(|(ii, &intensity)| {
+            let cell = &per_neg[ii * negs..(ii + 1) * negs];
+            NegativePoint {
+                intensity,
+                n_cases: negs,
+                detect_fp_rate: cell.iter().filter(|c| c.0).count() as f64 / negs.max(1) as f64,
+                report_fp_rate: cell.iter().filter(|c| c.1).count() as f64 / negs.max(1) as f64,
+            }
+        })
+        .collect();
+
+    Robustness { curves, negatives, cases_per_cell: cases, parallelism: workers }
+}
+
+impl std::fmt::Display for Robustness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Robustness — PinSQL accuracy vs. telemetry degradation ({} cases/cell)",
+            self.cases_per_cell
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>5} | {:>6} {:>6} {:>6} | {:>6} {:>6} | {:>5} {:>5}",
+            "Kind", "int", "R-H@1", "R-H@5", "R-MRR", "H-H@1", "H-MRR", "det%", "rep%"
+        )?;
+        writeln!(f, "{}", "-".repeat(78))?;
+        for c in &self.curves {
+            for p in &c.points {
+                writeln!(
+                    f,
+                    "{:<16} {:>5.2} | {:>6.1} {:>6.1} {:>6.2} | {:>6.1} {:>6.2} | {:>5.0} {:>5.0}",
+                    c.kind,
+                    p.intensity,
+                    p.rsql.hits_at_1 * 100.0,
+                    p.rsql.hits_at_5 * 100.0,
+                    p.rsql.mrr,
+                    p.hsql.hits_at_1 * 100.0,
+                    p.hsql.mrr,
+                    p.detected_rate * 100.0,
+                    p.reported_rate * 100.0,
+                )?;
+            }
+        }
+        writeln!(f, "Negative (no-anomaly) cases:")?;
+        for n in &self.negatives {
+            writeln!(
+                f,
+                "{:<16} {:>5.2} | detect-FP {:>5.1}%  report-FP {:>5.1}%  (n = {})",
+                "negative", n.intensity, n.detect_fp_rate * 100.0, n.report_fp_rate * 100.0, n.n_cases
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_scenario::ScenarioConfig;
+
+    #[test]
+    fn robustness_smoke() {
+        // Tiny sweep: 1 case per cell, two intensities, small scenario.
+        // Checks structure and finiteness, not accuracy — the full-size
+        // sweep lives behind the bench binary.
+        let cfg = RobustnessConfig {
+            base: CaseSetConfig {
+                n_cases: 0,
+                seed: 4200,
+                scenario: ScenarioConfig::default()
+                    .with_businesses(6)
+                    .with_window(600, 360, 480),
+                delta_s: 240,
+            },
+            cases_per_cell: 1,
+            intensities: vec![0.0, 0.75],
+            negative_cases: 1,
+            overlap: true,
+        };
+        let r = run(&cfg);
+        assert_eq!(r.curves.len(), 5, "four kinds plus the overlap group");
+        let kinds: Vec<_> = r.curves.iter().map(|c| c.kind.as_str()).collect();
+        assert!(kinds.contains(&"business_spike"));
+        assert!(kinds.contains(&"overlap"));
+        for c in &r.curves {
+            assert_eq!(c.points.len(), 2);
+            for p in &c.points {
+                assert!((0.0..=1.0).contains(&p.rsql.hits_at_1), "{}: {:?}", c.kind, p);
+                assert!((0.0..=1.0).contains(&p.hsql.hits_at_1));
+                assert!(p.rsql.mrr.is_finite() && p.hsql.mrr.is_finite());
+                assert!((0.0..=1.0).contains(&p.detected_rate));
+                assert!((0.0..=1.0).contains(&p.reported_rate));
+            }
+        }
+        assert_eq!(r.negatives.len(), 2);
+        for n in &r.negatives {
+            assert!((0.0..=1.0).contains(&n.detect_fp_rate));
+            assert!((0.0..=1.0).contains(&n.report_fp_rate));
+        }
+        // Round-trips through serde (the bench binary writes JSON).
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Robustness = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.curves.len(), r.curves.len());
+        let shown = r.to_string();
+        assert!(shown.contains("business_spike"));
+        assert!(shown.contains("negative"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_parallelism() {
+        let cfg = RobustnessConfig {
+            base: CaseSetConfig {
+                n_cases: 0,
+                seed: 4300,
+                scenario: ScenarioConfig::default()
+                    .with_businesses(6)
+                    .with_window(600, 360, 480),
+                delta_s: 240,
+            },
+            cases_per_cell: 1,
+            intensities: vec![0.5],
+            negative_cases: 1,
+            overlap: false,
+        };
+        let serial = run_par(&cfg, 1);
+        let parallel = run_par(&cfg, 0);
+        let strip = |mut r: Robustness| {
+            r.parallelism = 0;
+            for c in &mut r.curves {
+                for p in &mut c.points {
+                    p.rsql.mean_time_s = 0.0;
+                    p.hsql.mean_time_s = 0.0;
+                }
+            }
+            serde_json::to_string(&r).unwrap()
+        };
+        assert_eq!(strip(serial), strip(parallel));
+    }
+}

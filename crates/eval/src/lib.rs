@@ -11,13 +11,18 @@
 //! * [`experiments`] — drivers that regenerate every table and figure:
 //!   Table I (overall), Fig. 6 (ablations), Fig. 7 (scalability), Fig. 8
 //!   (repair case study), Table II (optimization gains), Table III
-//!   (session estimation), Table IV (Performance-Schema overhead).
+//!   (session estimation), Table IV (Performance-Schema overhead), plus
+//!   the robustness sweep (accuracy vs. telemetry-degradation intensity,
+//!   with negative-case false-positive curves).
 
 pub mod caseset;
 pub mod experiments;
 pub mod methods;
 pub mod metrics;
 
-pub use caseset::{build_cases, build_cases_par, CaseSetConfig};
+pub use caseset::{
+    build_case, build_case_perturbed, build_case_with, build_cases, build_cases_par,
+    build_negative_case, CaseSetConfig,
+};
 pub use methods::{rank_with, split_parallelism, Method, Rankings};
 pub use metrics::{first_hit_rank, hits_at_k, mean_reciprocal_rank, RankSummary};

@@ -71,6 +71,14 @@ pub struct PinSqlConfig {
     /// merge order.
     #[serde(default)]
     pub parallelism: usize,
+    /// Minimum final R-SQL score for a template to be *reported* as a root
+    /// cause (the false-positive guard). The full ranking is always kept
+    /// for Hits@k evaluation; this threshold only gates
+    /// `Diagnosis::reported_rsqls`, so a negative case — where nothing
+    /// survives history verification or every candidate correlates weakly —
+    /// reports an empty set instead of its least-bad candidate.
+    #[serde(default = "default_rsql_score_min")]
+    pub rsql_score_min: f64,
     /// Ablation switches (all off for full PinSQL).
     pub ablation: Ablation,
 }
@@ -88,9 +96,14 @@ impl Default for PinSqlConfig {
             tukey_k: 1.5,
             history_days: vec![1, 3, 7],
             parallelism: 0,
+            rsql_score_min: default_rsql_score_min(),
             ablation: Ablation::default(),
         }
     }
+}
+
+fn default_rsql_score_min() -> f64 {
+    0.35
 }
 
 impl PinSqlConfig {
@@ -147,6 +160,7 @@ mod tests {
         assert_eq!(c.buckets_k, 10);
         assert_eq!(c.history_days, vec![1, 3, 7]);
         assert_eq!(c.parallelism, 0, "default parallelism is all-cores (0)");
+        assert_eq!(c.rsql_score_min, 0.35);
         assert_eq!(c.ablation, Ablation::default());
     }
 

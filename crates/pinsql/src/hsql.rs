@@ -73,8 +73,11 @@ pub fn rank_hsqls(
     let ab = cfg.ablation;
     let parallelism = cfg.effective_parallelism();
 
-    // Anomaly-window slice bounds within the collection window.
-    let a_lo = (window.anomaly_start - window.ts()).max(0) as usize;
+    // Anomaly-window slice bounds within the collection window. Both ends
+    // are clamped to the case length: a detection window inconsistent with
+    // the aggregated data (possible under degraded telemetry) must yield an
+    // empty mass slice, not an out-of-bounds panic.
+    let a_lo = ((window.anomaly_start - window.ts()).max(0) as usize).min(case.n_seconds());
     let a_hi = ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
 
     // Trend level. Per-template scores are independent, so both weighted-
@@ -274,6 +277,23 @@ mod tests {
         let r = rank_hsqls(&case, &est, &window, &cfg);
         assert!((r.alpha + r.beta).abs() < 1e-12);
         assert!((-1.0..=1.0).contains(&r.alpha));
+    }
+
+    #[test]
+    fn window_beyond_case_does_not_panic() {
+        // Regression: an anomaly window extending past the aggregated data
+        // used to slice `est.of(i)[a_lo..]` out of bounds.
+        let (case, _) = synthetic_case();
+        let cfg = PinSqlConfig::default().with_estimator(EstimatorKind::NoBuckets);
+        let est = estimate_sessions(&case, &cfg);
+        let beyond = AnomalyWindow { anomaly_start: 500, anomaly_end: 600, delta_s: 400 };
+        let r = rank_hsqls(&case, &est, &beyond, &cfg);
+        assert_eq!(r.ranked.len(), case.templates.len());
+        assert!(r.ranked.iter().all(|&(_, s)| s.is_finite()));
+
+        let zero_len = AnomalyWindow { anomaly_start: 60, anomaly_end: 60, delta_s: 30 };
+        let r = rank_hsqls(&case, &est, &zero_len, &cfg);
+        assert!(r.ranked.iter().all(|&(_, s)| s.is_finite()));
     }
 
     #[test]

@@ -59,8 +59,17 @@ impl StageTimings {
 pub struct Diagnosis {
     /// High-impact SQLs, most impactful first.
     pub hsqls: Vec<RankedTemplate>,
-    /// Root-cause SQLs, most likely first.
+    /// Root-cause SQLs, most likely first. Always the full ranking (for
+    /// Hits@k evaluation), even when nothing would actually be reported.
     pub rsqls: Vec<RankedTemplate>,
+    /// The R-SQLs PinSQL would *assert* as root causes: empty when history
+    /// verification rejected every candidate, and filtered to scores of at
+    /// least [`PinSqlConfig::rsql_score_min`] otherwise. This is the
+    /// false-positive guard — on a no-anomaly window it stays empty even
+    /// though `rsqls` still ranks whatever candidates exist.
+    pub reported_rsqls: Vec<RankedTemplate>,
+    /// Number of candidates surviving history verification.
+    pub n_verified: usize,
     /// Number of business clusters found.
     pub n_clusters: usize,
     /// Number of top clusters kept by the cumulative threshold.
@@ -114,9 +123,18 @@ impl PinSql {
                 .collect()
         };
 
+        let rsqls = to_ranked(&rsql.ranked);
+        let reported_rsqls = if rsql.verified.is_empty() {
+            Vec::new()
+        } else {
+            rsqls.iter().filter(|r| r.score >= self.cfg.rsql_score_min).cloned().collect()
+        };
+
         Diagnosis {
             hsqls: to_ranked(&hsql.ranked),
-            rsqls: to_ranked(&rsql.ranked),
+            rsqls,
+            reported_rsqls,
+            n_verified: rsql.verified.len(),
             n_clusters: rsql.clusters.len(),
             selected_clusters: rsql.selected_clusters,
             timings: StageTimings {
@@ -194,6 +212,10 @@ mod tests {
         assert_eq!(d.hsqls[0].id, burst_id);
         assert_eq!(d.rsqls[0].id, burst_id);
         assert_eq!(d.rsqls[0].label, "a");
+        // The burst survives history verification (no history) and
+        // correlates strongly, so it must also be *reported*.
+        assert!(d.n_verified >= 1);
+        assert_eq!(d.reported_rsqls.first().map(|r| r.id), Some(burst_id));
         assert!(d.n_clusters >= 1);
         assert!(d.selected_clusters >= 1);
         assert!(d.timings.total_s >= d.timings.estimate_s);

@@ -90,7 +90,9 @@ pub fn identify_rsqls(
     let cluster_score = |c: &[usize]| -> f64 {
         if cfg.ablation.no_direct_cause_ranking {
             // Top-RT stand-in: total response time over the anomaly window.
-            let a_lo = (window.anomaly_start - window.ts()).max(0) as usize;
+            // Both bounds clamped to the case length (see `rank_hsqls`).
+            let a_lo =
+                ((window.anomaly_start - window.ts()).max(0) as usize).min(case.n_seconds());
             let a_hi =
                 ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
             c.iter()
@@ -423,6 +425,19 @@ mod tests {
         cfg.ablation.no_history_verification = true;
         let out = run(&case, &window, &cfg);
         assert_eq!(out.verified, out.candidates);
+    }
+
+    #[test]
+    fn window_beyond_case_does_not_panic_in_rt_ranking() {
+        // Regression: the Top-RT ablation sliced `total_rt_ms[a_lo..]` with
+        // an unclamped lower bound, panicking when the anomaly window lay
+        // outside the aggregated data.
+        let (case, _) = rsql_case();
+        let mut cfg = test_cfg();
+        cfg.ablation.no_direct_cause_ranking = true;
+        let beyond = AnomalyWindow { anomaly_start: 5000, anomaly_end: 5100, delta_s: 4000 };
+        let out = run(&case, &beyond, &cfg);
+        assert!(out.ranked.iter().all(|&(_, s)| s.is_finite()));
     }
 
     #[test]

@@ -104,6 +104,11 @@ fn estimate_with_buckets(case: &CaseData, k: usize, parallelism: usize) -> Sessi
     if k > 1 {
         for t in 0..n {
             let target = probe.get(t).copied().unwrap_or(0.0);
+            if !target.is_finite() {
+                // A corrupted probe value cannot localize the instant;
+                // keep bucket 0 rather than comparing against NaN.
+                continue;
+            }
             let mut best = 0usize;
             let mut best_err = f64::INFINITY;
             for (b, edge) in edges.iter().enumerate() {
@@ -167,7 +172,9 @@ fn accumulate_query(
 ) {
     let s = rec.start_ms;
     let e = rec.end_ms();
-    if e <= s {
+    // `!(e > s)` also rejects NaN endpoints from corrupted records, which
+    // would otherwise poison the difference arrays via `floor() as usize`.
+    if !(e > s) || !s.is_finite() || !e.is_finite() {
         return;
     }
     let end_ms = ts_ms + n as f64 * 1000.0;
@@ -439,6 +446,45 @@ mod tests {
         let est = estimate_sessions(&case, &cfg(EstimatorKind::Buckets, 10));
         assert!(est.per_template.is_empty());
         assert_eq!(est.instance_estimate, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn non_finite_probe_values_fall_back_to_bucket_zero() {
+        // Regression: a NaN in the active-session series used to make every
+        // bucket comparison false, which silently kept bucket 0 — but only
+        // after `(target - est).abs()` produced NaN; make the fallback
+        // explicit and assert the estimate stays finite.
+        let log = vec![rec(0, 0.0, 350.0), rec(1, 1200.0, 600.0)];
+        let mut metrics = metrics_with_probes(3, vec![(0, 1, 320.0)]);
+        metrics.active_session[1] = f64::NAN;
+        // Bypass aggregate_case's sanitization to hit the estimator directly.
+        let mut case = aggregate_case(&log, &specs2(), &metrics, 0, 3);
+        case.metrics.active_session[1] = f64::NAN;
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::Buckets, 10));
+        assert_eq!(est.selected_bucket[1], 0);
+        for row in &est.per_template {
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+        assert!(est.instance_estimate.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_records_do_not_poison_estimates() {
+        // Regression: a record with a NaN start or response used to flow
+        // into `floor() as usize` index arithmetic. It must simply be
+        // ignored by the accumulator.
+        let log = vec![rec(0, 500.0, 1000.0)];
+        let case = aggregate_case(&log, &specs2(), &metrics_with_probes(3, vec![]), 0, 3);
+        // Inject corrupt records under the aggregated case's nose.
+        let mut case = case;
+        case.records.push(rec(0, f64::NAN, 100.0));
+        case.records.push(rec(0, 2500.0, f64::INFINITY));
+        case.templates[0].record_idx.push(1);
+        case.templates[0].record_idx.push(2);
+        let est = estimate_sessions(&case, &cfg(EstimatorKind::Buckets, 10));
+        let a_idx = case.template_index(case.catalog.id_of_spec(SpecId(0))).unwrap();
+        assert!((est.per_template[a_idx][0] - 0.5).abs() < 1e-9);
+        assert!(est.per_template[a_idx].iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -49,31 +49,105 @@ impl AnomalyKind {
 /// A fully specified scenario, ready to simulate.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    /// The workload *with* the injected anomaly.
+    /// The workload *with* the injected anomaly (or the clean workload for
+    /// a negative scenario).
     pub workload: Workload,
     /// The clean workload (history synthesis uses this).
     pub base_workload: Workload,
     pub sim: SimConfig,
     pub cfg: ScenarioConfig,
-    pub kind: AnomalyKind,
+    /// The primary injected anomaly; `None` for a negative (no-anomaly)
+    /// scenario. With overlapping injections, the first kind injected.
+    pub kind: Option<AnomalyKind>,
+    /// Every injected anomaly, in injection order; empty for negatives.
+    pub injected: Vec<AnomalyKind>,
     /// Specs whose templates are the ground-truth R-SQLs.
     pub truth_rsql_specs: Vec<SpecId>,
     /// The business whose table the lock injectors target (if any).
     pub victim_business: Option<usize>,
 }
 
+impl Scenario {
+    /// True when no anomaly was injected (pure-noise negative case).
+    pub fn is_negative(&self) -> bool {
+        self.injected.is_empty()
+    }
+}
+
 /// Builds a scenario: base workload + injected anomaly of `kind`.
 pub fn inject(base: &BaseWorkload, cfg: &ScenarioConfig, kind: AnomalyKind) -> Scenario {
+    inject_many(base, cfg, &[kind])
+}
+
+/// Builds a *negative* scenario: the clean workload, no injected anomaly.
+/// The diagnosis pipeline should report nothing on such a case.
+pub fn inject_none(base: &BaseWorkload, cfg: &ScenarioConfig) -> Scenario {
+    inject_many(base, cfg, &[])
+}
+
+/// Builds a scenario with zero or more injected anomalies.
+///
+/// The first kind is injected over the configured anomaly window; each
+/// subsequent kind over a window staggered to *overlap* the first (starting
+/// at its midpoint), reproducing concurrent production incidents. With one
+/// kind this is byte-identical to the historical single-kind `inject` —
+/// the RNG draw order is unchanged, so existing seeds keep their scenarios.
+pub fn inject_many(base: &BaseWorkload, cfg: &ScenarioConfig, kinds: &[AnomalyKind]) -> Scenario {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(7));
     let mut w = base.workload.clone();
     let mut truth = Vec::new();
     let mut victim_business = None;
 
+    let len = cfg.anomaly_end - cfg.anomaly_start;
+    for (i, &kind) in kinds.iter().enumerate() {
+        let window = if i == 0 {
+            (cfg.anomaly_start, cfg.anomaly_end)
+        } else {
+            // Overlap: start at the first window's midpoint, run up to half
+            // a window past its end (clamped to the simulated horizon).
+            let start = cfg.anomaly_start + len / 2;
+            let end = (cfg.anomaly_end + len / 2).min(cfg.window_s);
+            (start, end.max(start + 1))
+        };
+        apply_injection(&mut w, base, kind, window, &mut rng, &mut truth, &mut victim_business);
+    }
+
+    debug_assert!(w.dag.validate(w.specs.len()).is_ok());
+    Scenario {
+        workload: w,
+        base_workload: base.workload.clone(),
+        sim: SimConfig {
+            cores: cfg.cores,
+            io_channels: cfg.io_channels,
+            max_sessions: 100_000,
+            pfs: Default::default(),
+            seed: cfg.seed ^ 0x5bd1e995,
+        },
+        cfg: cfg.clone(),
+        kind: kinds.first().copied(),
+        injected: kinds.to_vec(),
+        truth_rsql_specs: truth,
+        victim_business,
+    }
+}
+
+/// Adds one anomaly of `kind` over `window = (start, end)` seconds to the
+/// workload, recording its ground-truth specs and (for locks) the victim
+/// business.
+fn apply_injection(
+    w: &mut Workload,
+    base: &BaseWorkload,
+    kind: AnomalyKind,
+    window: (i64, i64),
+    rng: &mut StdRng,
+    truth: &mut Vec<SpecId>,
+    victim_business: &mut Option<usize>,
+) {
     // The injected root is silent outside the window: near-zero base with a
     // huge step multiplier.
     let step = |mult: f64| RateEvent {
-        start: cfg.anomaly_start,
-        end: cfg.anomaly_end,
+        start: window.0,
+        end: window.1,
         multiplier: mult,
         shape: EventShape::Step,
     };
@@ -136,7 +210,7 @@ pub fn inject(base: &BaseWorkload, cfg: &ScenarioConfig, kind: AnomalyKind) -> S
             // the blocker statement plus amplified calls of the victim's
             // own APIs (the job reads through the existing services).
             let biz = rng.random_range(0..base.businesses.len());
-            victim_business = Some(biz);
+            *victim_business = Some(biz);
             let business = &base.businesses[biz];
             let table = business.table;
             let tname = w.tables[table.0].name.clone();
@@ -183,23 +257,6 @@ pub fn inject(base: &BaseWorkload, cfg: &ScenarioConfig, kind: AnomalyKind) -> S
             w.roots.push((api, active_rate(root_rate)));
             truth.push(s);
         }
-    }
-
-    debug_assert!(w.dag.validate(w.specs.len()).is_ok());
-    Scenario {
-        workload: w,
-        base_workload: base.workload.clone(),
-        sim: SimConfig {
-            cores: cfg.cores,
-            io_channels: cfg.io_channels,
-            max_sessions: 100_000,
-            pfs: Default::default(),
-            seed: cfg.seed ^ 0x5bd1e995,
-        },
-        cfg: cfg.clone(),
-        kind,
-        truth_rsql_specs: truth,
-        victim_business,
     }
 }
 
@@ -256,6 +313,56 @@ mod tests {
                 assert!(spec.0 < s.workload.specs.len());
             }
         }
+    }
+
+    #[test]
+    fn inject_none_is_the_clean_workload() {
+        let cfg = ScenarioConfig::default().with_seed(6);
+        let base = generate_base(&cfg);
+        let s = inject_none(&base, &cfg);
+        assert!(s.is_negative());
+        assert_eq!(s.kind, None);
+        assert!(s.injected.is_empty());
+        assert!(s.truth_rsql_specs.is_empty());
+        assert_eq!(s.workload.specs.len(), base.workload.specs.len());
+        assert_eq!(s.workload.roots.len(), base.workload.roots.len());
+    }
+
+    #[test]
+    fn inject_many_single_kind_matches_inject() {
+        // The refactor must keep existing seeds' scenarios: inject() and
+        // inject_many(&[kind]) consume the RNG identically.
+        for kind in AnomalyKind::ALL {
+            let cfg = ScenarioConfig::default().with_seed(7);
+            let base = generate_base(&cfg);
+            let a = inject(&base, &cfg, kind);
+            let b = inject_many(&base, &cfg, &[kind]);
+            assert_eq!(a.truth_rsql_specs, b.truth_rsql_specs, "{kind:?}");
+            assert_eq!(a.victim_business, b.victim_business, "{kind:?}");
+            assert_eq!(a.workload.specs.len(), b.workload.specs.len(), "{kind:?}");
+            assert_eq!(a.kind, Some(kind));
+            assert_eq!(b.injected, vec![kind]);
+        }
+    }
+
+    #[test]
+    fn overlapping_injection_staggers_the_second_window() {
+        let cfg = ScenarioConfig::default().with_seed(8);
+        let base = generate_base(&cfg);
+        let s = inject_many(&base, &cfg, &[AnomalyKind::BusinessSpike, AnomalyKind::RowLock]);
+        assert_eq!(s.injected.len(), 2);
+        assert_eq!(s.kind, Some(AnomalyKind::BusinessSpike));
+        assert!(s.victim_business.is_some(), "second (lock) injection records victim");
+        assert_eq!(s.workload.roots.len(), base.workload.roots.len() + 2);
+        assert!(s.truth_rsql_specs.len() >= 3, "both injections contribute truth specs");
+        // Second root is active at the first window's midpoint AND past its
+        // end — the windows overlap rather than repeat.
+        let (_, second) = s.workload.roots.last().unwrap();
+        let mid = (cfg.anomaly_start + cfg.anomaly_end) / 2;
+        assert!(second.mean_rate(mid + 10) > 1.0);
+        assert!(second.mean_rate(cfg.anomaly_end + 10) > 1.0);
+        assert!(second.mean_rate(cfg.anomaly_start + 10) < 0.001);
+        assert!(s.workload.dag.validate(s.workload.specs.len()).is_ok());
     }
 
     #[test]

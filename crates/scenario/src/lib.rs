@@ -18,14 +18,26 @@
 //! * [`history`] — synthesizes the per-template 1-minute execution history
 //!   for the 1/3/7-day look-back from the *clean* workload's expected
 //!   rates (optionally replaying the anomaly in history, for tests of the
-//!   recurring-spike rejection rule).
+//!   recurring-spike rejection rule);
+//! * [`perturb`] — the telemetry-chaos layer: seeded post-hoc degradation
+//!   of a materialized case (drop/duplicate/jitter/skew/reorder log
+//!   records, blank metric seconds), plus negative (no-anomaly) and
+//!   overlapping-anomaly scenario construction via [`inject_none`] /
+//!   [`inject_many`]. Degradation changes what the pipeline observes,
+//!   never the ground truth.
 
 pub mod gen;
 pub mod history;
 pub mod inject;
 pub mod materialize;
+pub mod perturb;
 
 pub use gen::{generate_base, ScenarioConfig};
 pub use history::synthesize_history;
-pub use inject::{inject, AnomalyKind, Scenario};
-pub use materialize::{materialize, GroundTruth, LabeledCase};
+pub use inject::{inject, inject_many, inject_none, AnomalyKind, Scenario};
+pub use materialize::{
+    materialize, materialize_telemetry, materialize_with, GroundTruth, LabeledCase,
+};
+pub use perturb::{
+    perturb_log, perturb_metrics, perturb_telemetry, PerturbConfig, PerturbStats,
+};

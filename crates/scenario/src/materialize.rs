@@ -12,9 +12,10 @@
 
 use crate::history::synthesize_history;
 use crate::inject::{AnomalyKind, Scenario};
+use crate::perturb::{perturb_telemetry, PerturbConfig};
 use pinsql_collector::{aggregate_case, CaseData, HistoryStore};
 use pinsql_detect::{classify, detect_features, AnomalyWindow, DetectorConfig, PhenomenonConfig};
-use pinsql_dbsim::run_open_loop;
+use pinsql_dbsim::{run_open_loop, InstanceMetrics, QueryRecord};
 use pinsql_sqlkit::SqlId;
 use serde::{Deserialize, Serialize};
 
@@ -37,11 +38,21 @@ pub struct LabeledCase {
     pub truth: GroundTruth,
     pub history: HistoryStore,
     pub minutes_origin: i64,
-    pub kind: AnomalyKind,
+    /// The primary injected anomaly; `None` for a negative case.
+    pub kind: Option<AnomalyKind>,
+    /// Every injected anomaly (empty for negatives).
+    pub injected: Vec<AnomalyKind>,
     /// Whether the detector found the anomaly (vs. the injected hint).
     pub detected: bool,
     /// The anomaly type reported by phenomenon perception.
     pub anomaly_type: String,
+}
+
+impl LabeledCase {
+    /// True when this is a no-anomaly (pure-noise) case.
+    pub fn is_negative(&self) -> bool {
+        self.injected.is_empty()
+    }
 }
 
 /// Simulates and labels a scenario.
@@ -49,16 +60,48 @@ pub struct LabeledCase {
 /// `delta_s` is the collection look-back the diagnoser will use; the
 /// produced window is clamped so `[t_s, t_e)` fits in the simulated data.
 pub fn materialize(scenario: &Scenario, delta_s: i64) -> LabeledCase {
-    let cfg = &scenario.cfg;
-    let out = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+    materialize_with(scenario, delta_s, None)
+}
 
-    // --- Detection over the simulated metrics. ---
+/// Simulates, optionally degrades the telemetry through the chaos layer,
+/// and labels. Ground truth is computed from the scenario (what was
+/// injected), not from the degraded observation — degradation changes what
+/// the pipeline *sees*, never what is *true*.
+pub fn materialize_with(
+    scenario: &Scenario,
+    delta_s: i64,
+    perturb: Option<&PerturbConfig>,
+) -> LabeledCase {
+    let out = run_open_loop(&scenario.workload, &scenario.sim, 0, scenario.cfg.window_s);
+    materialize_telemetry(scenario, out.log, out.metrics, delta_s, perturb)
+}
+
+/// Labels a case from already-simulated telemetry (exposed so tests can
+/// simulate once and degrade many ways).
+pub fn materialize_telemetry(
+    scenario: &Scenario,
+    mut log: Vec<QueryRecord>,
+    mut metrics: InstanceMetrics,
+    delta_s: i64,
+    perturb: Option<&PerturbConfig>,
+) -> LabeledCase {
+    let cfg = &scenario.cfg;
+    if let Some(p) = perturb {
+        perturb_telemetry(&mut log, &mut metrics, p);
+        // Belt and braces: whatever the chaos layer did, nothing non-finite
+        // reaches detection or serialization.
+        metrics.sanitize();
+    }
+    let out_log = log;
+    let out_metrics = metrics;
+
+    // --- Detection over the (possibly degraded) metrics. ---
     let det_cfg = DetectorConfig::default();
     let util_cfg = DetectorConfig::for_utilization();
     let mut features = Vec::new();
-    for (name, series) in out.metrics.iter_named() {
+    for (name, series) in out_metrics.iter_named() {
         let c = if name.contains("usage") { &util_cfg } else { &det_cfg };
-        features.extend(detect_features(name, series, out.metrics.start_second, c));
+        features.extend(detect_features(name, series, out_metrics.start_second, c));
     }
     let phenomena = classify(&features, &PhenomenonConfig::default());
     // Prefer the phenomenon overlapping the injected window; else the
@@ -69,22 +112,27 @@ pub fn materialize(scenario: &Scenario, delta_s: i64) -> LabeledCase {
         .filter(|p| p.start < hint.1 && p.end > hint.0)
         .max_by_key(|p| p.duration())
         .or_else(|| phenomena.iter().max_by_key(|p| p.duration()));
-    let (window, detected, anomaly_type) = match best {
+    let hint_window = AnomalyWindow { anomaly_start: hint.0, anomaly_end: hint.1, delta_s }
+        .clamped(0, cfg.window_s);
+    let (mut window, detected, anomaly_type) = match best {
         Some(p) => (
             AnomalyWindow::from_phenomenon(p, delta_s).clamped(0, cfg.window_s),
             true,
             p.anomaly_type.clone(),
         ),
-        None => (
-            AnomalyWindow { anomaly_start: hint.0, anomaly_end: hint.1, delta_s }
-                .clamped(0, cfg.window_s),
-            false,
-            "active_session_anomaly".to_string(),
-        ),
+        None => (hint_window, false, "active_session_anomaly".to_string()),
     };
+    // Degraded telemetry can produce a phenomenon that clamps to nothing
+    // (e.g. entirely inside a blanked tail). Aggregation needs a non-empty
+    // window, so fall back to the injected hint — which the ScenarioConfig
+    // guarantees is non-degenerate.
+    if window.window_len() <= 0 || window.anomaly_len() <= 0 {
+        window = hint_window;
+    }
 
     // --- Aggregate the collection window. ---
-    let case = aggregate_case(&out.log, &scenario.workload.specs, &out.metrics, window.ts(), window.te());
+    let case =
+        aggregate_case(&out_log, &scenario.workload.specs, &out_metrics, window.ts(), window.te());
 
     // --- Ground truth. ---
     let rsqls: Vec<SqlId> = scenario
@@ -92,7 +140,10 @@ pub fn materialize(scenario: &Scenario, delta_s: i64) -> LabeledCase {
         .iter()
         .map(|&s| case.catalog.id_of_spec(s))
         .collect();
-    let hsqls = label_hsqls(&case, &window);
+    // A negative scenario has no direct causes by construction; skip the
+    // labelling (its best-template fallback would fabricate one).
+    let hsqls =
+        if scenario.is_negative() { Vec::new() } else { label_hsqls(&case, &window) };
 
     // --- History (injected templates are new → absent). ---
     let window_min = (window.window_len() + 59) / 60;
@@ -112,6 +163,7 @@ pub fn materialize(scenario: &Scenario, delta_s: i64) -> LabeledCase {
         history,
         minutes_origin: MINUTES_ORIGIN,
         kind: scenario.kind,
+        injected: scenario.injected.clone(),
         detected,
         anomaly_type,
     }
@@ -160,7 +212,8 @@ fn label_hsqls(case: &CaseData, window: &AnomalyWindow) -> Vec<SqlId> {
 mod tests {
     use super::*;
     use crate::gen::{generate_base, ScenarioConfig};
-    use crate::inject::inject;
+    use crate::inject::{inject, inject_none};
+    use crate::perturb::PerturbConfig;
 
     fn labeled(kind: AnomalyKind, seed: u64) -> LabeledCase {
         let cfg = ScenarioConfig::default().with_seed(seed);
@@ -216,5 +269,47 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn negative_case_has_empty_truth() {
+        let cfg = ScenarioConfig::default().with_seed(46);
+        let base = generate_base(&cfg);
+        let s = inject_none(&base, &cfg);
+        let lc = materialize(&s, 600);
+        assert!(lc.is_negative());
+        assert_eq!(lc.kind, None);
+        assert!(lc.truth.rsqls.is_empty());
+        assert!(lc.truth.hsqls.is_empty(), "no fabricated H-SQL on negatives");
+        assert!(lc.window.anomaly_len() > 0, "window stays usable for diagnosis");
+    }
+
+    #[test]
+    fn perturbed_case_keeps_ground_truth_and_stays_finite() {
+        let cfg = ScenarioConfig::default().with_seed(47);
+        let base = generate_base(&cfg);
+        let s = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+        let clean = materialize(&s, 600);
+        let rough =
+            materialize_with(&s, 600, Some(&PerturbConfig::at_intensity(470, 0.8)));
+        // Degradation never touches the truth...
+        assert_eq!(rough.truth.rsqls, clean.truth.rsqls);
+        assert_eq!(rough.injected, clean.injected);
+        // ...but it does change the observation.
+        assert!(rough.case.records.len() < clean.case.records.len());
+        assert!(rough.case.instance_session().iter().all(|v| v.is_finite()));
+        assert!(rough.window.window_len() > 0);
+    }
+
+    #[test]
+    fn noop_perturbation_reproduces_the_clean_case() {
+        let cfg = ScenarioConfig::default().with_seed(48);
+        let base = generate_base(&cfg);
+        let s = inject(&base, &cfg, AnomalyKind::PoorSql);
+        let clean = materialize(&s, 600);
+        let noop = materialize_with(&s, 600, Some(&PerturbConfig::noop(1)));
+        assert_eq!(noop.case.records.len(), clean.case.records.len());
+        assert_eq!(noop.window, clean.window);
+        assert_eq!(noop.truth.hsqls, clean.truth.hsqls);
     }
 }

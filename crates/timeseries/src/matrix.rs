@@ -14,6 +14,9 @@
 //! Zero-variance rows (constant series) carry no trend information; they
 //! are flagged invalid and every dot product involving them is defined as
 //! `0.0`, matching [`crate::stats::pearson`]'s degenerate-input contract.
+//! Rows containing non-finite samples are treated the same way: a NaN or
+//! infinite sample poisons the whole centered row, so it is flagged
+//! invalid rather than propagating garbage through the pair loop.
 
 /// Row-major matrix of unit-norm centered series.
 ///
@@ -50,7 +53,9 @@ impl NormalizedMatrix {
                     norm_sq += c * c;
                 }
                 let norm = norm_sq.sqrt();
-                if norm > f64::EPSILON {
+                // A non-finite norm means the source row held NaN/Inf —
+                // degenerate, exactly like zero variance.
+                if norm.is_finite() && norm > f64::EPSILON {
                     row.iter_mut().for_each(|v| *v /= norm);
                     valid[i] = true;
                 }
@@ -90,10 +95,12 @@ impl NormalizedMatrix {
     }
 
     /// Pearson correlation of rows `i` and `j` as a plain dot product;
-    /// `0.0` when either row is degenerate.
+    /// `0.0` when either row is degenerate. Clamped to `[-1, 1]` so ulp
+    /// overshoot on near-collinear rows cannot leak out of the Pearson
+    /// range callers rely on.
     pub fn dot(&self, i: usize, j: usize) -> f64 {
         match (self.row(i), self.row(j)) {
-            (Some(a), Some(b)) => dot_kernel(a, b),
+            (Some(a), Some(b)) => dot_kernel(a, b).clamp(-1.0, 1.0),
             _ => 0.0,
         }
     }
@@ -174,6 +181,24 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert!(!m.is_valid(0));
         assert_eq!(m.dot(0, 0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_rows_are_invalid() {
+        let nan_row = [1.0, f64::NAN, 3.0];
+        let inf_row = [1.0, f64::INFINITY, 3.0];
+        let ramp = [1.0, 2.0, 3.0];
+        let m = NormalizedMatrix::from_series(&[&nan_row, &inf_row, &ramp]);
+        assert!(!m.is_valid(0));
+        assert!(!m.is_valid(1));
+        assert!(m.is_valid(2));
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = m.dot(i, j);
+                assert!(d.is_finite(), "({i},{j}) produced {d}");
+                assert!((-1.0..=1.0).contains(&d));
+            }
+        }
     }
 
     #[test]

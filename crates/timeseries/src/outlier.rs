@@ -26,13 +26,15 @@ impl Quantiles {
 }
 
 /// Computes quartiles with linear interpolation between order statistics
-/// (the common "R-7" definition). Returns `None` for an empty slice.
+/// (the common "R-7" definition). Non-finite samples are ignored — degraded
+/// telemetry must not panic the history check. Returns `None` when no finite
+/// sample remains.
 pub fn quantiles(xs: &[f64]) -> Option<Quantiles> {
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(Quantiles {
         q1: interpolate(&sorted, 0.25),
         median: interpolate(&sorted, 0.5),
@@ -134,6 +136,15 @@ mod tests {
         assert!((q.q1 - 2.0).abs() < 1e-12);
         assert!((q.median - 3.0).abs() < 1e-12);
         assert!((q.q3 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_skip_non_finite_samples() {
+        let q = quantiles(&[5.0, f64::NAN, 1.0, 3.0, f64::INFINITY, 2.0, 4.0]).unwrap();
+        assert!((q.q1 - 2.0).abs() < 1e-12);
+        assert!((q.median - 3.0).abs() < 1e-12);
+        assert!((q.q3 - 4.0).abs() < 1e-12);
+        assert!(quantiles(&[f64::NAN, f64::NEG_INFINITY]).is_none());
     }
 
     #[test]

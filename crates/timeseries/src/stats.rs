@@ -57,7 +57,9 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
 /// Pearson correlation coefficient over the common prefix of `xs` and `ys`.
 ///
 /// Returns `0.0` when either side has (numerically) zero variance, so that a
-/// flat series is treated as uncorrelated rather than producing `NaN`.
+/// flat series is treated as uncorrelated rather than producing `NaN`; the
+/// same applies when either input contains non-finite samples (a gappy
+/// metric carries no usable trend either).
 ///
 /// ```
 /// use pinsql_timeseries::pearson;
@@ -85,10 +87,15 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         syy += dy * dy;
     }
     let denom = (sxx * syy).sqrt();
-    if denom <= f64::EPSILON {
-        0.0
+    if !(denom > f64::EPSILON) {
+        // `!(>)` also catches a NaN denominator from non-finite inputs.
+        return 0.0;
+    }
+    let r = sxy / denom;
+    if r.is_finite() {
+        r.clamp(-1.0, 1.0)
     } else {
-        (sxy / denom).clamp(-1.0, 1.0)
+        0.0
     }
 }
 
@@ -97,7 +104,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
     let n = xs.len().min(ws.len());
     let wsum: f64 = ws[..n].iter().sum();
-    if wsum <= f64::EPSILON {
+    if !(wsum > f64::EPSILON) {
         return 0.0;
     }
     xs[..n].iter().zip(&ws[..n]).map(|(&x, &w)| w * x).sum::<f64>() / wsum
@@ -111,7 +118,7 @@ pub fn weighted_covariance(xs: &[f64], ys: &[f64], ws: &[f64]) -> f64 {
         return 0.0;
     }
     let wsum: f64 = ws[..n].iter().sum();
-    if wsum <= f64::EPSILON {
+    if !(wsum > f64::EPSILON) {
         return 0.0;
     }
     let mx = weighted_mean(&xs[..n], &ws[..n]);
@@ -134,29 +141,39 @@ pub fn weighted_pearson(xs: &[f64], ys: &[f64], ws: &[f64]) -> f64 {
     let cxx = weighted_covariance(xs, xs, ws);
     let cyy = weighted_covariance(ys, ys, ws);
     let denom = (cxx * cyy).sqrt();
-    if denom <= f64::EPSILON {
-        0.0
+    if !(denom > f64::EPSILON) {
+        return 0.0;
+    }
+    let r = cxy / denom;
+    if r.is_finite() {
+        r.clamp(-1.0, 1.0)
     } else {
-        (cxy / denom).clamp(-1.0, 1.0)
+        0.0
     }
 }
 
 /// Min-max normalizes `xs` into `[0, 1]` in place. A constant slice maps to
-/// all zeros (there is no scale information to preserve).
+/// all zeros (there is no scale information to preserve). The range is taken
+/// over finite samples only, and any non-finite sample is mapped to `0.0`, so
+/// a single corrupted value cannot wipe out the scale of the rest.
 pub fn min_max_normalize(xs: &mut [f64]) {
     if xs.is_empty() {
         return;
     }
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &x in xs.iter() {
-        lo = lo.min(x);
-        hi = hi.max(x);
+        if x.is_finite() {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
     }
     let range = hi - lo;
-    if range <= f64::EPSILON {
+    if !(range > f64::EPSILON) {
         xs.iter_mut().for_each(|x| *x = 0.0);
     } else {
-        xs.iter_mut().for_each(|x| *x = (*x - lo) / range);
+        xs.iter_mut().for_each(|x| {
+            *x = if x.is_finite() { (*x - lo) / range } else { 0.0 };
+        });
     }
 }
 
@@ -261,6 +278,38 @@ mod tests {
         assert_eq!(flat, [0.0, 0.0]);
         let mut empty: [f64; 0] = [];
         min_max_normalize(&mut empty);
+    }
+
+    #[test]
+    fn pearson_non_finite_inputs_yield_zero() {
+        let x = [1.0, 2.0, f64::NAN, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&y, &x), 0.0);
+        let inf = [1.0, f64::INFINITY, 3.0, 4.0];
+        assert_eq!(pearson(&inf, &y), 0.0);
+        assert_eq!(pearson(&inf, &inf), 0.0);
+    }
+
+    #[test]
+    fn weighted_pearson_non_finite_yields_zero() {
+        let x = [1.0, f64::NAN, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let w = [1.0; 4];
+        assert_eq!(weighted_pearson(&x, &y, &w), 0.0);
+        let wn = [1.0, f64::NAN, 1.0, 1.0];
+        assert_eq!(weighted_pearson(&y, &y, &wn), 0.0);
+        assert_eq!(weighted_mean(&y, &wn), 0.0);
+    }
+
+    #[test]
+    fn min_max_normalize_ignores_non_finite() {
+        let mut xs = [3.0, f64::NAN, 7.0, f64::INFINITY, 5.0];
+        min_max_normalize(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 1.0, 0.0, 0.5]);
+        let mut all_bad = [f64::NAN, f64::INFINITY];
+        min_max_normalize(&mut all_bad);
+        assert_eq!(all_bad, [0.0, 0.0]);
     }
 
     #[test]

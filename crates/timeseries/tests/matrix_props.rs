@@ -1,0 +1,91 @@
+//! Robustness properties of the correlation kernel (ISSUE 2, satellite 1c).
+//!
+//! Unlike `proptests.rs`, which draws from well-behaved finite ranges, these
+//! suites draw raw `f64` bit patterns — NaN, ±Inf, subnormals — plus
+//! deliberately constant and empty series, and assert the kernel never emits
+//! anything outside `[-1, 1]` and never emits NaN. This is the contract the
+//! clustering step (§VI) and the H-SQL fusion (§V) rely on when telemetry is
+//! degraded.
+
+use pinsql_timeseries::{pearson, weighted_pearson, NormalizedMatrix};
+use proptest::prelude::*;
+
+/// Arbitrary f64s including NaN, infinities and subnormals.
+fn any_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop::num::f64::ANY, 0..max_len)
+}
+
+/// A batch of series of arbitrary (possibly zero, possibly unequal) lengths.
+fn any_series_batch() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(any_vec(48), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matrix_dot_bounded_and_nan_free(batch in any_series_batch()) {
+        let refs: Vec<&[f64]> = batch.iter().map(|s| s.as_slice()).collect();
+        let m = NormalizedMatrix::from_series(&refs);
+        prop_assert_eq!(m.len(), batch.len());
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                let d = m.dot(i, j);
+                prop_assert!(!d.is_nan(), "dot({i},{j}) is NaN");
+                prop_assert!((-1.0..=1.0).contains(&d), "dot({i},{j}) = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_rows_are_finite_or_invalid(batch in any_series_batch()) {
+        let refs: Vec<&[f64]> = batch.iter().map(|s| s.as_slice()).collect();
+        let m = NormalizedMatrix::from_series(&refs);
+        for i in 0..m.len() {
+            if let Some(row) = m.row(i) {
+                prop_assert!(row.iter().all(|v| v.is_finite()), "valid row {i} not finite");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_constant_rows_are_invalid(value in prop::num::f64::ANY, len in 0usize..32) {
+        let series = vec![value; len];
+        let ramp: Vec<f64> = (0..len.max(2)).map(|k| k as f64).collect();
+        let m = NormalizedMatrix::from_series(&[&series, &ramp]);
+        prop_assert!(!m.is_valid(0));
+        prop_assert_eq!(m.dot(0, 1), 0.0);
+    }
+
+    #[test]
+    fn pearson_any_input_bounded(xs in any_vec(48), ys in any_vec(48)) {
+        let r = pearson(&xs, &ys);
+        prop_assert!(!r.is_nan());
+        prop_assert!((-1.0..=1.0).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn weighted_pearson_any_input_bounded(
+        xs in any_vec(48),
+        ys in any_vec(48),
+        ws in any_vec(48),
+    ) {
+        let r = weighted_pearson(&xs, &ys, &ws);
+        prop_assert!(!r.is_nan());
+        prop_assert!((-1.0..=1.0).contains(&r), "r = {r}");
+    }
+
+    /// For finite inputs the matrix and the pairwise kernel must agree —
+    /// hardening must not change the clean-telemetry result.
+    #[test]
+    fn matrix_agrees_with_pearson_on_finite_input(
+        xs in prop::collection::vec(-1e6f64..1e6, 4..48),
+        ys in prop::collection::vec(-1e6f64..1e6, 4..48),
+    ) {
+        let m = NormalizedMatrix::from_series(&[&xs, &ys]);
+        let n = xs.len().min(ys.len());
+        let expect = pearson(&xs[..n], &ys[..n]);
+        let got = m.dot(0, 1);
+        prop_assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+}

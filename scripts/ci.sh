@@ -5,5 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+# Fast fail on the robustness sweep before the full suite: a tiny
+# end-to-end chaos run that exercises perturbation + diagnosis together.
+cargo test -q -p pinsql-eval robustness_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

@@ -4,8 +4,11 @@
 use pinsql::{PinSql, PinSqlConfig};
 use pinsql_collector::aggregate_case;
 use pinsql_dbsim::{run_open_loop, Trace};
-use pinsql_scenario::{generate_base, inject, AnomalyKind, ScenarioConfig};
+use pinsql_scenario::{
+    generate_base, inject, perturb_telemetry, AnomalyKind, PerturbConfig, ScenarioConfig,
+};
 use pinsql_detect::AnomalyWindow;
+use proptest::prelude::*;
 
 #[test]
 fn diagnosis_is_identical_through_a_trace_round_trip() {
@@ -59,4 +62,125 @@ fn diagnosis_is_identical_through_a_trace_round_trip() {
         d_trace.hsqls.iter().map(|r| r.id).collect::<Vec<_>>()
     );
     assert_eq!(d_live.n_clusters, d_trace.n_clusters);
+}
+
+#[test]
+fn perturbed_telemetry_survives_the_trace_round_trip() {
+    // Chaos-degraded telemetry is exactly what gets archived in production;
+    // a trace written from a perturbed case must reload to a bit-identical
+    // diagnosis, including when records were dropped, duplicated, jittered,
+    // and delivered out of order.
+    let cfg = ScenarioConfig::default().with_seed(82).with_businesses(6);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::RowLock);
+    let mut out = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+    let stats =
+        perturb_telemetry(&mut out.log, &mut out.metrics, &PerturbConfig::at_intensity(820, 0.8));
+    assert!(stats.records_dropped > 0, "intensity 0.8 should drop records");
+
+    let trace = Trace::from_output("row-lock seed 82, degraded", &out);
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).expect("write trace");
+    let reloaded = Trace::read_jsonl(&buf[..]).expect("read trace");
+    assert_eq!(reloaded.log.len(), out.log.len());
+
+    // Re-serializing the reloaded trace must reproduce the bytes exactly:
+    // JSONL round-trips perturbed (but always finite) telemetry losslessly.
+    let mut buf2 = Vec::new();
+    reloaded.write_jsonl(&mut buf2).expect("rewrite trace");
+    assert_eq!(buf, buf2, "trace serialization must be a fixed point");
+
+    let window = AnomalyWindow {
+        anomaly_start: cfg.anomaly_start,
+        anomaly_end: cfg.anomaly_end,
+        delta_s: 600,
+    }
+    .clamped(0, cfg.window_s);
+
+    let live = aggregate_case(
+        &out.log,
+        &scenario.workload.specs,
+        &out.metrics,
+        window.ts(),
+        window.te(),
+    );
+    let from_trace = aggregate_case(
+        &reloaded.log,
+        &scenario.workload.specs,
+        &reloaded.metrics,
+        window.ts(),
+        window.te(),
+    );
+
+    let pinsql = PinSql::new(PinSqlConfig::default());
+    let history = pinsql_collector::HistoryStore::new();
+    let d_live = pinsql.diagnose(&live, &window, &history, 1_000_000);
+    let d_trace = pinsql.diagnose(&from_trace, &window, &history, 1_000_000);
+
+    assert_eq!(
+        d_live.rsqls.iter().map(|r| (r.id, r.score.to_bits())).collect::<Vec<_>>(),
+        d_trace.rsqls.iter().map(|r| (r.id, r.score.to_bits())).collect::<Vec<_>>(),
+        "degraded R-SQL rankings must be bit-identical through the trace"
+    );
+    assert_eq!(
+        d_live.hsqls.iter().map(|r| r.id).collect::<Vec<_>>(),
+        d_trace.hsqls.iter().map(|r| r.id).collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any perturbation of a synthetic log yields telemetry that JSONL
+    /// round-trips losslessly — write, read, write again, same bytes.
+    #[test]
+    fn perturbed_traces_serialize_to_a_fixed_point(
+        seed in proptest::num::u64::ANY,
+        intensity in 0.0f64..=1.0,
+        n in 0usize..120,
+    ) {
+        use pinsql_dbsim::probe::{ProbeLog, ProbeSample};
+        use pinsql_dbsim::{InstanceMetrics, QueryRecord, SimOutput};
+        use pinsql_workload::SpecId;
+
+        let log: Vec<QueryRecord> = (0..n)
+            .map(|i| QueryRecord {
+                spec: SpecId(i % 7),
+                start_ms: i as f64 * 113.0,
+                response_ms: 25.0 + (i % 13) as f64,
+                examined_rows: (i % 29) as u64,
+            })
+            .collect();
+        let m = n.min(60);
+        let metrics = InstanceMetrics {
+            start_second: 0,
+            active_session: (0..m).map(|i| 1.0 + i as f64 * 0.1).collect(),
+            cpu_usage: vec![0.4; m],
+            iops_usage: vec![0.2; m],
+            row_lock_waits: vec![0.0; m],
+            mdl_waits: vec![0.0; m],
+            qps: vec![8.0; m],
+            probes: ProbeLog {
+                samples: (0..m as i64)
+                    .map(|second| ProbeSample {
+                        second,
+                        active_sessions: 1,
+                        true_instant_ms: second as f64 * 1000.0 + 250.0,
+                    })
+                    .collect(),
+            },
+        };
+        let mut out = SimOutput { log, metrics };
+        perturb_telemetry(&mut out.log, &mut out.metrics, &PerturbConfig::at_intensity(seed, intensity));
+        prop_assert!(out.log.iter().all(|r| r.start_ms.is_finite()));
+
+        let trace = Trace::from_output("prop", &out);
+        let mut buf = Vec::new();
+        trace.write_jsonl(&mut buf).expect("write trace");
+        let reloaded = Trace::read_jsonl(&buf[..]).expect("read trace");
+        prop_assert_eq!(reloaded.log.len(), out.log.len());
+        let mut buf2 = Vec::new();
+        reloaded.write_jsonl(&mut buf2).expect("rewrite trace");
+        prop_assert_eq!(buf, buf2);
+    }
 }
