@@ -1,0 +1,121 @@
+//! Fleet-engine throughput sweep: instance count × event rate.
+//!
+//! For every (instances, businesses-per-instance) cell, builds that many
+//! scenarios (anomaly kinds cycled, plus a negative every fifth instance),
+//! multiplexes their telemetry through one [`FleetEngine`] run, and
+//! records sustained ingest throughput plus per-case diagnosis latency.
+//!
+//! Usage: `cargo run -p pinsql-bench --release --bin fleet [-- INSTANCES_CSV [BUSINESSES_CSV [SEED [FANOUT]]]]`
+//! Defaults: instances `2,4,8`, businesses `6,12`, seed 5000, fanout 0
+//! (all cores). Event rate scales with the businesses knob — more
+//! businesses means more templates and a proportionally denser query
+//! stream per instance.
+//!
+//! Besides the printed table, writes the full structure to
+//! `results/fleet.json`.
+
+use pinsql::PinSqlConfig;
+use pinsql_engine::{FleetConfig, FleetEngine, FleetReport};
+use pinsql_scenario::{generate_base, inject, inject_none, AnomalyKind, Scenario, ScenarioConfig};
+use serde::Serialize;
+
+const WINDOW_S: i64 = 600;
+const ANOMALY: (i64, i64) = (360, 480);
+const DELTA_S: i64 = 240;
+
+#[derive(Serialize)]
+struct SweepCell {
+    instances: usize,
+    businesses: usize,
+    report: FleetReport,
+}
+
+#[derive(Serialize)]
+struct FleetSweep {
+    seed: u64,
+    fanout: usize,
+    window_s: i64,
+    delta_s: i64,
+    cells: Vec<SweepCell>,
+}
+
+fn scenarios(n: usize, businesses: usize, seed: u64) -> Vec<Scenario> {
+    let kinds = [
+        Some(AnomalyKind::BusinessSpike),
+        Some(AnomalyKind::PoorSql),
+        Some(AnomalyKind::MdlLock),
+        Some(AnomalyKind::RowLock),
+        None,
+    ];
+    (0..n)
+        .map(|i| {
+            let cfg = ScenarioConfig::default()
+                .with_seed(seed + i as u64)
+                .with_businesses(businesses)
+                .with_window(WINDOW_S, ANOMALY.0, ANOMALY.1);
+            let base = generate_base(&cfg);
+            match kinds[i % kinds.len()] {
+                Some(kind) => inject(&base, &cfg, kind),
+                None => inject_none(&base, &cfg),
+            }
+        })
+        .collect()
+}
+
+fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
+    arg.map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect::<Vec<_>>())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let instance_counts = parse_csv(std::env::args().nth(1), &[2, 4, 8]);
+    let business_counts = parse_csv(std::env::args().nth(2), &[6, 12]);
+    let seed: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let fanout: usize = std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let engine = FleetEngine::new(FleetConfig {
+        delta_s: DELTA_S,
+        pinsql: PinSqlConfig::default(),
+        fanout,
+    });
+
+    println!(
+        "{:>9} {:>10} {:>10} {:>12} {:>11} {:>11} {:>9}",
+        "instances", "businesses", "events", "events/sec", "diag mean s", "diag max s", "hits"
+    );
+    let mut cells = Vec::new();
+    for &bz in &business_counts {
+        for &n in &instance_counts {
+            let scen = scenarios(n, bz, seed);
+            let report = engine.run(&scen);
+            let hits = report.outcomes.iter().filter(|o| o.truth_hit).count();
+            let with_truth =
+                report.outcomes.iter().filter(|o| o.kind != "none").count();
+            println!(
+                "{:>9} {:>10} {:>10} {:>12.0} {:>11.4} {:>11.4} {:>6}/{}",
+                n,
+                bz,
+                report.events_total,
+                report.events_per_sec,
+                report.diagnose_mean_s,
+                report.diagnose_max_s,
+                hits,
+                with_truth,
+            );
+            cells.push(SweepCell { instances: n, businesses: bz, report });
+        }
+    }
+
+    let sweep = FleetSweep { seed, fanout, window_s: WINDOW_S, delta_s: DELTA_S, cells };
+    let out = "results/fleet.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .map_err(|e| e.to_string())
+        .and_then(|_| serde_json::to_string_pretty(&sweep).map_err(|e| e.to_string()))
+        .and_then(|json| std::fs::write(out, json).map_err(|e| e.to_string()))
+    {
+        eprintln!("failed to write {out}: {e}");
+    } else {
+        eprintln!("wrote {out}");
+    }
+}

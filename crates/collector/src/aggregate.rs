@@ -29,7 +29,7 @@ pub struct TemplateSeries {
 }
 
 impl TemplateSeries {
-    fn zeros(start: i64, n: usize) -> Self {
+    pub(crate) fn zeros(start: i64, n: usize) -> Self {
         Self {
             start,
             execution_count: vec![0.0; n],

@@ -1,0 +1,622 @@
+//! Incremental per-template aggregation with bounded state.
+//!
+//! The online replacement for [`aggregate_case`](crate::aggregate_case):
+//! instead of densifying a complete trace after the fact, the
+//! [`IncrementalAggregator`] folds a [`TelemetryEvent`] stream as it
+//! arrives into
+//!
+//! * ring-buffered **1-second cells** — per-template `(count, total
+//!   response time, examined rows)` keyed by absolute second;
+//! * a bounded **raw-record ring** — the §IV-C session estimator needs the
+//!   individual records of a collection window, so they are retained for
+//!   the same horizon as the cells (the paper keeps three days of raw
+//!   logs; the default here is shorter because simulated windows are);
+//! * a bounded **metric-sample ring** — one [`MetricsSample`] per second;
+//! * an in-line **1-minute history feed** — each fully-elapsed minute's
+//!   per-template execution counts are folded into a [`HistoryStore`] for
+//!   §VI history-trend verification, so a long-running instance
+//!   accumulates its own look-back without any batch job.
+//!
+//! Everything except the history store is bounded by
+//! [`IncrementalConfig::retention_s`]: as the watermark advances, cells,
+//! records, and metric samples older than the horizon are evicted.
+//!
+//! ## Replay equivalence
+//!
+//! [`IncrementalAggregator::snapshot`] re-assembles a [`CaseData`] for any
+//! window still inside the retention horizon. For a stream produced by
+//! [`pinsql_dbsim::telemetry::interleave`] (time-ordered, arrival-stable),
+//! the snapshot is **bit-identical** to what
+//! [`aggregate_case`](crate::aggregate_case) computes from the complete
+//! trace: records are ingested in the same order the batch path sums them,
+//! so every per-cell floating-point accumulation happens in the same
+//! sequence. The engine crate's golden replay tests pin this contract.
+
+use crate::aggregate::{CaseData, TemplateData, TemplateSeries};
+use crate::catalog::TemplateCatalog;
+use crate::history::HistoryStore;
+use pinsql_dbsim::probe::ProbeLog;
+use pinsql_dbsim::{InstanceMetrics, MetricsSample, QueryRecord, TelemetryEvent};
+use pinsql_sqlkit::SqlId;
+use pinsql_workload::TemplateSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// One second's per-template aggregates: `(count, total_rt_ms, examined_rows)`.
+type Cell = (f64, f64, f64);
+
+/// Tuning for the incremental aggregator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Seconds of cells / records / metric samples to retain behind the
+    /// watermark. Must cover the largest collection window a diagnosis
+    /// will ask for (`δ_s` + anomaly length), and should be ≥ 60 so the
+    /// history feed always sees complete minutes.
+    pub retention_s: i64,
+    /// Absolute minute index the stream's second 0 maps to in the history
+    /// store's timeline (histories are addressed by absolute minute).
+    pub history_origin_min: i64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        Self { retention_s: 7200, history_origin_min: 0 }
+    }
+}
+
+impl IncrementalConfig {
+    /// Builder-style retention override.
+    pub fn with_retention(mut self, retention_s: i64) -> Self {
+        assert!(retention_s > 0, "retention must be positive");
+        self.retention_s = retention_s;
+        self
+    }
+
+    /// Builder-style history-origin override.
+    pub fn with_history_origin(mut self, minute: i64) -> Self {
+        self.history_origin_min = minute;
+        self
+    }
+}
+
+/// Ingestion counters (observability for the fleet engine).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Total events ingested (all variants).
+    pub events: u64,
+    /// Query records folded into cells.
+    pub queries: u64,
+    /// Records dropped for non-finite timestamps/response times.
+    pub malformed: u64,
+    /// Events older than the retention horizon, dropped on arrival.
+    pub late: u64,
+}
+
+/// The incremental, bounded-state aggregation engine.
+#[derive(Debug, Clone)]
+pub struct IncrementalAggregator {
+    catalog: TemplateCatalog,
+    cfg: IncrementalConfig,
+    /// Retained raw records in arrival order.
+    records: VecDeque<QueryRecord>,
+    /// Per-second cells for contiguous seconds
+    /// `[cells_start, cells_start + cells.len())`.
+    cells: VecDeque<HashMap<SqlId, Cell>>,
+    cells_start: i64,
+    /// Per-second metric samples for contiguous seconds
+    /// `[metrics_start, metrics_start + metrics.len())`.
+    metrics: VecDeque<MetricsSample>,
+    metrics_start: i64,
+    /// All telemetry with timestamps `< watermark` has been delivered.
+    watermark: i64,
+    history: HistoryStore,
+    /// Next stream minute (relative, i.e. `second / 60`) to fold into the
+    /// history store; `None` until the first cell arrives.
+    history_next_min: Option<i64>,
+    stats: IngestStats,
+}
+
+impl IncrementalAggregator {
+    /// Creates an aggregator for a workload's template specs.
+    pub fn new(specs: &[TemplateSpec], cfg: IncrementalConfig) -> Self {
+        Self::with_catalog(TemplateCatalog::from_specs(specs), cfg)
+    }
+
+    /// Creates an aggregator over a pre-built catalog.
+    pub fn with_catalog(catalog: TemplateCatalog, cfg: IncrementalConfig) -> Self {
+        assert!(cfg.retention_s > 0, "retention must be positive");
+        Self {
+            catalog,
+            cfg,
+            records: VecDeque::new(),
+            cells: VecDeque::new(),
+            cells_start: 0,
+            metrics: VecDeque::new(),
+            metrics_start: 0,
+            watermark: i64::MIN,
+            history: HistoryStore::new(),
+            history_next_min: None,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Folds one telemetry event into the aggregates.
+    pub fn ingest(&mut self, ev: &TelemetryEvent) {
+        self.stats.events += 1;
+        match ev {
+            TelemetryEvent::Query(rec) => self.ingest_query(*rec),
+            TelemetryEvent::Metrics(sample) => self.ingest_metrics(sample.clone()),
+            TelemetryEvent::Tick { second } => self.advance_watermark(*second),
+        }
+    }
+
+    /// Folds one query record (arrival attribution, §IV-A).
+    pub fn ingest_query(&mut self, rec: QueryRecord) {
+        if !rec.start_ms.is_finite() || !rec.response_ms.is_finite() {
+            self.stats.malformed += 1;
+            return;
+        }
+        let second = (rec.start_ms / 1000.0).floor() as i64;
+        if self.watermark != i64::MIN && second < self.watermark - self.cfg.retention_s {
+            self.stats.late += 1;
+            return;
+        }
+        self.stats.queries += 1;
+        let id = self.catalog.id_of_spec(rec.spec);
+        let cell = self.slot_mut(second).entry(id).or_insert((0.0, 0.0, 0.0));
+        cell.0 += 1.0;
+        cell.1 += rec.response_ms;
+        cell.2 += rec.examined_rows as f64;
+        self.records.push_back(rec);
+    }
+
+    /// Stores one per-second metric sample. A sample for a second already
+    /// held replaces it; gaps are zero-filled so the ring stays contiguous
+    /// (a monitoring gap reads as "no load", matching the batch slicer).
+    pub fn ingest_metrics(&mut self, sample: MetricsSample) {
+        let second = sample.second;
+        if self.metrics.is_empty() {
+            self.metrics_start = second;
+            self.metrics.push_back(sample);
+        } else if second < self.metrics_start {
+            self.stats.late += 1;
+            return;
+        } else {
+            let idx = (second - self.metrics_start) as usize;
+            while self.metrics.len() < idx {
+                let missing = self.metrics_start + self.metrics.len() as i64;
+                self.metrics.push_back(MetricsSample { second: missing, ..Default::default() });
+            }
+            if idx < self.metrics.len() {
+                self.metrics[idx] = sample;
+            } else {
+                self.metrics.push_back(sample);
+            }
+        }
+        // A sample for second `s` is published once `s` has fully elapsed.
+        self.advance_watermark(second + 1);
+    }
+
+    /// Advances the watermark: folds completed minutes into the history
+    /// store, then evicts state behind the retention horizon.
+    pub fn advance_watermark(&mut self, second: i64) {
+        if self.watermark != i64::MIN && second <= self.watermark {
+            return;
+        }
+        self.watermark = second;
+        self.fold_history();
+        self.enforce_retention();
+    }
+
+    /// The current watermark (`i64::MIN` before any event).
+    pub fn watermark(&self) -> i64 {
+        self.watermark
+    }
+
+    /// The template catalog the aggregator attributes records with.
+    pub fn catalog(&self) -> &TemplateCatalog {
+        &self.catalog
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The in-line per-template 1-minute execution history.
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// `#execution` for a template at an absolute second (0 outside the
+    /// retained horizon) — the counter the online detector-side pollers
+    /// read.
+    pub fn executions(&self, id: SqlId, second: i64) -> f64 {
+        let Some(idx) = self.cell_index(second) else { return 0.0 };
+        self.cells[idx].get(&id).map_or(0.0, |c| c.0)
+    }
+
+    /// Number of 1-second cell slots currently held (bounded-memory
+    /// invariant: never exceeds `retention_s` once the stream is longer
+    /// than the horizon).
+    pub fn cell_seconds(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of raw records currently retained.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of metric samples currently retained.
+    pub fn metric_seconds(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Re-assembles the batch-equivalent [`CaseData`] for the collection
+    /// window `[ts, te)`.
+    ///
+    /// For any window fully inside the retention horizon of a time-ordered
+    /// stream, the result is bit-identical to
+    /// [`aggregate_case`](crate::aggregate_case) over the full trace (see
+    /// module docs). Windows reaching beyond the retained metrics are
+    /// clipped exactly the way the batch slicer clips to available data.
+    ///
+    /// # Panics
+    /// Panics if `te <= ts` (empty collection window), like the batch path.
+    pub fn snapshot(&self, ts: i64, te: i64) -> CaseData {
+        assert!(te > ts, "empty collection window");
+        let n = (te - ts) as usize;
+        let ts_ms = ts as f64 * 1000.0;
+        let te_ms = te as f64 * 1000.0;
+
+        // Window records in arrival order (the stream is time-ordered, so
+        // this is the batch path's filter-then-stable-sort order).
+        let mut records: Vec<QueryRecord> = Vec::new();
+        let mut by_template: HashMap<SqlId, TemplateData> = HashMap::new();
+        for rec in &self.records {
+            if rec.start_ms >= ts_ms && rec.start_ms < te_ms {
+                let id = self.catalog.id_of_spec(rec.spec);
+                let entry = by_template.entry(id).or_insert_with(|| TemplateData {
+                    id,
+                    series: TemplateSeries::zeros(ts, n),
+                    record_idx: Vec::new(),
+                });
+                entry.record_idx.push(records.len() as u32);
+                records.push(*rec);
+            }
+        }
+
+        // Series values come straight from the cells: each `(template,
+        // second)` cell was accumulated record-by-record at ingest, in the
+        // same order the batch aggregator sums, so assignment (not
+        // re-accumulation) preserves bit-identity.
+        let lo = ts.max(self.cells_start);
+        let hi = te.min(self.cells_start + self.cells.len() as i64);
+        for s in lo..hi {
+            let idx = (s - ts) as usize;
+            for (id, cell) in &self.cells[(s - self.cells_start) as usize] {
+                if let Some(tpl) = by_template.get_mut(id) {
+                    tpl.series.execution_count[idx] = cell.0;
+                    tpl.series.total_rt_ms[idx] = cell.1;
+                    tpl.series.examined_rows[idx] = cell.2;
+                }
+            }
+        }
+
+        let mut templates: Vec<TemplateData> = by_template.into_values().collect();
+        templates.sort_by_key(|t| t.id);
+
+        CaseData {
+            ts,
+            te,
+            catalog: self.catalog.clone(),
+            metrics: self.window_metrics(ts, te),
+            records,
+            templates,
+        }
+    }
+
+    /// The retained metrics restricted to `[ts, te)`, non-finite samples
+    /// zeroed — the online analogue of the batch `slice_metrics`.
+    fn window_metrics(&self, ts: i64, te: i64) -> InstanceMetrics {
+        let lo = ts.max(self.metrics_start);
+        let hi = te.min(self.metrics_start + self.metrics.len() as i64).max(lo);
+        let len = (hi - lo) as usize;
+        let mut out = InstanceMetrics {
+            start_second: ts,
+            active_session: Vec::with_capacity(len),
+            cpu_usage: Vec::with_capacity(len),
+            iops_usage: Vec::with_capacity(len),
+            row_lock_waits: Vec::with_capacity(len),
+            mdl_waits: Vec::with_capacity(len),
+            qps: Vec::with_capacity(len),
+            probes: ProbeLog::default(),
+        };
+        let finite = |x: f64| if x.is_finite() { x } else { 0.0 };
+        for s in lo..hi {
+            let sample = &self.metrics[(s - self.metrics_start) as usize];
+            out.active_session.push(finite(sample.active_session));
+            out.cpu_usage.push(finite(sample.cpu_usage));
+            out.iops_usage.push(finite(sample.iops_usage));
+            out.row_lock_waits.push(finite(sample.row_lock_waits));
+            out.mdl_waits.push(finite(sample.mdl_waits));
+            out.qps.push(finite(sample.qps));
+            out.probes.samples.extend(sample.probes.iter().copied());
+        }
+        out
+    }
+
+    /// The per-template cell map for an absolute second, extending the
+    /// contiguous ring as needed.
+    fn slot_mut(&mut self, second: i64) -> &mut HashMap<SqlId, Cell> {
+        if self.cells.is_empty() {
+            self.cells_start = second;
+            self.cells.push_back(HashMap::new());
+        } else if second < self.cells_start {
+            // Out-of-order record older than the ring's start but inside
+            // the retention horizon: prepend slots (rare; channel drivers
+            // with racing producers).
+            for _ in 0..(self.cells_start - second) {
+                self.cells.push_front(HashMap::new());
+            }
+            self.cells_start = second;
+        } else {
+            let idx = (second - self.cells_start) as usize;
+            while self.cells.len() <= idx {
+                self.cells.push_back(HashMap::new());
+            }
+        }
+        let idx = (second - self.cells_start) as usize;
+        &mut self.cells[idx]
+    }
+
+    /// Folds every fully-elapsed minute's execution counts into the
+    /// history store.
+    fn fold_history(&mut self) {
+        if self.cells.is_empty() {
+            return;
+        }
+        let mut next = self
+            .history_next_min
+            .unwrap_or_else(|| self.cells_start.div_euclid(60));
+        while (next + 1) * 60 <= self.watermark {
+            let minute = next;
+            next += 1;
+            let mut per_template: HashMap<SqlId, f64> = HashMap::new();
+            for s in minute * 60..(minute + 1) * 60 {
+                let Some(idx) = Self::index_of(self.cells_start, self.cells.len(), s) else {
+                    continue;
+                };
+                for (id, cell) in &self.cells[idx] {
+                    *per_template.entry(*id).or_insert(0.0) += cell.0;
+                }
+            }
+            // Deterministic insertion order for reproducible stores.
+            let mut ids: Vec<(SqlId, f64)> = per_template.into_iter().collect();
+            ids.sort_by_key(|(id, _)| *id);
+            for (id, count) in ids {
+                self.history.record(id, self.cfg.history_origin_min + minute, count);
+            }
+        }
+        self.history_next_min = Some(next);
+    }
+
+    /// Evicts cells, records, and metric samples behind the retention
+    /// horizon.
+    fn enforce_retention(&mut self) {
+        let horizon = self.watermark - self.cfg.retention_s;
+        while !self.cells.is_empty() && self.cells_start < horizon {
+            self.cells.pop_front();
+            self.cells_start += 1;
+        }
+        if self.cells.is_empty() {
+            self.cells_start = self.cells_start.max(horizon);
+        }
+        while !self.metrics.is_empty() && self.metrics_start < horizon {
+            self.metrics.pop_front();
+            self.metrics_start += 1;
+        }
+        let horizon_ms = horizon as f64 * 1000.0;
+        while let Some(front) = self.records.front() {
+            if front.start_ms < horizon_ms {
+                self.records.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn cell_index(&self, second: i64) -> Option<usize> {
+        Self::index_of(self.cells_start, self.cells.len(), second)
+    }
+
+    fn index_of(start: i64, len: usize, second: i64) -> Option<usize> {
+        if second < start || second >= start + len as i64 {
+            None
+        } else {
+            Some((second - start) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate_case;
+    use pinsql_dbsim::interleave;
+    use pinsql_workload::{CostProfile, SpecId, TableId};
+
+    fn spec(sql: &str) -> TemplateSpec {
+        TemplateSpec::new(sql, CostProfile::point_read(TableId(0)), "t")
+    }
+
+    fn rec(spec_idx: usize, start_ms: f64, rt: f64, rows: u64) -> QueryRecord {
+        QueryRecord { spec: SpecId(spec_idx), start_ms, response_ms: rt, examined_rows: rows }
+    }
+
+    fn flat_metrics(start: i64, n: usize) -> InstanceMetrics {
+        InstanceMetrics {
+            start_second: start,
+            active_session: (0..n).map(|i| 1.0 + (i % 3) as f64).collect(),
+            cpu_usage: vec![0.25; n],
+            iops_usage: vec![0.1; n],
+            row_lock_waits: vec![0.0; n],
+            mdl_waits: vec![0.0; n],
+            qps: vec![7.0; n],
+            probes: ProbeLog::default(),
+        }
+    }
+
+    fn assert_case_eq(a: &CaseData, b: &CaseData) {
+        assert_eq!(a.ts, b.ts);
+        assert_eq!(a.te, b.te);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.metrics.start_second, b.metrics.start_second);
+        assert_eq!(a.metrics.active_session, b.metrics.active_session);
+        assert_eq!(a.metrics.cpu_usage, b.metrics.cpu_usage);
+        assert_eq!(a.metrics.iops_usage, b.metrics.iops_usage);
+        assert_eq!(a.metrics.row_lock_waits, b.metrics.row_lock_waits);
+        assert_eq!(a.metrics.mdl_waits, b.metrics.mdl_waits);
+        assert_eq!(a.metrics.qps, b.metrics.qps);
+        assert_eq!(a.metrics.probes.samples, b.metrics.probes.samples);
+        assert_eq!(a.templates.len(), b.templates.len());
+        for (x, y) in a.templates.iter().zip(&b.templates) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.record_idx, y.record_idx);
+            assert_eq!(x.series.start, y.series.start);
+            assert_eq!(x.series.execution_count, y.series.execution_count);
+            assert_eq!(x.series.total_rt_ms, y.series.total_rt_ms);
+            assert_eq!(x.series.examined_rows, y.series.examined_rows);
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_batch_aggregation() {
+        let specs = vec![
+            spec("SELECT * FROM a WHERE x = 1"),
+            spec("SELECT * FROM b WHERE x = 1"),
+            spec("UPDATE c SET y = 1 WHERE x = 2"),
+        ];
+        // A jittery, unsorted log with out-of-window stragglers.
+        let mut log = Vec::new();
+        for i in 0..400 {
+            let s = (i * 37) % 120;
+            log.push(rec(i % 3, s as f64 * 1000.0 + (i % 7) as f64 * 133.7, 3.0 + i as f64, i as u64 % 5));
+        }
+        log.push(rec(0, -500.0, 1.0, 1));
+        log.push(rec(1, 500_000.0, 1.0, 1));
+        let metrics = flat_metrics(0, 120);
+
+        let batch = aggregate_case(&log, &specs, &metrics, 20, 100);
+
+        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for ev in interleave(&log, &metrics) {
+            agg.ingest(&ev);
+        }
+        let online = agg.snapshot(20, 100);
+        assert_case_eq(&online, &batch);
+    }
+
+    #[test]
+    fn snapshot_windows_are_reusable_and_nested() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let log: Vec<QueryRecord> =
+            (0..600).map(|i| rec(0, i as f64 * 100.0, 2.0, 1)).collect();
+        let metrics = flat_metrics(0, 60);
+        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for ev in interleave(&log, &metrics) {
+            agg.ingest(&ev);
+        }
+        for (ts, te) in [(0, 60), (10, 50), (30, 31)] {
+            let batch = aggregate_case(&log, &specs, &metrics, ts, te);
+            assert_case_eq(&agg.snapshot(ts, te), &batch);
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_dropped() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        agg.ingest_query(rec(0, f64::NAN, 1.0, 0));
+        agg.ingest_query(rec(0, 100.0, f64::INFINITY, 0));
+        agg.ingest_query(rec(0, 100.0, 1.0, 0));
+        assert_eq!(agg.stats().malformed, 2);
+        assert_eq!(agg.record_count(), 1);
+    }
+
+    #[test]
+    fn memory_stays_within_retention_horizon() {
+        // The regression this type exists for: the old streaming
+        // aggregator's `(template, second)` map grew without bound.
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1"), spec("SELECT 2 FROM u WHERE id = 1")];
+        let retention = 300;
+        let mut agg = IncrementalAggregator::new(
+            &specs,
+            IncrementalConfig::default().with_retention(retention),
+        );
+        let horizon_s = 20_000i64;
+        for s in 0..horizon_s {
+            agg.ingest(&TelemetryEvent::Query(rec((s % 2) as usize, s as f64 * 1000.0 + 1.0, 2.0, 1)));
+            agg.ingest(&TelemetryEvent::Metrics(MetricsSample {
+                second: s,
+                active_session: 1.0,
+                ..Default::default()
+            }));
+            agg.ingest(&TelemetryEvent::Tick { second: s + 1 });
+            assert!(agg.cell_seconds() <= retention as usize + 1, "at {s}");
+            assert!(agg.metric_seconds() <= retention as usize + 1, "at {s}");
+            assert!(agg.record_count() <= retention as usize + 1, "at {s}");
+        }
+        // Still serves windows inside the horizon.
+        let case = agg.snapshot(horizon_s - 100, horizon_s);
+        assert_eq!(case.n_seconds(), 100);
+        assert_eq!(case.records.len(), 100);
+    }
+
+    #[test]
+    fn history_feed_folds_complete_minutes() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let origin = 5000;
+        let mut agg = IncrementalAggregator::new(
+            &specs,
+            IncrementalConfig::default().with_history_origin(origin),
+        );
+        // Two executions per second for 150 s: minutes 0 and 1 complete
+        // (120 each), minute 2 still open.
+        for s in 0..150i64 {
+            agg.ingest_query(rec(0, s as f64 * 1000.0, 1.0, 0));
+            agg.ingest_query(rec(0, s as f64 * 1000.0 + 500.0, 1.0, 0));
+            agg.advance_watermark(s + 1);
+        }
+        let id = agg.catalog().id_of_spec(SpecId(0));
+        assert_eq!(agg.history().window_filled(id, origin, origin + 2), vec![120.0, 120.0]);
+        assert_eq!(agg.history().window_filled(id, origin + 2, origin + 3), vec![0.0]);
+        // Closing the third minute folds it.
+        agg.advance_watermark(180);
+        assert_eq!(agg.history().window_filled(id, origin + 2, origin + 3), vec![60.0]);
+    }
+
+    #[test]
+    fn metrics_gaps_zero_fill() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        agg.ingest_metrics(MetricsSample { second: 0, active_session: 4.0, ..Default::default() });
+        agg.ingest_metrics(MetricsSample { second: 3, active_session: 9.0, ..Default::default() });
+        let case = agg.snapshot(0, 4);
+        assert_eq!(case.metrics.active_session, vec![4.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn executions_counter_reads_cells() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        let id = agg.catalog().id_of_spec(SpecId(0));
+        agg.ingest_query(rec(0, 1500.0, 4.0, 2));
+        agg.ingest_query(rec(0, 1999.0, 6.0, 4));
+        agg.ingest_query(rec(0, 2000.0, 1.0, 1));
+        assert_eq!(agg.executions(id, 1), 2.0);
+        assert_eq!(agg.executions(id, 2), 1.0);
+        assert_eq!(agg.executions(id, 3), 0.0);
+    }
+}

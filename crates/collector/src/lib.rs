@@ -16,18 +16,24 @@
 //!   estimator needs;
 //! * [`history`] — the long-horizon per-template 1-minute `#execution`
 //!   store used by history-trend verification (1/3/7 days back);
-//! * [`stream`] — a crossbeam-channel streaming pipeline (the Kafka/Flink
-//!   stand-in) that folds records into per-second aggregates as they
-//!   arrive.
+//! * [`incremental`] — the online aggregation engine: folds a
+//!   [`TelemetryEvent`](pinsql_dbsim::TelemetryEvent) stream into
+//!   ring-buffered per-second cells with bounded retention, feeds the
+//!   history store in-line, and re-assembles a batch-bit-identical
+//!   [`CaseData`] snapshot for any retained window;
+//! * [`stream`] — a crossbeam-channel driver (the Kafka/Flink stand-in)
+//!   that runs the same incremental aggregator behind a bounded channel.
 
 pub mod aggregate;
 pub mod catalog;
 pub mod history;
+pub mod incremental;
 pub mod logstore;
 pub mod stream;
 
 pub use aggregate::{aggregate_case, CaseData, TemplateData, TemplateSeries};
 pub use catalog::{TemplateCatalog, TemplateInfo};
 pub use history::{HistorySeries, HistoryStore};
+pub use incremental::{IncrementalAggregator, IncrementalConfig, IngestStats};
 pub use logstore::LogStore;
 pub use stream::StreamAggregator;

@@ -1,85 +1,92 @@
-//! Streaming aggregation — the Kafka/Flink stand-in.
+//! Channel-driven aggregation — the Kafka/Flink stand-in.
 //!
-//! Collectors on database instances publish query records asynchronously;
-//! an aggregation job folds them into per-template per-second counters in
-//! real time (§IV-A). This module reproduces that topology in-process: a
-//! `crossbeam` channel carries records to a worker thread that maintains a
-//! shared, lock-protected aggregate map, exactly the state the anomaly
-//! detector polls.
+//! Collectors on database instances publish telemetry asynchronously; an
+//! aggregation job folds it into per-template per-second state in real time
+//! (§IV-A). This module reproduces that topology in-process: a `crossbeam`
+//! channel carries [`TelemetryEvent`]s to a worker thread that drives a
+//! shared, lock-protected [`IncrementalAggregator`] — the *same* aggregation
+//! implementation the synchronous engine path uses, so there is exactly one
+//! aggregation algorithm with two drivers (in-line and channel).
 
+use crate::aggregate::CaseData;
+use crate::incremental::{IncrementalAggregator, IncrementalConfig, IngestStats};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use pinsql_dbsim::QueryRecord;
+use pinsql_dbsim::TelemetryEvent;
 use pinsql_sqlkit::SqlId;
-use std::collections::HashMap;
+use pinsql_workload::TemplateSpec;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Per-template running aggregates at 1-second granularity.
-#[derive(Debug, Default, Clone)]
-pub struct StreamAggregates {
-    /// `(template, second) → (count, total_rt_ms, examined_rows)`.
-    pub cells: HashMap<(SqlId, i64), (f64, f64, f64)>,
-}
-
-impl StreamAggregates {
-    /// The `#execution` count for a template at a second.
-    pub fn executions(&self, id: SqlId, second: i64) -> f64 {
-        self.cells.get(&(id, second)).map_or(0.0, |c| c.0)
-    }
-}
-
-/// A running streaming-aggregation job.
+/// A running channel-driven aggregation job.
 ///
-/// Producers send `(template, record)` pairs through [`StreamAggregator::sender`];
-/// the worker folds them into the shared aggregates. Dropping the sender
-/// (or calling [`StreamAggregator::finish`]) stops the worker.
+/// Producers send [`TelemetryEvent`]s through [`StreamAggregator::sender`];
+/// the worker folds them into a shared [`IncrementalAggregator`]. Dropping
+/// every sender (or calling [`StreamAggregator::finish`]) stops the worker.
 pub struct StreamAggregator {
-    sender: Option<Sender<(SqlId, QueryRecord)>>,
+    sender: Option<Sender<TelemetryEvent>>,
     worker: Option<JoinHandle<()>>,
-    state: Arc<Mutex<StreamAggregates>>,
+    state: Arc<Mutex<IncrementalAggregator>>,
 }
 
 impl StreamAggregator {
     /// Spawns the aggregation worker with a bounded channel of `capacity`
-    /// records (providing back-pressure like a real log pipeline).
-    pub fn spawn(capacity: usize) -> Self {
-        let (tx, rx) = bounded::<(SqlId, QueryRecord)>(capacity);
-        let state = Arc::new(Mutex::new(StreamAggregates::default()));
+    /// events (providing back-pressure like a real log pipeline).
+    pub fn spawn(specs: &[TemplateSpec], cfg: IncrementalConfig, capacity: usize) -> Self {
+        let (tx, rx) = bounded::<TelemetryEvent>(capacity);
+        let state = Arc::new(Mutex::new(IncrementalAggregator::new(specs, cfg)));
         let worker_state = Arc::clone(&state);
         let worker = std::thread::spawn(move || {
-            for (id, rec) in rx {
-                let second = (rec.start_ms / 1000.0).floor() as i64;
+            // Drain in batches under one lock acquisition: take whatever is
+            // queued, then block for the next event only when empty.
+            while let Ok(first) = rx.recv() {
                 let mut agg = worker_state.lock();
-                let cell = agg.cells.entry((id, second)).or_insert((0.0, 0.0, 0.0));
-                cell.0 += 1.0;
-                cell.1 += rec.response_ms;
-                cell.2 += rec.examined_rows as f64;
+                agg.ingest(&first);
+                while let Ok(ev) = rx.try_recv() {
+                    agg.ingest(&ev);
+                }
             }
         });
         Self { sender: Some(tx), worker: Some(worker), state }
     }
 
     /// The producer endpoint.
-    pub fn sender(&self) -> Sender<(SqlId, QueryRecord)> {
+    pub fn sender(&self) -> Sender<TelemetryEvent> {
         self.sender.as_ref().expect("aggregator already finished").clone()
     }
 
-    /// A snapshot of the current aggregates.
-    pub fn snapshot(&self) -> StreamAggregates {
-        self.state.lock().clone()
+    /// The `#execution` count for a template at a second, as currently
+    /// aggregated (0 outside the retained horizon).
+    pub fn executions(&self, id: SqlId, second: i64) -> f64 {
+        self.state.lock().executions(id, second)
+    }
+
+    /// The worker's current watermark (`i64::MIN` before any event).
+    pub fn watermark(&self) -> i64 {
+        self.state.lock().watermark()
+    }
+
+    /// Current ingestion counters.
+    pub fn stats(&self) -> IngestStats {
+        self.state.lock().stats()
+    }
+
+    /// A [`CaseData`] snapshot of the collection window `[ts, te)` from the
+    /// aggregates folded so far.
+    pub fn snapshot_case(&self, ts: i64, te: i64) -> CaseData {
+        self.state.lock().snapshot(ts, te)
     }
 
     /// Closes the channel, waits for the worker to drain, and returns the
-    /// final aggregates.
-    pub fn finish(mut self) -> StreamAggregates {
+    /// final aggregator state.
+    pub fn finish(mut self) -> IncrementalAggregator {
         self.sender = None; // close the channel
         if let Some(w) = self.worker.take() {
             w.join().expect("aggregation worker panicked");
         }
-        Arc::try_unwrap(std::mem::take(&mut self.state))
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone())
+        let state = Arc::clone(&self.state);
+        drop(self); // run Drop with the worker already joined
+        Arc::try_unwrap(state).map(|m| m.into_inner()).unwrap_or_else(|arc| arc.lock().clone())
     }
 }
 
@@ -95,24 +102,39 @@ impl Drop for StreamAggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinsql_workload::SpecId;
+    use pinsql_workload::{CostProfile, SpecId, TableId};
 
-    fn rec(start_ms: f64, rt: f64, rows: u64) -> QueryRecord {
-        QueryRecord { spec: SpecId(0), start_ms, response_ms: rt, examined_rows: rows }
+    fn specs(n: usize) -> Vec<TemplateSpec> {
+        (0..n)
+            .map(|i| {
+                TemplateSpec::new(
+                    &format!("SELECT * FROM t{i} WHERE id = 1"),
+                    CostProfile::point_read(TableId(0)),
+                    "t",
+                )
+            })
+            .collect()
+    }
+
+    fn rec(spec_idx: usize, start_ms: f64, rt: f64, rows: u64) -> TelemetryEvent {
+        TelemetryEvent::Query(pinsql_dbsim::QueryRecord {
+            spec: SpecId(spec_idx),
+            start_ms,
+            response_ms: rt,
+            examined_rows: rows,
+        })
     }
 
     #[test]
     fn aggregates_across_threads() {
-        let agg = StreamAggregator::spawn(1024);
-        let id_a = SqlId(1);
-        let id_b = SqlId(2);
+        let specs = specs(2);
+        let agg = StreamAggregator::spawn(&specs, IncrementalConfig::default(), 1024);
         let handles: Vec<_> = (0..4)
             .map(|k| {
                 let tx = agg.sender();
                 std::thread::spawn(move || {
                     for i in 0..100 {
-                        let id = if i % 2 == 0 { id_a } else { id_b };
-                        tx.send((id, rec(1000.0 * k as f64 + i as f64, 2.0, 3))).unwrap();
+                        tx.send(rec(i % 2, 1000.0 * k as f64 + i as f64, 2.0, 3)).unwrap();
                     }
                 })
             })
@@ -121,41 +143,65 @@ mod tests {
             h.join().unwrap();
         }
         let out = agg.finish();
-        let total: f64 = out.cells.iter().filter(|((id, _), _)| *id == id_a).map(|(_, c)| c.0).sum();
-        assert_eq!(total, 200.0);
-        let total_b: f64 =
-            out.cells.iter().filter(|((id, _), _)| *id == id_b).map(|(_, c)| c.0).sum();
+        let id_a = out.catalog().id_of_spec(SpecId(0));
+        let id_b = out.catalog().id_of_spec(SpecId(1));
+        let total_a: f64 = (0..5).map(|s| out.executions(id_a, s)).sum();
+        let total_b: f64 = (0..5).map(|s| out.executions(id_b, s)).sum();
+        assert_eq!(total_a, 200.0);
         assert_eq!(total_b, 200.0);
+        assert_eq!(out.stats().queries, 400);
     }
 
     #[test]
     fn attribution_by_arrival_second() {
-        let agg = StreamAggregator::spawn(16);
+        let specs = specs(1);
+        let agg = StreamAggregator::spawn(&specs, IncrementalConfig::default(), 16);
         let tx = agg.sender();
-        tx.send((SqlId(9), rec(1500.0, 4.0, 2))).unwrap();
-        tx.send((SqlId(9), rec(1999.0, 6.0, 4))).unwrap();
-        tx.send((SqlId(9), rec(2000.0, 1.0, 1))).unwrap();
+        tx.send(rec(0, 1500.0, 4.0, 2)).unwrap();
+        tx.send(rec(0, 1999.0, 6.0, 4)).unwrap();
+        tx.send(rec(0, 2000.0, 1.0, 1)).unwrap();
         drop(tx);
         let out = agg.finish();
-        assert_eq!(out.executions(SqlId(9), 1), 2.0);
-        assert_eq!(out.executions(SqlId(9), 2), 1.0);
-        assert_eq!(out.cells[&(SqlId(9), 1)].1, 10.0);
-        assert_eq!(out.cells[&(SqlId(9), 1)].2, 6.0);
+        let id = out.catalog().id_of_spec(SpecId(0));
+        assert_eq!(out.executions(id, 1), 2.0);
+        assert_eq!(out.executions(id, 2), 1.0);
+        let case = out.snapshot(1, 3);
+        assert_eq!(case.templates.len(), 1);
+        assert_eq!(case.templates[0].series.total_rt_ms, vec![10.0, 1.0]);
+        assert_eq!(case.templates[0].series.examined_rows, vec![6.0, 1.0]);
     }
 
     #[test]
     fn snapshot_while_running() {
-        let agg = StreamAggregator::spawn(16);
+        let specs = specs(1);
+        let id = crate::catalog::TemplateCatalog::from_specs(&specs).id_of_spec(SpecId(0));
+        let agg = StreamAggregator::spawn(&specs, IncrementalConfig::default(), 16);
         let tx = agg.sender();
-        tx.send((SqlId(3), rec(0.0, 1.0, 0))).unwrap();
-        // Give the worker a moment to drain.
+        tx.send(rec(0, 0.0, 1.0, 0)).unwrap();
+        tx.send(TelemetryEvent::Tick { second: 1 }).unwrap();
         for _ in 0..200 {
-            if agg.snapshot().executions(SqlId(3), 0) > 0.0 {
+            if agg.watermark() >= 1 {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        assert_eq!(agg.snapshot().executions(SqlId(3), 0), 1.0);
+        assert_eq!(agg.executions(id, 0), 1.0);
+        assert_eq!(agg.snapshot_case(0, 1).records.len(), 1);
         drop(tx);
+    }
+
+    #[test]
+    fn watermark_advances_on_ticks() {
+        let specs = specs(1);
+        let agg = StreamAggregator::spawn(&specs, IncrementalConfig::default(), 16);
+        let tx = agg.sender();
+        for s in 0..50 {
+            tx.send(rec(0, s as f64 * 1000.0, 1.0, 0)).unwrap();
+            tx.send(TelemetryEvent::Tick { second: s + 1 }).unwrap();
+        }
+        drop(tx);
+        let out = agg.finish();
+        assert_eq!(out.watermark(), 50);
+        assert_eq!(out.record_count(), 50);
     }
 }

@@ -19,6 +19,9 @@
 //!   which is exactly the ambiguity §IV-C's bucket estimation resolves;
 //! * [`metrics`] — per-second instance metrics (cpu/iops utilization,
 //!   active session, lock waits);
+//! * [`telemetry`] — the unified [`TelemetryEvent`] stream (query record |
+//!   metric sample | clock tick) that the online collector, detectors, and
+//!   fleet engine consume;
 //! * [`closedloop`] — a saturation driver (N clients issuing back-to-back
 //!   queries) used for the Table IV Performance-Schema overhead study;
 //! * [`config`] — instance sizing and the Performance-Schema overhead
@@ -34,6 +37,7 @@ pub mod ordf64;
 pub mod probe;
 pub mod ps;
 pub mod record;
+pub mod telemetry;
 pub mod trace;
 
 pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
@@ -41,4 +45,5 @@ pub use config::{PfsConfig, SimConfig};
 pub use engine::{run_open_loop, SimOutput};
 pub use metrics::InstanceMetrics;
 pub use record::QueryRecord;
+pub use telemetry::{interleave, MetricsSample, TelemetryEvent};
 pub use trace::Trace;

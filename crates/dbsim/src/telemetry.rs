@@ -1,0 +1,257 @@
+//! The unified telemetry event stream.
+//!
+//! Production PinSQL never sees a complete trace: query logs stream through
+//! Kafka/Flink and per-second metrics arrive from the monitoring agent, all
+//! interleaved in time. [`TelemetryEvent`] is the single currency every
+//! online component speaks — the incremental collector folds it into cells,
+//! the online detectors watch the metric samples, and the fleet engine
+//! multiplexes many instances' streams.
+//!
+//! ## Ordering contract
+//!
+//! A stream is *time-ordered*: events are sorted by [`TelemetryEvent::time_ms`],
+//! with ties broken by original log order (stable). Within one second `s`
+//! the order is: every [`TelemetryEvent::Query`] arriving in `[s, s+1)`,
+//! then the [`TelemetryEvent::Metrics`] sample for `s`, then
+//! [`TelemetryEvent::Tick`] for `s + 1`. A `Tick { second }` promises that
+//! all telemetry with timestamps `< second` has been delivered — the
+//! watermark consumers advance their clocks on.
+//!
+//! Query records are delivered at their *arrival* timestamp (a real
+//! collector ships them at completion). Arrival-order delivery is what
+//! makes the online path bit-identical to the batch path: per-cell
+//! floating-point sums accumulate in exactly the order
+//! [`aggregate_case`](../pinsql_collector/fn.aggregate_case.html) would add
+//! them.
+
+use crate::metrics::InstanceMetrics;
+use crate::probe::ProbeSample;
+use crate::record::QueryRecord;
+use serde::{Deserialize, Serialize};
+
+/// One second's worth of instance metrics, as the monitoring agent
+/// publishes them (Definition II.4, one row at a time).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSample {
+    /// The second this sample covers, `[second, second + 1)`.
+    pub second: i64,
+    pub active_session: f64,
+    pub cpu_usage: f64,
+    pub iops_usage: f64,
+    pub row_lock_waits: f64,
+    pub mdl_waits: f64,
+    pub qps: f64,
+    /// The raw active-session probe samples taken in this second (normally
+    /// one; empty when the probe missed the second).
+    pub probes: Vec<ProbeSample>,
+}
+
+impl MetricsSample {
+    /// The sample's value for a canonical metric name (see
+    /// [`crate::metrics::names`]); `None` for unknown names.
+    pub fn by_name(&self, name: &str) -> Option<f64> {
+        use crate::metrics::names;
+        match name {
+            names::ACTIVE_SESSION | names::THREADS_RUNNING => Some(self.active_session),
+            names::CPU_USAGE => Some(self.cpu_usage),
+            names::IOPS_USAGE => Some(self.iops_usage),
+            names::ROW_LOCK_WAITS => Some(self.row_lock_waits),
+            names::MDL_WAITS => Some(self.mdl_waits),
+            names::QPS => Some(self.qps),
+            _ => None,
+        }
+    }
+}
+
+/// One event of an instance's telemetry stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A query-log record, delivered at its arrival timestamp.
+    Query(QueryRecord),
+    /// The per-second instance-metric sample for `[second, second + 1)`.
+    Metrics(MetricsSample),
+    /// Watermark: all telemetry with timestamps `< second` was delivered.
+    Tick { second: i64 },
+}
+
+impl TelemetryEvent {
+    /// The event's position on the stream clock, in milliseconds.
+    ///
+    /// A metrics sample for second `s` closes that second, so it sits at
+    /// `(s + 1) * 1000`; a tick for `second` sits at `second * 1000`.
+    pub fn time_ms(&self) -> f64 {
+        match self {
+            TelemetryEvent::Query(r) => r.start_ms,
+            TelemetryEvent::Metrics(m) => (m.second + 1) as f64 * 1000.0,
+            TelemetryEvent::Tick { second } => *second as f64 * 1000.0,
+        }
+    }
+}
+
+/// Interleaves a query log and instance metrics into one time-ordered
+/// telemetry stream (the ordering contract in the module docs).
+///
+/// The log may be in any order (the simulator emits completion order); it
+/// is stably sorted by arrival here, so tie order matches the batch
+/// aggregator's `filter`-then-stable-sort. Records arriving before the
+/// metric horizon's first second lead the stream; records at or past its
+/// end trail it, before the final tick.
+pub fn interleave(log: &[QueryRecord], metrics: &InstanceMetrics) -> Vec<TelemetryEvent> {
+    let mut sorted: Vec<QueryRecord> = log.to_vec();
+    sorted.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+
+    let n = metrics.len();
+    let start = metrics.start_second;
+    let mut events = Vec::with_capacity(sorted.len() + 2 * n + 1);
+    let mut probe_cursor = 0usize;
+    let mut rec_cursor = 0usize;
+
+    for idx in 0..n {
+        let second = start + idx as i64;
+        let boundary = (second + 1) as f64 * 1000.0;
+        while rec_cursor < sorted.len() && sorted[rec_cursor].start_ms < boundary {
+            events.push(TelemetryEvent::Query(sorted[rec_cursor]));
+            rec_cursor += 1;
+        }
+        let mut probes = Vec::new();
+        while probe_cursor < metrics.probes.samples.len()
+            && metrics.probes.samples[probe_cursor].second <= second
+        {
+            if metrics.probes.samples[probe_cursor].second == second {
+                probes.push(metrics.probes.samples[probe_cursor]);
+            }
+            probe_cursor += 1;
+        }
+        events.push(TelemetryEvent::Metrics(MetricsSample {
+            second,
+            active_session: metrics.active_session[idx],
+            cpu_usage: metrics.cpu_usage[idx],
+            iops_usage: metrics.iops_usage[idx],
+            row_lock_waits: metrics.row_lock_waits[idx],
+            mdl_waits: metrics.mdl_waits[idx],
+            qps: metrics.qps[idx],
+            probes,
+        }));
+        events.push(TelemetryEvent::Tick { second: second + 1 });
+    }
+
+    // Records past the metric horizon, then a final watermark covering them.
+    if rec_cursor < sorted.len() {
+        let last = sorted.last().expect("non-empty tail");
+        let end_second = (last.start_ms / 1000.0).floor() as i64 + 1;
+        events.extend(sorted[rec_cursor..].iter().map(|r| TelemetryEvent::Query(*r)));
+        events.push(TelemetryEvent::Tick { second: end_second.max(start + n as i64) });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeLog;
+    use pinsql_workload::SpecId;
+
+    fn rec(start_ms: f64) -> QueryRecord {
+        QueryRecord { spec: SpecId(0), start_ms, response_ms: 1.0, examined_rows: 0 }
+    }
+
+    fn metrics(start: i64, n: usize) -> InstanceMetrics {
+        InstanceMetrics {
+            start_second: start,
+            active_session: vec![1.0; n],
+            cpu_usage: vec![0.1; n],
+            iops_usage: vec![0.2; n],
+            row_lock_waits: vec![0.0; n],
+            mdl_waits: vec![0.0; n],
+            qps: vec![5.0; n],
+            probes: ProbeLog {
+                samples: (0..n)
+                    .map(|i| ProbeSample {
+                        second: start + i as i64,
+                        active_sessions: 1,
+                        true_instant_ms: (start + i as i64) as f64 * 1000.0 + 500.0,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn stream_is_time_ordered() {
+        let log = vec![rec(2500.0), rec(100.0), rec(1999.0)];
+        let events = interleave(&log, &metrics(0, 4));
+        for pair in events.windows(2) {
+            assert!(pair[0].time_ms() <= pair[1].time_ms(), "{pair:?}");
+        }
+        let queries: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Query(r) => Some(r.start_ms),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(queries, vec![100.0, 1999.0, 2500.0]);
+    }
+
+    #[test]
+    fn seconds_close_with_metrics_then_tick() {
+        let events = interleave(&[rec(500.0)], &metrics(0, 2));
+        assert!(matches!(events[0], TelemetryEvent::Query(_)));
+        assert!(matches!(&events[1], TelemetryEvent::Metrics(m) if m.second == 0));
+        assert!(matches!(events[2], TelemetryEvent::Tick { second: 1 }));
+        assert!(matches!(&events[3], TelemetryEvent::Metrics(m) if m.second == 1));
+        assert!(matches!(events[4], TelemetryEvent::Tick { second: 2 }));
+    }
+
+    #[test]
+    fn probes_ride_their_second() {
+        let events = interleave(&[], &metrics(10, 3));
+        let samples: Vec<&MetricsSample> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Metrics(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(samples.len(), 3);
+        for m in samples {
+            assert_eq!(m.probes.len(), 1);
+            assert_eq!(m.probes[0].second, m.second);
+        }
+    }
+
+    #[test]
+    fn trailing_records_precede_final_tick() {
+        let events = interleave(&[rec(500.0), rec(7200.0)], &metrics(0, 2));
+        let last = events.last().unwrap();
+        assert!(matches!(last, TelemetryEvent::Tick { second: 8 }));
+        assert!(matches!(events[events.len() - 2], TelemetryEvent::Query(r) if r.start_ms == 7200.0));
+    }
+
+    #[test]
+    fn tie_order_is_stable() {
+        // Two records at the same arrival keep log order — the tie rule the
+        // batch aggregator's stable sort applies.
+        let a = QueryRecord { spec: SpecId(1), start_ms: 100.0, response_ms: 1.0, examined_rows: 0 };
+        let b = QueryRecord { spec: SpecId(2), start_ms: 100.0, response_ms: 2.0, examined_rows: 0 };
+        let events = interleave(&[a, b], &metrics(0, 1));
+        let specs: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Query(r) => Some(r.spec.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(specs, vec![1, 2]);
+    }
+
+    #[test]
+    fn by_name_matches_instance_metrics_names() {
+        let events = interleave(&[], &metrics(0, 1));
+        let TelemetryEvent::Metrics(m) = &events[0] else { panic!("metrics first") };
+        assert_eq!(m.by_name("active_session"), Some(1.0));
+        assert_eq!(m.by_name("cpu_usage"), Some(0.1));
+        assert_eq!(m.by_name("qps"), Some(5.0));
+        assert_eq!(m.by_name("nope"), None);
+    }
+}

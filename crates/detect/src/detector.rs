@@ -51,6 +51,18 @@ impl DetectorConfig {
     pub fn for_utilization() -> Self {
         Self { mad_floor: 0.02, ..Self::default() }
     }
+
+    /// The standard configuration for a metric by canonical name:
+    /// utilization metrics (fraction-valued, `*_usage`) get the lower MAD
+    /// floor, everything else the default. This is the single mapping both
+    /// the batch detection loop and the online detector bank use.
+    pub fn for_metric(name: &str) -> Self {
+        if name.contains("usage") {
+            Self::for_utilization()
+        } else {
+            Self::default()
+        }
+    }
 }
 
 /// Detects anomalous features in `series`, whose first sample is at

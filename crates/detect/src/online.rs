@@ -1,0 +1,444 @@
+//! Online basic perception: sample-at-a-time feature detection.
+//!
+//! [`detect_features`](crate::detect_features) scans a complete series;
+//! the online engine only ever has *the next sample*. This module hosts the
+//! streaming formulation with bounded rolling state:
+//!
+//! * [`OnlineFeatureDetector`] — one metric's detector. Internally it is the
+//!   batch algorithm's state machine made explicit: a *baseline* mode
+//!   (rolling median/MAD over normal samples, warm-up gated) and a *segment*
+//!   mode (frozen baseline statistics, peak-z tracking, recovery-run
+//!   counting). Memory is `O(baseline_len + recover_len)` regardless of
+//!   stream length.
+//! * [`OnlineDetectorBank`] — the six instance metrics' detectors driven
+//!   from one [`MetricsSample`] stream, collecting closed features
+//!   per-metric so the case layer sees them in exactly the order the batch
+//!   detection loop produces.
+//!
+//! ## Replay equivalence
+//!
+//! Pushing a series sample-by-sample and then calling `finish` yields the
+//! *same features, bit-for-bit*, as one `detect_features` call over the
+//! whole series. The one subtle point is segment close: the batch scanner
+//! resumes at `seg_end`, *re-processing* the recovery-run samples through
+//! the baseline path. The online detector reproduces that by buffering the
+//! current recovery run (at most `recover_len` samples) and replaying it
+//! through its own baseline mode when the segment closes — pushing the same
+//! values into the same rolling window in the same order.
+
+use crate::detector::DetectorConfig;
+use crate::features::{Feature, FeatureKind};
+use pinsql_dbsim::metrics::names;
+use pinsql_dbsim::MetricsSample;
+use pinsql_timeseries::rolling::{robust_z, RollingWindow};
+
+/// Detection state for one metric.
+#[derive(Debug, Clone)]
+enum State {
+    /// Tracking the baseline; no anomaly open.
+    Baseline,
+    /// Inside an anomalous segment opened at `seg_start`, judged against the
+    /// baseline statistics frozen when the segment opened.
+    Segment {
+        med: f64,
+        mad: f64,
+        up: bool,
+        seg_start: usize,
+        peak_z: f64,
+        /// The current run of consecutive recovered samples `(index, value)`;
+        /// replayed through baseline mode when the segment closes.
+        run: Vec<(usize, f64)>,
+    },
+}
+
+/// Streaming spike / level-shift detector for a single metric.
+#[derive(Debug, Clone)]
+pub struct OnlineFeatureDetector {
+    metric: String,
+    cfg: DetectorConfig,
+    start_second: i64,
+    baseline: RollingWindow,
+    /// Samples accepted so far (index of the next sample).
+    n: usize,
+    state: State,
+}
+
+impl OnlineFeatureDetector {
+    /// Creates a detector for `metric` whose first sample will be at
+    /// `start_second` (1-second sampling).
+    pub fn new(metric: &str, start_second: i64, cfg: DetectorConfig) -> Self {
+        let baseline = RollingWindow::new(cfg.baseline_len.max(2));
+        Self { metric: metric.to_string(), cfg, start_second, baseline, n: 0, state: State::Baseline }
+    }
+
+    /// The metric this detector watches.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// Number of samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.n
+    }
+
+    /// True while an anomalous segment is open (not yet recovered).
+    pub fn in_segment(&self) -> bool {
+        matches!(self.state, State::Segment { .. })
+    }
+
+    /// The second the open segment started at, if one is open.
+    pub fn open_segment_start(&self) -> Option<i64> {
+        match &self.state {
+            State::Segment { seg_start, .. } => Some(self.start_second + *seg_start as i64),
+            State::Baseline => None,
+        }
+    }
+
+    /// Consumes the next sample; returns any features that *closed* on it
+    /// (usually none, at most one plus whatever the recovery replay opens).
+    pub fn push(&mut self, x: f64) -> Vec<Feature> {
+        let idx = self.n;
+        self.n += 1;
+        let mut out = Vec::new();
+        self.step(idx, x, &mut out);
+        out
+    }
+
+    /// Ends the stream: an unrecovered open segment is emitted as a level
+    /// shift running to the end of data, exactly like the batch scanner.
+    /// The detector is left in baseline mode.
+    pub fn finish(&mut self) -> Option<Feature> {
+        match std::mem::replace(&mut self.state, State::Baseline) {
+            State::Baseline => None,
+            State::Segment { up, seg_start, peak_z, .. } => {
+                let kind = if up { FeatureKind::LevelShiftUp } else { FeatureKind::LevelShiftDown };
+                Some(Feature {
+                    metric: self.metric.clone(),
+                    kind,
+                    start: self.start_second + seg_start as i64,
+                    end: self.start_second + self.n as i64,
+                    peak_z,
+                })
+            }
+        }
+    }
+
+    /// One batch-loop iteration for the sample at `idx`. Recovery replay
+    /// recurses at most one level: a replayed sample can open a new segment
+    /// but can never complete a `recover_len` run inside the (shorter)
+    /// replay buffer.
+    fn step(&mut self, idx: usize, x: f64, out: &mut Vec<Feature>) {
+        match std::mem::replace(&mut self.state, State::Baseline) {
+            State::Baseline => {
+                if self.baseline.len() < self.cfg.warmup.max(2) {
+                    self.baseline.push(x);
+                    return;
+                }
+                let med = self.baseline.median().expect("warm baseline");
+                let mad = self.baseline.mad().expect("warm baseline");
+                let z = robust_z(x, med, mad, self.cfg.mad_floor);
+                if z.abs() < self.cfg.trigger_z {
+                    self.baseline.push(x);
+                    return;
+                }
+                self.state = State::Segment {
+                    med,
+                    mad,
+                    up: z > 0.0,
+                    seg_start: idx,
+                    peak_z: z.abs(),
+                    run: Vec::new(),
+                };
+            }
+            State::Segment { med, mad, up, seg_start, mut peak_z, mut run } => {
+                let z = robust_z(x, med, mad, self.cfg.mad_floor);
+                peak_z = peak_z.max(z.abs());
+                if z.abs() < self.cfg.recover_z {
+                    run.push((idx, x));
+                    if run.len() >= self.cfg.recover_len {
+                        let seg_end = idx + 1 - run.len();
+                        let duration = (seg_end - seg_start) as i64;
+                        let kind = match (duration <= self.cfg.spike_max_s, up) {
+                            (true, true) => FeatureKind::SpikeUp,
+                            (true, false) => FeatureKind::SpikeDown,
+                            (false, true) => FeatureKind::LevelShiftUp,
+                            (false, false) => FeatureKind::LevelShiftDown,
+                        };
+                        out.push(Feature {
+                            metric: self.metric.clone(),
+                            kind,
+                            start: self.start_second + seg_start as i64,
+                            end: self.start_second + seg_end as i64,
+                            peak_z,
+                        });
+                        // Replay the recovery run through baseline mode —
+                        // the batch scanner's `i = seg_end` resume.
+                        for (k, v) in run {
+                            self.step(k, v, out);
+                        }
+                        return;
+                    }
+                } else {
+                    run.clear();
+                }
+                self.state = State::Segment { med, mad, up, seg_start, peak_z, run };
+            }
+        }
+    }
+}
+
+/// The six instance-metric detectors driven from one sample stream.
+#[derive(Debug, Clone)]
+pub struct OnlineDetectorBank {
+    detectors: Vec<OnlineFeatureDetector>,
+    /// Closed features per metric, in the same slot order as `detectors`.
+    closed: Vec<Vec<Feature>>,
+    start_second: Option<i64>,
+    finished: bool,
+}
+
+/// The instance metrics watched, in [`InstanceMetrics::iter_named`]
+/// (`pinsql_dbsim::InstanceMetrics::iter_named`) order — the order the
+/// batch detection loop visits them, which phenomenon classification's
+/// tie-breaking depends on.
+pub const WATCHED_METRICS: [&str; 6] = [
+    names::ACTIVE_SESSION,
+    names::CPU_USAGE,
+    names::IOPS_USAGE,
+    names::ROW_LOCK_WAITS,
+    names::MDL_WAITS,
+    names::QPS,
+];
+
+impl Default for OnlineDetectorBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineDetectorBank {
+    /// Creates a bank with each metric's standard configuration (see
+    /// [`DetectorConfig::for_metric`]). The time origin latches to the
+    /// first observed sample's second.
+    pub fn new() -> Self {
+        Self { detectors: Vec::new(), closed: Vec::new(), start_second: None, finished: false }
+    }
+
+    /// Feeds one per-second metrics sample to all six detectors.
+    ///
+    /// Non-finite values are read as `0.0`, matching the sanitize pass the
+    /// batch path applies before detection. Samples must arrive in second
+    /// order, one per second.
+    pub fn observe(&mut self, sample: &MetricsSample) {
+        assert!(!self.finished, "bank already finished");
+        if self.start_second.is_none() {
+            let start = sample.second;
+            self.start_second = Some(start);
+            self.detectors = WATCHED_METRICS
+                .iter()
+                .map(|m| OnlineFeatureDetector::new(m, start, DetectorConfig::for_metric(m)))
+                .collect();
+            self.closed = vec![Vec::new(); WATCHED_METRICS.len()];
+        }
+        for (slot, det) in self.detectors.iter_mut().enumerate() {
+            let v = sample.by_name(det.metric()).unwrap_or(0.0);
+            let v = if v.is_finite() { v } else { 0.0 };
+            self.closed[slot].extend(det.push(v));
+        }
+    }
+
+    /// Ends the stream: flushes every open segment (idempotent).
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for (slot, det) in self.detectors.iter_mut().enumerate() {
+            if let Some(f) = det.finish() {
+                self.closed[slot].push(f);
+            }
+        }
+    }
+
+    /// True while any metric has an open anomalous segment.
+    pub fn any_open(&self) -> bool {
+        self.detectors.iter().any(|d| d.in_segment())
+    }
+
+    /// All features so far, grouped by metric in [`WATCHED_METRICS`] order
+    /// and time-ordered within each metric — the exact list the batch
+    /// detection loop hands to `classify`.
+    pub fn features(&self) -> Vec<Feature> {
+        self.closed.iter().flatten().cloned().collect()
+    }
+
+    /// Number of features detected so far (closed only).
+    pub fn feature_count(&self) -> usize {
+        self.closed.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::detect_features;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig { baseline_len: 40, warmup: 10, spike_max_s: 30, ..Default::default() }
+    }
+
+    fn online(series: &[f64], start: i64, cfg: &DetectorConfig) -> Vec<Feature> {
+        let mut det = OnlineFeatureDetector::new("m", start, cfg.clone());
+        let mut out = Vec::new();
+        for &x in series {
+            out.extend(det.push(x));
+        }
+        out.extend(det.finish());
+        out
+    }
+
+    fn assert_matches_batch(series: &[f64], start: i64, cfg: &DetectorConfig) {
+        let batch = detect_features("m", series, start, cfg);
+        let stream = online(series, start, cfg);
+        assert_eq!(stream, batch, "online/batch divergence on {} samples", series.len());
+    }
+
+    fn flat(n: usize, level: f64) -> Vec<f64> {
+        (0..n).map(|i| level + ((i * 7) % 3) as f64 * 0.3).collect()
+    }
+
+    #[test]
+    fn equivalent_on_quiet_series() {
+        assert_matches_batch(&flat(200, 10.0), 0, &cfg());
+        assert_matches_batch(&flat(5, 10.0), 0, &cfg());
+        assert_matches_batch(&[], 0, &cfg());
+    }
+
+    #[test]
+    fn equivalent_on_spike() {
+        let mut s = flat(200, 10.0);
+        for v in s.iter_mut().skip(100).take(10) {
+            *v = 60.0;
+        }
+        assert_matches_batch(&s, 1000, &cfg());
+    }
+
+    #[test]
+    fn equivalent_on_level_shift() {
+        let mut s = flat(300, 10.0);
+        for v in s.iter_mut().skip(100) {
+            *v += 70.0;
+        }
+        assert_matches_batch(&s, 0, &cfg());
+    }
+
+    #[test]
+    fn equivalent_on_double_spike_and_end_anomaly() {
+        let mut s = flat(400, 10.0);
+        for v in s.iter_mut().skip(100).take(6) {
+            *v = 70.0;
+        }
+        for v in s.iter_mut().skip(250).take(6) {
+            *v = 70.0;
+        }
+        for v in s.iter_mut().skip(390) {
+            *v = 90.0; // runs to end of data
+        }
+        assert_matches_batch(&s, 0, &cfg());
+    }
+
+    #[test]
+    fn equivalent_on_interrupted_recovery() {
+        // Recovery runs that reset (anomalous sample inside the run)
+        // exercise the replay-buffer clearing path.
+        let mut s = flat(300, 10.0);
+        for v in s.iter_mut().skip(100).take(5) {
+            *v = 70.0;
+        }
+        s[107] = 70.0; // breaks the first recovery run
+        for v in s.iter_mut().skip(150).take(40) {
+            *v = 70.0;
+        }
+        assert_matches_batch(&s, 0, &cfg());
+    }
+
+    #[test]
+    fn equivalent_on_pseudorandom_noise() {
+        // A deterministic LCG drives amplitude-varied noise with occasional
+        // bursts — a broad sweep across trigger/recover boundaries.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..8 {
+            let n = 150 + trial * 37;
+            let series: Vec<f64> = (0..n)
+                .map(|i| {
+                    let base = 10.0 + 2.0 * next();
+                    if next() < 0.04 {
+                        base + 40.0 + 30.0 * next()
+                    } else if i % 97 == 0 {
+                        base - 8.0
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            assert_matches_batch(&series, trial as i64 * 100, &cfg());
+            assert_matches_batch(&series, 0, &DetectorConfig::default());
+        }
+    }
+
+    #[test]
+    fn open_segment_is_visible() {
+        let mut det = OnlineFeatureDetector::new("m", 0, cfg());
+        for &x in &flat(100, 10.0) {
+            det.push(x);
+        }
+        assert!(!det.in_segment());
+        det.push(90.0);
+        assert!(det.in_segment());
+        assert_eq!(det.open_segment_start(), Some(100));
+    }
+
+    #[test]
+    fn bank_matches_per_metric_batch_loop() {
+        use pinsql_dbsim::probe::ProbeLog;
+        use pinsql_dbsim::{interleave, InstanceMetrics, TelemetryEvent};
+        let n = 400;
+        let mut m = InstanceMetrics {
+            start_second: 0,
+            active_session: flat(n, 4.0),
+            cpu_usage: (0..n).map(|i| 0.3 + ((i % 5) as f64) * 0.002).collect(),
+            iops_usage: vec![0.2; n],
+            row_lock_waits: vec![0.0; n],
+            mdl_waits: vec![0.0; n],
+            qps: flat(n, 50.0),
+            probes: ProbeLog::default(),
+        };
+        for v in m.active_session.iter_mut().skip(200).take(30) {
+            *v = 60.0;
+        }
+        for v in m.cpu_usage.iter_mut().skip(200).take(30) {
+            *v = 0.95;
+        }
+
+        // The batch loop, as materialize runs it.
+        let mut batch = Vec::new();
+        for (name, series) in m.iter_named() {
+            let c = DetectorConfig::for_metric(name);
+            batch.extend(detect_features(name, series, m.start_second, &c));
+        }
+
+        let mut bank = OnlineDetectorBank::new();
+        for ev in interleave(&[], &m) {
+            if let TelemetryEvent::Metrics(sample) = ev {
+                bank.observe(&sample);
+            }
+        }
+        bank.finish();
+        assert!(!batch.is_empty(), "test scenario should trigger features");
+        assert_eq!(bank.features(), batch);
+    }
+}

@@ -1,0 +1,280 @@
+//! Multiplexed event loop over a fleet of simulated instances.
+//!
+//! A production deployment watches hundreds of instances at once: telemetry
+//! from all of them arrives interleaved on a shared bus, each instance's
+//! events fold into its own online pipeline, and diagnosis fans out across
+//! the cases that close. [`FleetEngine`] reproduces that shape over
+//! simulated scenarios:
+//!
+//! 1. **Materialize** — each scenario's event stream is produced with the
+//!    `par_map` fan-out (instances generate telemetry concurrently in the
+//!    real system).
+//! 2. **Multiplex** — one serial, time-ordered k-way merge over all
+//!    streams (ties broken by instance index), each event ingested by its
+//!    instance. This is the sustained-throughput section the fleet bench
+//!    measures.
+//! 3. **Diagnose** — every instance's case closes, and `PinSql::diagnose`
+//!    fans out across the closed cases, again with `par_map`, so outcomes
+//!    are index-ordered and bit-identical at any fan-out.
+
+use crate::instance::OnlineInstance;
+use pinsql::{PinSql, PinSqlConfig};
+use pinsql_dbsim::TelemetryEvent;
+use pinsql_scenario::{materialize_events, LabeledCase, Scenario};
+use pinsql_timeseries::par::par_map;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Knobs for a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Collection look-back δ_s prepended to each selected case window.
+    pub delta_s: i64,
+    /// Diagnoser configuration (its `parallelism` applies *inside* each
+    /// diagnosis; `fanout` below is the across-instance knob).
+    pub pinsql: PinSqlConfig,
+    /// Worker threads for across-instance stages (materialize, diagnose);
+    /// `0` = all cores.
+    pub fanout: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self { delta_s: 600, pinsql: PinSqlConfig::default(), fanout: 0 }
+    }
+}
+
+/// What happened on one instance, flattened for `results/fleet.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct InstanceOutcome {
+    pub instance: usize,
+    /// Injected anomaly kind label ("none" for negative scenarios).
+    pub kind: String,
+    pub seed: u64,
+    /// Whether the online detectors raised the case (vs. hint fallback).
+    pub detected: bool,
+    pub anomaly_type: String,
+    pub n_events: u64,
+    pub n_queries: u64,
+    pub case_seconds: usize,
+    pub n_templates: usize,
+    /// R-SQLs the diagnoser would assert (the reported list).
+    pub n_reported: usize,
+    /// Label of the top-ranked R-SQL, if any candidate was ranked.
+    pub top_rsql: Option<String>,
+    /// True when the top-ranked R-SQL is one of the ground-truth R-SQLs.
+    pub truth_hit: bool,
+    /// Wall-clock seconds for this instance's diagnosis call.
+    pub diagnose_s: f64,
+}
+
+/// Aggregate report of one fleet run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    pub n_instances: usize,
+    /// Events pushed through the multiplexed loop.
+    pub events_total: u64,
+    /// Wall-clock seconds of the serial multiplexed ingest loop.
+    pub ingest_wall_s: f64,
+    /// Sustained ingest throughput (events / ingest_wall_s).
+    pub events_per_sec: f64,
+    /// Wall-clock seconds of the across-instance diagnosis fan-out.
+    pub diagnose_wall_s: f64,
+    /// Mean per-case diagnosis latency.
+    pub diagnose_mean_s: f64,
+    /// Worst per-case diagnosis latency.
+    pub diagnose_max_s: f64,
+    pub outcomes: Vec<InstanceOutcome>,
+}
+
+/// The fleet orchestrator. See the module docs for the three stages.
+#[derive(Debug, Clone, Default)]
+pub struct FleetEngine {
+    pub cfg: FleetConfig,
+}
+
+impl FleetEngine {
+    pub fn new(cfg: FleetConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs the full loop over one scenario per instance and reports
+    /// throughput, latency, and per-instance outcomes.
+    ///
+    /// Outcomes are deterministic: the merge order is a pure function of
+    /// event timestamps (ties by instance index) and both fan-out stages
+    /// use the index-ordered `par_map`, so any `fanout` value yields the
+    /// same outcomes (timings aside).
+    pub fn run(&self, scenarios: &[Scenario]) -> FleetReport {
+        assert!(!scenarios.is_empty(), "fleet run needs at least one scenario");
+
+        let streams: Vec<Vec<TelemetryEvent>> =
+            par_map(scenarios.len(), self.cfg.fanout, |i| materialize_events(&scenarios[i], None));
+
+        let mut instances: Vec<OnlineInstance> = scenarios
+            .iter()
+            .map(|s| OnlineInstance::new(s.clone(), self.cfg.delta_s))
+            .collect();
+
+        let t0 = Instant::now();
+        let mut cursors = vec![0usize; streams.len()];
+        let mut events_total = 0u64;
+        loop {
+            // K-way merge head: earliest event time, ties to the lowest
+            // instance index. K is small (a fleet slice), so a linear scan
+            // beats a heap's allocation churn.
+            let mut head: Option<(f64, usize)> = None;
+            for (i, stream) in streams.iter().enumerate() {
+                if let Some(ev) = stream.get(cursors[i]) {
+                    let t = ev.time_ms();
+                    if head.is_none_or(|(best, _)| t < best) {
+                        head = Some((t, i));
+                    }
+                }
+            }
+            let Some((_, i)) = head else { break };
+            instances[i].ingest(&streams[i][cursors[i]]);
+            cursors[i] += 1;
+            events_total += 1;
+        }
+        let ingest_wall_s = t0.elapsed().as_secs_f64();
+
+        let n_events: Vec<u64> = instances.iter().map(|inst| inst.events_ingested()).collect();
+        let n_queries: Vec<u64> = instances.iter().map(|inst| inst.ingest_stats().queries).collect();
+        let cases: Vec<LabeledCase> =
+            instances.into_iter().map(|inst| inst.close_case()).collect();
+
+        let t1 = Instant::now();
+        let diagnoser = PinSql::new(self.cfg.pinsql.clone());
+        let diagnosed = par_map(cases.len(), self.cfg.fanout, |i| {
+            let lc = &cases[i];
+            let t = Instant::now();
+            let d = diagnoser.diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
+            (d, t.elapsed().as_secs_f64())
+        });
+        let diagnose_wall_s = t1.elapsed().as_secs_f64();
+
+        let outcomes: Vec<InstanceOutcome> = diagnosed
+            .iter()
+            .enumerate()
+            .map(|(i, (d, diag_s))| {
+                let lc = &cases[i];
+                let top = d.rsqls.first();
+                InstanceOutcome {
+                    instance: i,
+                    kind: scenarios[i].kind.map(|k| k.label()).unwrap_or("none").to_string(),
+                    seed: scenarios[i].cfg.seed,
+                    detected: lc.detected,
+                    anomaly_type: lc.anomaly_type.clone(),
+                    n_events: n_events[i],
+                    n_queries: n_queries[i],
+                    case_seconds: lc.case.n_seconds(),
+                    n_templates: lc.case.templates.len(),
+                    n_reported: d.reported_rsqls.len(),
+                    top_rsql: top.map(|r| r.label.clone()),
+                    truth_hit: top.is_some_and(|r| lc.truth.rsqls.contains(&r.id)),
+                    diagnose_s: *diag_s,
+                }
+            })
+            .collect();
+
+        let lat_sum: f64 = outcomes.iter().map(|o| o.diagnose_s).sum();
+        let lat_max = outcomes.iter().map(|o| o.diagnose_s).fold(0.0f64, f64::max);
+        FleetReport {
+            n_instances: outcomes.len(),
+            events_total,
+            ingest_wall_s,
+            events_per_sec: if ingest_wall_s > 0.0 { events_total as f64 / ingest_wall_s } else { 0.0 },
+            diagnose_wall_s,
+            diagnose_mean_s: lat_sum / outcomes.len() as f64,
+            diagnose_max_s: lat_max,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_scenario::{generate_base, inject, inject_none, AnomalyKind, ScenarioConfig};
+
+    /// A small, fast fleet: short windows, few businesses, one scenario of
+    /// each kind plus a negative.
+    fn small_fleet(n: usize) -> Vec<Scenario> {
+        let kinds = [
+            Some(AnomalyKind::BusinessSpike),
+            Some(AnomalyKind::PoorSql),
+            Some(AnomalyKind::MdlLock),
+            Some(AnomalyKind::RowLock),
+            None,
+        ];
+        (0..n)
+            .map(|i| {
+                let cfg = ScenarioConfig::default()
+                    .with_seed(90 + i as u64)
+                    .with_businesses(6)
+                    .with_window(420, 240, 330);
+                let base = generate_base(&cfg);
+                match kinds[i % kinds.len()] {
+                    Some(kind) => inject(&base, &cfg, kind),
+                    None => inject_none(&base, &cfg),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_smoke() {
+        let scenarios = small_fleet(4);
+        let engine = FleetEngine::new(FleetConfig {
+            delta_s: 180,
+            pinsql: PinSqlConfig::default(),
+            fanout: 2,
+        });
+        let report = engine.run(&scenarios);
+
+        assert_eq!(report.n_instances, 4);
+        assert!(report.events_total > 0);
+        assert_eq!(
+            report.events_total,
+            report.outcomes.iter().map(|o| o.n_events).sum::<u64>(),
+            "every multiplexed event is attributed to exactly one instance"
+        );
+        assert!(report.events_per_sec > 0.0);
+        assert!(report.diagnose_max_s >= report.diagnose_mean_s);
+        for o in &report.outcomes {
+            assert!(o.n_queries > 0, "instance {} saw no queries", o.instance);
+            assert!(o.case_seconds > 0);
+            assert!(o.n_templates > 0);
+        }
+        // The report must serialize (the fleet bench writes it to JSON).
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("events_per_sec"));
+    }
+
+    #[test]
+    fn outcomes_are_independent_of_fanout() {
+        let scenarios = small_fleet(3);
+        let run = |fanout| {
+            FleetEngine::new(FleetConfig {
+                delta_s: 180,
+                pinsql: PinSqlConfig::default(),
+                fanout,
+            })
+            .run(&scenarios)
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.events_total, b.events_total);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.detected, y.detected);
+            assert_eq!(x.anomaly_type, y.anomaly_type);
+            assert_eq!(x.n_events, y.n_events);
+            assert_eq!(x.case_seconds, y.case_seconds);
+            assert_eq!(x.n_templates, y.n_templates);
+            assert_eq!(x.n_reported, y.n_reported);
+            assert_eq!(x.top_rsql, y.top_rsql);
+            assert_eq!(x.truth_hit, y.truth_hit);
+        }
+    }
+}

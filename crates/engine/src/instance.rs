@@ -1,0 +1,222 @@
+//! One database instance's online diagnosis pipeline.
+//!
+//! An [`OnlineInstance`] is the event-driven counterpart of the batch
+//! `materialize` path: the same telemetry, delivered one
+//! [`TelemetryEvent`] at a time, flows through the incremental collector
+//! (ring-buffered per-second cells, bounded retention, in-line history
+//! feed) and the online detector bank (bounded rolling state per metric).
+//! Closing the case runs the identical window-selection and labelling code
+//! the batch path uses, over a `CaseData` snapshot that is bit-identical
+//! to batch aggregation — which is what makes [`replay_diagnose`]
+//! reproduce batch diagnoses exactly.
+
+use pinsql::{Diagnosis, PinSql, PinSqlConfig};
+use pinsql_collector::{HistoryStore, IncrementalAggregator, IncrementalConfig, IngestStats};
+use pinsql_detect::{classify, OnlineDetectorBank, PhenomenonConfig};
+use pinsql_dbsim::TelemetryEvent;
+use pinsql_scenario::materialize::MINUTES_ORIGIN;
+use pinsql_scenario::{
+    case_history, label_truth, materialize_events, select_case_window, LabeledCase, Scenario,
+};
+
+/// One instance's online pipeline: incremental aggregation + streaming
+/// detection, closed into a labelled case on demand.
+#[derive(Debug, Clone)]
+pub struct OnlineInstance {
+    scenario: Scenario,
+    delta_s: i64,
+    aggregator: IncrementalAggregator,
+    bank: OnlineDetectorBank,
+    events: u64,
+}
+
+impl OnlineInstance {
+    /// Creates the pipeline for one simulated instance.
+    ///
+    /// `delta_s` is the collection look-back diagnosis will use. The
+    /// aggregator's retention is sized to the scenario's whole simulated
+    /// window so any case window the detectors select is still resident —
+    /// a real deployment would size it to `δ_s` plus the maximum anomaly
+    /// duration instead.
+    pub fn new(scenario: Scenario, delta_s: i64) -> Self {
+        let retention = scenario.cfg.window_s + 120;
+        let aggregator = IncrementalAggregator::new(
+            &scenario.workload.specs,
+            IncrementalConfig::default().with_retention(retention),
+        );
+        Self { scenario, delta_s, aggregator, bank: OnlineDetectorBank::new(), events: 0 }
+    }
+
+    /// Folds one telemetry event into the pipeline: every event reaches
+    /// the aggregator; metric samples additionally drive the detectors.
+    pub fn ingest(&mut self, ev: &TelemetryEvent) {
+        self.events += 1;
+        self.aggregator.ingest(ev);
+        if let TelemetryEvent::Metrics(sample) = ev {
+            self.bank.observe(sample);
+        }
+    }
+
+    /// Events ingested so far.
+    pub fn events_ingested(&self) -> u64 {
+        self.events
+    }
+
+    /// The aggregator's ingestion counters.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.aggregator.stats()
+    }
+
+    /// The collector watermark (`i64::MIN` before any event).
+    pub fn watermark(&self) -> i64 {
+        self.aggregator.watermark()
+    }
+
+    /// True while any metric detector has an open anomalous segment.
+    pub fn anomaly_open(&self) -> bool {
+        self.bank.any_open()
+    }
+
+    /// The per-template 1-minute history the collector accumulated in-line
+    /// from this stream (what a long-running deployment would verify
+    /// against; [`close_case`](Self::close_case) uses the scenario's
+    /// synthesized look-back instead, since a single window is far shorter
+    /// than 1/3/7 days).
+    pub fn online_history(&self) -> &HistoryStore {
+        self.aggregator.history()
+    }
+
+    /// The scenario this instance replays.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Closes the anomaly case: flushes the detectors, classifies
+    /// phenomena, selects the case window, cuts the batch-bit-identical
+    /// snapshot, and labels ground truth — the exact sequence (and code)
+    /// of the batch labelling path.
+    pub fn close_case(mut self) -> LabeledCase {
+        self.bank.finish();
+        let features = self.bank.features();
+        let phenomena = classify(&features, &PhenomenonConfig::default());
+        let (window, detected, anomaly_type) =
+            select_case_window(&phenomena, &self.scenario, self.delta_s);
+        let case = self.aggregator.snapshot(window.ts(), window.te());
+        let truth = label_truth(&self.scenario, &case, &window);
+        let history = case_history(&self.scenario, &window);
+        LabeledCase {
+            case,
+            window,
+            truth,
+            history,
+            minutes_origin: MINUTES_ORIGIN,
+            kind: self.scenario.kind,
+            injected: self.scenario.injected.clone(),
+            detected,
+            anomaly_type,
+        }
+    }
+}
+
+/// Replays a scenario's telemetry through the full online path and
+/// diagnoses the closed case.
+///
+/// The returned `(LabeledCase, Diagnosis)` is bit-identical to what the
+/// batch path (`materialize` + `PinSql::diagnose`) produces for the same
+/// scenario and configuration — the engine's replay-equivalence contract,
+/// pinned against the golden corpus in `tests/online_equivalence.rs`.
+pub fn replay_diagnose(
+    scenario: &Scenario,
+    delta_s: i64,
+    cfg: &PinSqlConfig,
+) -> (LabeledCase, Diagnosis) {
+    let events = materialize_events(scenario, None);
+    let mut inst = OnlineInstance::new(scenario.clone(), delta_s);
+    for ev in &events {
+        inst.ingest(ev);
+    }
+    let lc = inst.close_case();
+    let d = PinSql::new(cfg.clone()).diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
+    (lc, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, ScenarioConfig};
+
+    fn assert_case_eq(a: &LabeledCase, b: &LabeledCase) {
+        assert_eq!(a.window, b.window);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.anomaly_type, b.anomaly_type);
+        assert_eq!(a.truth.rsqls, b.truth.rsqls);
+        assert_eq!(a.truth.hsqls, b.truth.hsqls);
+        assert_eq!(a.minutes_origin, b.minutes_origin);
+        assert_eq!(a.case.ts, b.case.ts);
+        assert_eq!(a.case.te, b.case.te);
+        assert_eq!(a.case.records, b.case.records);
+        assert_eq!(a.case.metrics.active_session, b.case.metrics.active_session);
+        assert_eq!(a.case.metrics.qps, b.case.metrics.qps);
+        assert_eq!(a.case.metrics.probes.samples, b.case.metrics.probes.samples);
+        assert_eq!(a.case.templates.len(), b.case.templates.len());
+        for (x, y) in a.case.templates.iter().zip(&b.case.templates) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.record_idx, y.record_idx);
+            assert_eq!(x.series.execution_count, y.series.execution_count);
+            assert_eq!(x.series.total_rt_ms, y.series.total_rt_ms);
+            assert_eq!(x.series.examined_rows, y.series.examined_rows);
+        }
+    }
+
+    fn assert_diagnosis_eq(a: &Diagnosis, b: &Diagnosis) {
+        assert_eq!(a.hsqls, b.hsqls);
+        assert_eq!(a.rsqls, b.rsqls);
+        assert_eq!(a.reported_rsqls, b.reported_rsqls);
+        assert_eq!(a.n_verified, b.n_verified);
+        assert_eq!(a.n_clusters, b.n_clusters);
+        assert_eq!(a.selected_clusters, b.selected_clusters);
+    }
+
+    #[test]
+    fn replay_matches_batch_bit_for_bit() {
+        // One spike case and one lock case cover both window-selection
+        // paths; the full 16-case corpus is pinned at the workspace root.
+        for (kind, seed) in [(AnomalyKind::BusinessSpike, 42), (AnomalyKind::MdlLock, 43)] {
+            let cfg = ScenarioConfig::default().with_seed(seed);
+            let base = generate_base(&cfg);
+            let scenario = inject(&base, &cfg, kind);
+
+            let batch_lc = materialize(&scenario, 600);
+            let pin = PinSqlConfig::default();
+            let batch_d = PinSql::new(pin.clone()).diagnose(
+                &batch_lc.case,
+                &batch_lc.window,
+                &batch_lc.history,
+                batch_lc.minutes_origin,
+            );
+
+            let (online_lc, online_d) = replay_diagnose(&scenario, 600, &pin);
+            assert_case_eq(&online_lc, &batch_lc);
+            assert_diagnosis_eq(&online_d, &batch_d);
+        }
+    }
+
+    #[test]
+    fn instance_tracks_stream_state() {
+        let cfg = ScenarioConfig::default().with_seed(7).with_businesses(6);
+        let base = generate_base(&cfg);
+        let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+        let events = materialize_events(&scenario, None);
+        let mut inst = OnlineInstance::new(scenario.clone(), 300);
+        for ev in &events {
+            inst.ingest(ev);
+        }
+        assert_eq!(inst.events_ingested(), events.len() as u64);
+        assert!(inst.watermark() >= scenario.cfg.window_s, "final tick advances the clock");
+        assert!(inst.ingest_stats().queries > 0);
+        assert!(!inst.online_history().is_empty(), "in-line history fed from the stream");
+        let lc = inst.close_case();
+        assert!(lc.window.anomaly_len() > 0);
+        assert!(!lc.case.templates.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! The online fleet engine (the production deployment shape of §VII).
+//!
+//! Production PinSQL is not a batch job: collectors on every RDS instance
+//! publish query logs and metrics continuously, a streaming layer folds
+//! them into per-template aggregates, detectors watch the metric streams,
+//! and diagnosis fires when an anomaly case closes. This crate assembles
+//! the online counterparts grown in the lower layers into that loop:
+//!
+//! * [`instance`] — [`OnlineInstance`]: one database instance's online
+//!   pipeline. A [`TelemetryEvent`](pinsql_dbsim::TelemetryEvent) stream
+//!   drives the incremental collector (ring-buffered cells, in-line
+//!   history) and the online detector bank; when the case closes, the
+//!   window is selected, a batch-bit-identical `CaseData` snapshot is cut,
+//!   and the case is labelled.
+//! * [`fleet`] — [`FleetEngine`]: multiplexes N instances' event streams
+//!   through one time-ordered loop and fans diagnosis out across instances
+//!   with the deterministic `par_map` primitive, reporting sustained
+//!   ingest throughput and per-case diagnosis latency.
+//!
+//! ## Replay equivalence (the non-negotiable invariant)
+//!
+//! For any scenario, feeding its materialized event stream through the
+//! online path yields a `Diagnosis` **bit-identical** to the batch path —
+//! same golden corpus, any parallelism. See `replay_diagnose` and the
+//! `online_equivalence` suite at the workspace root.
+
+pub mod fleet;
+pub mod instance;
+
+pub use fleet::{FleetConfig, FleetEngine, FleetReport, InstanceOutcome};
+pub use instance::{replay_diagnose, OnlineInstance};

@@ -39,6 +39,12 @@ pub struct StageTimings {
 impl StageTimings {
     /// Merges per-case timings into a mean (for Table I rows). Empty input
     /// yields all-zero timings.
+    ///
+    /// Samples in one row are normally homogeneous in `parallelism` (a
+    /// sweep fixes the level per batch); if a mixed batch slips through,
+    /// the *maximum* is reported so the row is attributed to the widest
+    /// fan-out that actually ran, rather than whatever sample happened to
+    /// come first.
     pub fn mean_of(samples: &[StageTimings]) -> StageTimings {
         if samples.is_empty() {
             return StageTimings::default();
@@ -49,7 +55,7 @@ impl StageTimings {
             hsql_s: samples.iter().map(|s| s.hsql_s).sum::<f64>() / n,
             cluster_s: samples.iter().map(|s| s.cluster_s).sum::<f64>() / n,
             total_s: samples.iter().map(|s| s.total_s).sum::<f64>() / n,
-            parallelism: samples[0].parallelism,
+            parallelism: samples.iter().map(|s| s.parallelism).max().unwrap_or_default(),
         }
     }
 }
@@ -246,5 +252,13 @@ mod tests {
         assert_eq!(m.total_s, 9.0);
         assert_eq!(m.parallelism, 4);
         assert_eq!(StageTimings::mean_of(&[]), StageTimings::default());
+    }
+
+    #[test]
+    fn stage_timings_mean_attributes_mixed_parallelism_to_the_max() {
+        let serial = StageTimings { parallelism: 1, ..StageTimings::default() };
+        let wide = StageTimings { parallelism: 8, ..StageTimings::default() };
+        assert_eq!(StageTimings::mean_of(&[serial, wide]).parallelism, 8);
+        assert_eq!(StageTimings::mean_of(&[wide, serial]).parallelism, 8);
     }
 }

@@ -14,8 +14,10 @@ use crate::history::synthesize_history;
 use crate::inject::{AnomalyKind, Scenario};
 use crate::perturb::{perturb_telemetry, PerturbConfig};
 use pinsql_collector::{aggregate_case, CaseData, HistoryStore};
-use pinsql_detect::{classify, detect_features, AnomalyWindow, DetectorConfig, PhenomenonConfig};
-use pinsql_dbsim::{run_open_loop, InstanceMetrics, QueryRecord};
+use pinsql_detect::{
+    classify, detect_features, AnomalyWindow, DetectorConfig, Phenomenon, PhenomenonConfig,
+};
+use pinsql_dbsim::{interleave, run_open_loop, InstanceMetrics, QueryRecord, TelemetryEvent};
 use pinsql_sqlkit::SqlId;
 use serde::{Deserialize, Serialize};
 
@@ -72,40 +74,114 @@ pub fn materialize_with(
     delta_s: i64,
     perturb: Option<&PerturbConfig>,
 ) -> LabeledCase {
-    let out = run_open_loop(&scenario.workload, &scenario.sim, 0, scenario.cfg.window_s);
-    materialize_telemetry(scenario, out.log, out.metrics, delta_s, perturb)
+    let (log, metrics) = simulate_telemetry(scenario, perturb);
+    materialize_telemetry_prepared(scenario, log, metrics, delta_s)
 }
 
-/// Labels a case from already-simulated telemetry (exposed so tests can
-/// simulate once and degrade many ways).
-pub fn materialize_telemetry(
+/// Runs the simulator and (optionally) the chaos layer, returning the
+/// telemetry every downstream path — batch labelling or online event
+/// streaming — starts from.
+pub fn simulate_telemetry(
     scenario: &Scenario,
+    perturb: Option<&PerturbConfig>,
+) -> (Vec<QueryRecord>, InstanceMetrics) {
+    let out = run_open_loop(&scenario.workload, &scenario.sim, 0, scenario.cfg.window_s);
+    prepare_telemetry(out.log, out.metrics, perturb)
+}
+
+/// Applies the chaos layer (if any) and sanitizes, in place of simulation —
+/// the shared tail of [`simulate_telemetry`] for callers holding telemetry.
+fn prepare_telemetry(
     mut log: Vec<QueryRecord>,
     mut metrics: InstanceMetrics,
-    delta_s: i64,
     perturb: Option<&PerturbConfig>,
-) -> LabeledCase {
-    let cfg = &scenario.cfg;
+) -> (Vec<QueryRecord>, InstanceMetrics) {
     if let Some(p) = perturb {
         perturb_telemetry(&mut log, &mut metrics, p);
         // Belt and braces: whatever the chaos layer did, nothing non-finite
         // reaches detection or serialization.
         metrics.sanitize();
     }
-    let out_log = log;
-    let out_metrics = metrics;
+    (log, metrics)
+}
 
+/// Simulates a scenario and emits its telemetry as one time-ordered
+/// [`TelemetryEvent`] stream — what this instance's collector would publish
+/// to the online engine. Optionally degrades the telemetry first.
+///
+/// Replaying these events through the incremental collector and online
+/// detectors yields the same case the batch path labels (the engine crate's
+/// golden tests pin this bit-for-bit).
+pub fn materialize_events(
+    scenario: &Scenario,
+    perturb: Option<&PerturbConfig>,
+) -> Vec<TelemetryEvent> {
+    let (log, metrics) = simulate_telemetry(scenario, perturb);
+    interleave(&log, &metrics)
+}
+
+/// Labels a case from already-simulated telemetry (exposed so tests can
+/// simulate once and degrade many ways).
+pub fn materialize_telemetry(
+    scenario: &Scenario,
+    log: Vec<QueryRecord>,
+    metrics: InstanceMetrics,
+    delta_s: i64,
+    perturb: Option<&PerturbConfig>,
+) -> LabeledCase {
+    let (log, metrics) = prepare_telemetry(log, metrics, perturb);
+    materialize_telemetry_prepared(scenario, log, metrics, delta_s)
+}
+
+/// The batch labelling path over already-prepared (perturbed + sanitized)
+/// telemetry: detect → select the case window → aggregate → label.
+fn materialize_telemetry_prepared(
+    scenario: &Scenario,
+    out_log: Vec<QueryRecord>,
+    out_metrics: InstanceMetrics,
+    delta_s: i64,
+) -> LabeledCase {
     // --- Detection over the (possibly degraded) metrics. ---
-    let det_cfg = DetectorConfig::default();
-    let util_cfg = DetectorConfig::for_utilization();
     let mut features = Vec::new();
     for (name, series) in out_metrics.iter_named() {
-        let c = if name.contains("usage") { &util_cfg } else { &det_cfg };
-        features.extend(detect_features(name, series, out_metrics.start_second, c));
+        let c = DetectorConfig::for_metric(name);
+        features.extend(detect_features(name, series, out_metrics.start_second, &c));
     }
     let phenomena = classify(&features, &PhenomenonConfig::default());
-    // Prefer the phenomenon overlapping the injected window; else the
-    // longest; else fall back to the injected hint.
+    let (window, detected, anomaly_type) =
+        select_case_window(&phenomena, scenario, delta_s);
+
+    // --- Aggregate the collection window. ---
+    let case =
+        aggregate_case(&out_log, &scenario.workload.specs, &out_metrics, window.ts(), window.te());
+
+    let truth = label_truth(scenario, &case, &window);
+    let history = case_history(scenario, &window);
+
+    LabeledCase {
+        case,
+        window,
+        truth,
+        history,
+        minutes_origin: MINUTES_ORIGIN,
+        kind: scenario.kind,
+        injected: scenario.injected.clone(),
+        detected,
+        anomaly_type,
+    }
+}
+
+/// Picks the anomaly case window from classified phenomena: prefer the
+/// phenomenon overlapping the injected window; else the longest; else fall
+/// back to the injected hint. Shared verbatim by the batch labelling path
+/// and the online engine's case-close trigger (replay equivalence depends
+/// on both sides choosing identically).
+pub fn select_case_window(
+    phenomena: &[Phenomenon],
+    scenario: &Scenario,
+    delta_s: i64,
+) -> (AnomalyWindow, bool, String) {
+    let cfg = &scenario.cfg;
     let hint = (cfg.anomaly_start, cfg.anomaly_end);
     let best = phenomena
         .iter()
@@ -129,12 +205,14 @@ pub fn materialize_telemetry(
     if window.window_len() <= 0 || window.anomaly_len() <= 0 {
         window = hint_window;
     }
+    (window, detected, anomaly_type)
+}
 
-    // --- Aggregate the collection window. ---
-    let case =
-        aggregate_case(&out_log, &scenario.workload.specs, &out_metrics, window.ts(), window.te());
-
-    // --- Ground truth. ---
+/// Labels a case's ground truth: R-SQLs are the injected templates mapped
+/// into the catalog; H-SQLs come from the true per-second activity in the
+/// complete window records. Negative scenarios have empty truth by
+/// construction.
+pub fn label_truth(scenario: &Scenario, case: &CaseData, window: &AnomalyWindow) -> GroundTruth {
     let rsqls: Vec<SqlId> = scenario
         .truth_rsql_specs
         .iter()
@@ -142,31 +220,22 @@ pub fn materialize_telemetry(
         .collect();
     // A negative scenario has no direct causes by construction; skip the
     // labelling (its best-template fallback would fabricate one).
-    let hsqls =
-        if scenario.is_negative() { Vec::new() } else { label_hsqls(&case, &window) };
+    let hsqls = if scenario.is_negative() { Vec::new() } else { label_hsqls(case, window) };
+    GroundTruth { rsqls, hsqls }
+}
 
-    // --- History (injected templates are new → absent). ---
+/// Synthesizes the look-back history a case's diagnosis verifies against
+/// (injected templates are new → absent 1/3/7 days ago).
+pub fn case_history(scenario: &Scenario, window: &AnomalyWindow) -> HistoryStore {
     let window_min = (window.window_len() + 59) / 60;
-    let history = synthesize_history(
+    synthesize_history(
         &scenario.base_workload,
         MINUTES_ORIGIN,
         window_min,
         &[1, 3, 7],
-        cfg.seed,
+        scenario.cfg.seed,
         None,
-    );
-
-    LabeledCase {
-        case,
-        window,
-        truth: GroundTruth { rsqls, hsqls },
-        history,
-        minutes_origin: MINUTES_ORIGIN,
-        kind: scenario.kind,
-        injected: scenario.injected.clone(),
-        detected,
-        anomaly_type,
-    }
+    )
 }
 
 /// Labels H-SQLs from the complete log: a template is a direct cause when
@@ -299,6 +368,22 @@ mod tests {
         assert!(rough.case.records.len() < clean.case.records.len());
         assert!(rough.case.instance_session().iter().all(|v| v.is_finite()));
         assert!(rough.window.window_len() > 0);
+    }
+
+    #[test]
+    fn event_stream_covers_the_simulated_telemetry() {
+        let cfg = ScenarioConfig::default().with_seed(49);
+        let base = generate_base(&cfg);
+        let s = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+        let (log, metrics) = simulate_telemetry(&s, None);
+        let events = materialize_events(&s, None);
+        let queries = events.iter().filter(|e| matches!(e, TelemetryEvent::Query(_))).count();
+        let samples = events.iter().filter(|e| matches!(e, TelemetryEvent::Metrics(_))).count();
+        assert_eq!(queries, log.len(), "every log record appears exactly once");
+        assert_eq!(samples, metrics.len(), "every metric second appears exactly once");
+        for pair in events.windows(2) {
+            assert!(pair[0].time_ms() <= pair[1].time_ms(), "stream must be time-ordered");
+        }
     }
 
     #[test]

@@ -1,47 +1,66 @@
-//! The collection pipeline in streaming form (§IV-A): collectors publish
-//! query records through a bounded channel; an aggregation worker folds
-//! them into per-template per-second counters the detector polls — the
-//! in-process analogue of the paper's Kafka/Flink topology.
+//! The collection pipeline in streaming form (§IV-A): collector threads
+//! publish [`TelemetryEvent`]s through a bounded channel; an aggregation
+//! worker folds them into the same incremental per-template state the
+//! synchronous engine path uses — the in-process analogue of the paper's
+//! Kafka/Flink topology, with one aggregation algorithm behind two
+//! drivers.
 //!
 //! ```text
 //! cargo run --release --example streaming_collector
 //! ```
 
-use pinsql_collector::{LogStore, StreamAggregator, TemplateCatalog};
-use pinsql_dbsim::{run_open_loop, SimConfig};
-use pinsql_scenario::{generate_base, inject, AnomalyKind, ScenarioConfig};
+use pinsql_collector::{aggregate_case, IncrementalConfig, LogStore, StreamAggregator};
+use pinsql_dbsim::{interleave, TelemetryEvent};
+use pinsql_scenario::{generate_base, inject, simulate_telemetry, AnomalyKind, ScenarioConfig};
 
 fn main() {
-    // Produce a real query log with the simulator.
-    let cfg = ScenarioConfig::default().with_seed(3).with_businesses(6);
+    // Produce real telemetry with the simulator: a query log plus
+    // per-second instance metrics.
+    let cfg = ScenarioConfig::default().with_seed(3).with_businesses(6).with_window(300, 180, 240);
     let base = generate_base(&cfg);
     let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
-    let out = run_open_loop(&scenario.workload, &SimConfig::default().with_seed(3), 0, 300);
-    println!("simulated {} query records over 300 s", out.log.len());
+    let (log, metrics) = simulate_telemetry(&scenario, None);
+    let events = interleave(&log, &metrics);
+    println!(
+        "simulated {} query records + {} metric seconds → {} telemetry events",
+        log.len(),
+        metrics.active_session.len(),
+        events.len()
+    );
 
-    let catalog = TemplateCatalog::from_specs(&scenario.workload.specs);
-
-    // Stream them through the pipeline from four "collector" threads.
-    let agg = StreamAggregator::spawn(4096);
+    // Keep the raw log in the 3-day store (the replay source for repair
+    // experiments), as a real deployment would alongside aggregation.
     let mut store = LogStore::with_default_retention();
-    let mut sorted = out.log.clone();
+    let mut sorted = log.clone();
     sorted.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
     for rec in &sorted {
         store.append(*rec);
     }
     println!("log store retains {} records (3-day retention)", store.len());
 
-    let chunks: Vec<Vec<pinsql_dbsim::QueryRecord>> =
-        out.log.chunks(out.log.len() / 4 + 1).map(<[_]>::to_vec).collect();
-    let handles: Vec<_> = chunks
+    // Stream the events through the pipeline from four "collector"
+    // threads: queries are sharded round-robin; one shard also carries the
+    // metrics and clock ticks.
+    let agg = StreamAggregator::spawn(&scenario.workload.specs, IncrementalConfig::default(), 4096);
+    let shards: Vec<Vec<TelemetryEvent>> = (0..4)
+        .map(|k| {
+            events
+                .iter()
+                .filter(|ev| match ev {
+                    TelemetryEvent::Query(rec) => (rec.start_ms as usize) % 4 == k,
+                    _ => k == 0,
+                })
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let handles: Vec<_> = shards
         .into_iter()
-        .map(|chunk| {
+        .map(|shard| {
             let tx = agg.sender();
-            let catalog = catalog.clone();
             std::thread::spawn(move || {
-                for rec in chunk {
-                    let id = catalog.id_of_spec(rec.spec);
-                    tx.send((id, rec)).expect("aggregator alive");
+                for ev in shard {
+                    tx.send(ev).expect("aggregator alive");
                 }
             })
         })
@@ -49,28 +68,45 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    let aggregates = agg.finish();
-
-    // Verify the streaming result agrees with the batch log.
-    let total_streamed: f64 = aggregates.cells.values().map(|c| c.0).sum();
-    assert_eq!(total_streamed as usize, out.log.len());
+    let out = agg.finish();
+    let stats = out.stats();
     println!(
-        "streaming aggregation folded {} records into {} (template, second) cells",
-        total_streamed as usize,
-        aggregates.cells.len()
+        "streaming aggregation folded {} events ({} queries) into {} retained seconds",
+        stats.events,
+        stats.queries,
+        out.cell_seconds()
     );
 
-    // Show one busy template's per-second counts.
-    let busiest = aggregates
-        .cells
+    // Cross-thread arrival order is nondeterministic, but per-cell sums
+    // commute: the snapshot's execution counts agree exactly with batch
+    // aggregation over the same window.
+    let (ts, te) = (0, scenario.cfg.window_s);
+    let streamed = out.snapshot(ts, te);
+    let batch = aggregate_case(&log, &scenario.workload.specs, &metrics, ts, te);
+    assert_eq!(streamed.templates.len(), batch.templates.len());
+    for (s, b) in streamed.templates.iter().zip(&batch.templates) {
+        assert_eq!(s.id, b.id);
+        assert_eq!(s.series.execution_count, b.series.execution_count);
+    }
+    println!(
+        "snapshot [{ts}, {te}) matches batch aggregation across {} templates",
+        streamed.templates.len()
+    );
+
+    // Show one busy template's per-second counts around the anomaly.
+    let busiest = streamed
+        .templates
         .iter()
-        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-        .map(|((id, _), _)| *id)
-        .expect("cells");
-    let label = catalog.get(busiest).map(|i| i.label.clone()).unwrap_or_default();
+        .max_by(|a, b| {
+            let ea: f64 = a.series.execution_count.iter().sum();
+            let eb: f64 = b.series.execution_count.iter().sum();
+            ea.total_cmp(&eb)
+        })
+        .expect("templates");
+    let label = out.catalog().get(busiest.id).map(|i| i.label.clone()).unwrap_or_default();
     print!("busiest template {label}: executions/s = ");
-    for s in 100..110 {
-        print!("{} ", aggregates.executions(busiest, s));
+    for s in 180..190 {
+        print!("{} ", out.executions(busiest.id, s));
     }
     println!("…");
 }

@@ -8,5 +8,8 @@ cargo build --release
 # Fast fail on the robustness sweep before the full suite: a tiny
 # end-to-end chaos run that exercises perturbation + diagnosis together.
 cargo test -q -p pinsql-eval robustness_smoke
+# Fast fail on the fleet engine: a 4-instance multiplexed ingest +
+# diagnosis round-trip through the online path.
+cargo test -q -p pinsql-engine fleet_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

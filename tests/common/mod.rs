@@ -1,0 +1,125 @@
+//! Shared fixtures for the golden-corpus suites: the manifest, the
+//! rank-relevant `Snapshot` view of a diagnosis, and the batch pipeline
+//! that produces it. `golden_corpus.rs` pins snapshots to disk;
+//! `online_equivalence.rs` replays the same cases through the online
+//! engine and byte-compares against the batch snapshots.
+
+#![allow(dead_code)]
+
+use pinsql::{Diagnosis, PinSql, PinSqlConfig};
+use pinsql_scenario::{
+    generate_base, inject, materialize, AnomalyKind, LabeledCase, Scenario, ScenarioConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Collection look-back used for every golden case.
+pub const GOLDEN_DELTA_S: i64 = 600;
+
+#[derive(Debug, Deserialize)]
+pub struct ManifestEntry {
+    pub name: String,
+    pub kind: String,
+    pub seed: u64,
+}
+
+/// The rank-relevant, timing-free view of one diagnosed case.
+#[derive(Debug, Serialize)]
+pub struct Snapshot {
+    pub name: String,
+    pub kind: String,
+    pub seed: u64,
+    pub detected: bool,
+    pub anomaly_type: String,
+    pub window: (i64, i64, i64),
+    pub truth_rsqls: Vec<u64>,
+    pub truth_hsqls: Vec<u64>,
+    pub n_clusters: usize,
+    pub selected_clusters: usize,
+    pub n_verified: usize,
+    pub n_reported: usize,
+    /// Top-ranked templates as `(id, label, score bits as hex)` — bit-exact
+    /// scores keep the comparison byte-stable without decimal formatting
+    /// ambiguity.
+    pub top_rsqls: Vec<(u64, String, String)>,
+    pub top_hsqls: Vec<(u64, String, String)>,
+}
+
+pub fn top5(list: &[pinsql::RankedTemplate]) -> Vec<(u64, String, String)> {
+    list.iter()
+        .take(5)
+        .map(|r| (r.id.0, r.label.clone(), format!("{:016x}", r.score.to_bits())))
+        .collect()
+}
+
+pub fn kind_of(s: &str) -> AnomalyKind {
+    AnomalyKind::ALL
+        .into_iter()
+        .find(|k| k.label() == s)
+        .unwrap_or_else(|| panic!("unknown kind in manifest: {s}"))
+}
+
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+/// Loads and sanity-checks the 16-case manifest.
+pub fn load_manifest() -> Vec<ManifestEntry> {
+    let manifest: Vec<ManifestEntry> = serde_json::from_str(
+        &std::fs::read_to_string(golden_dir().join("manifest.json")).expect("read manifest"),
+    )
+    .expect("parse manifest");
+    assert_eq!(manifest.len(), 16, "four cases per anomaly kind");
+    for kind in AnomalyKind::ALL {
+        assert_eq!(
+            manifest.iter().filter(|e| e.kind == kind.label()).count(),
+            4,
+            "manifest must hold four {} cases",
+            kind.label()
+        );
+    }
+    manifest
+}
+
+/// Rebuilds a manifest entry's scenario (pure function of the entry).
+pub fn scenario_for(entry: &ManifestEntry) -> Scenario {
+    let cfg = ScenarioConfig::default().with_seed(entry.seed);
+    let base = generate_base(&cfg);
+    inject(&base, &cfg, kind_of(&entry.kind))
+}
+
+/// Builds the snapshot view from an already-labelled, already-diagnosed
+/// case — shared by the batch and online paths so both serialize through
+/// the exact same struct (field order included).
+pub fn snapshot_of(entry: &ManifestEntry, lc: &LabeledCase, d: &Diagnosis) -> Snapshot {
+    Snapshot {
+        name: entry.name.clone(),
+        kind: entry.kind.clone(),
+        seed: entry.seed,
+        detected: lc.detected,
+        anomaly_type: lc.anomaly_type.clone(),
+        window: (lc.window.ts(), lc.window.anomaly_start, lc.window.anomaly_end),
+        truth_rsqls: lc.truth.rsqls.iter().map(|id| id.0).collect(),
+        truth_hsqls: lc.truth.hsqls.iter().map(|id| id.0).collect(),
+        n_clusters: d.n_clusters,
+        selected_clusters: d.selected_clusters,
+        n_verified: d.n_verified,
+        n_reported: d.reported_rsqls.len(),
+        top_rsqls: top5(&d.rsqls),
+        top_hsqls: top5(&d.hsqls),
+    }
+}
+
+/// Materializes and diagnoses one manifest entry through the batch path.
+pub fn batch_snapshot(entry: &ManifestEntry, parallelism: usize) -> (Snapshot, Diagnosis) {
+    let scenario = scenario_for(entry);
+    let lc = materialize(&scenario, GOLDEN_DELTA_S);
+    let d = PinSql::new(PinSqlConfig::default().with_parallelism(parallelism)).diagnose(
+        &lc.case,
+        &lc.window,
+        &lc.history,
+        lc.minutes_origin,
+    );
+    let snap = snapshot_of(entry, &lc, &d);
+    (snap, d)
+}

@@ -10,111 +10,25 @@
 //! Missing snapshots are written on first run (self-blessing); set
 //! `PINSQL_BLESS=1` to regenerate all of them after an intentional
 //! behaviour change. See `tests/golden/README.md`.
+//!
+//! The same corpus also pins the online engine: `online_equivalence.rs`
+//! replays every entry through the event-driven path and byte-compares
+//! against these snapshots.
 
-use pinsql::{Diagnosis, PinSql, PinSqlConfig};
-use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, ScenarioConfig};
-use serde::{Deserialize, Serialize};
-use std::path::{Path, PathBuf};
+mod common;
 
-#[derive(Debug, Deserialize)]
-struct ManifestEntry {
-    name: String,
-    kind: String,
-    seed: u64,
-}
-
-/// The rank-relevant, timing-free view of one diagnosed case.
-#[derive(Debug, Serialize)]
-struct Snapshot {
-    name: String,
-    kind: String,
-    seed: u64,
-    detected: bool,
-    anomaly_type: String,
-    window: (i64, i64, i64),
-    truth_rsqls: Vec<u64>,
-    truth_hsqls: Vec<u64>,
-    n_clusters: usize,
-    selected_clusters: usize,
-    n_verified: usize,
-    n_reported: usize,
-    /// Top-ranked templates as `(id, label, score bits as hex)` — bit-exact
-    /// scores keep the comparison byte-stable without decimal formatting
-    /// ambiguity.
-    top_rsqls: Vec<(u64, String, String)>,
-    top_hsqls: Vec<(u64, String, String)>,
-}
-
-fn top5(list: &[pinsql::RankedTemplate]) -> Vec<(u64, String, String)> {
-    list.iter()
-        .take(5)
-        .map(|r| (r.id.0, r.label.clone(), format!("{:016x}", r.score.to_bits())))
-        .collect()
-}
-
-fn kind_of(s: &str) -> AnomalyKind {
-    AnomalyKind::ALL
-        .into_iter()
-        .find(|k| k.label() == s)
-        .unwrap_or_else(|| panic!("unknown kind in manifest: {s}"))
-}
-
-fn golden_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
-}
-
-fn snapshot(entry: &ManifestEntry, parallelism: usize) -> (Snapshot, Diagnosis) {
-    let cfg = ScenarioConfig::default().with_seed(entry.seed);
-    let base = generate_base(&cfg);
-    let scenario = inject(&base, &cfg, kind_of(&entry.kind));
-    let lc = materialize(&scenario, 600);
-    let d = PinSql::new(PinSqlConfig::default().with_parallelism(parallelism)).diagnose(
-        &lc.case,
-        &lc.window,
-        &lc.history,
-        lc.minutes_origin,
-    );
-    let snap = Snapshot {
-        name: entry.name.clone(),
-        kind: entry.kind.clone(),
-        seed: entry.seed,
-        detected: lc.detected,
-        anomaly_type: lc.anomaly_type.clone(),
-        window: (lc.window.ts(), lc.window.anomaly_start, lc.window.anomaly_end),
-        truth_rsqls: lc.truth.rsqls.iter().map(|id| id.0).collect(),
-        truth_hsqls: lc.truth.hsqls.iter().map(|id| id.0).collect(),
-        n_clusters: d.n_clusters,
-        selected_clusters: d.selected_clusters,
-        n_verified: d.n_verified,
-        n_reported: d.reported_rsqls.len(),
-        top_rsqls: top5(&d.rsqls),
-        top_hsqls: top5(&d.hsqls),
-    };
-    (snap, d)
-}
+use common::{batch_snapshot, golden_dir, load_manifest};
 
 #[test]
 fn golden_corpus_matches_and_is_parallelism_stable() {
     let dir = golden_dir();
-    let manifest: Vec<ManifestEntry> = serde_json::from_str(
-        &std::fs::read_to_string(dir.join("manifest.json")).expect("read manifest"),
-    )
-    .expect("parse manifest");
-    assert_eq!(manifest.len(), 16, "four cases per anomaly kind");
-    for kind in AnomalyKind::ALL {
-        assert_eq!(
-            manifest.iter().filter(|e| e.kind == kind.label()).count(),
-            4,
-            "manifest must hold four {} cases",
-            kind.label()
-        );
-    }
+    let manifest = load_manifest();
 
     let bless = std::env::var_os("PINSQL_BLESS").is_some();
     let mut mismatches = Vec::new();
     for entry in &manifest {
-        let (serial, d) = snapshot(entry, 1);
-        let (parallel, _) = snapshot(entry, 4);
+        let (serial, d) = batch_snapshot(entry, 1);
+        let (parallel, _) = batch_snapshot(entry, 4);
         let serial_json =
             serde_json::to_string_pretty(&serial).expect("serialize snapshot");
         let parallel_json =

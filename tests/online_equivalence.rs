@@ -1,0 +1,53 @@
+//! Replay equivalence: the online engine reproduces batch diagnoses
+//! bit-for-bit on the full golden corpus.
+//!
+//! Every manifest entry's scenario is replayed event-by-event through
+//! `pinsql_engine::replay_diagnose` — the incremental collector, the
+//! online detector bank, and the case-close snapshot — at diagnosis
+//! parallelism 1 and 4, and the resulting `Snapshot` JSON is compared
+//! **byte-for-byte** against the batch pipeline's output (and against the
+//! stored `tests/golden/<name>.json` when one exists). Scores are
+//! serialized as `f64` bit patterns, so a single ULP of drift anywhere in
+//! the online path fails this suite.
+
+mod common;
+
+use common::{batch_snapshot, golden_dir, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
+use pinsql::PinSqlConfig;
+use pinsql_engine::replay_diagnose;
+
+#[test]
+fn online_replay_matches_batch_on_every_golden_case() {
+    let manifest = load_manifest();
+    for entry in &manifest {
+        let scenario = scenario_for(entry);
+        // Batch reference once; the batch path's own parallelism
+        // invariance (1 vs 4) is pinned by golden_corpus.rs.
+        let (batch, _) = batch_snapshot(entry, 1);
+        let batch_json = serde_json::to_string_pretty(&batch).expect("serialize snapshot");
+
+        for parallelism in [1usize, 4] {
+            let cfg = PinSqlConfig::default().with_parallelism(parallelism);
+            let (lc, d) = replay_diagnose(&scenario, GOLDEN_DELTA_S, &cfg);
+            let online_json = serde_json::to_string_pretty(&snapshot_of(entry, &lc, &d))
+                .expect("serialize snapshot");
+            assert_eq!(
+                online_json, batch_json,
+                "{}: online replay (parallelism {parallelism}) diverged from batch",
+                entry.name
+            );
+        }
+
+        // When a golden file is already pinned, the online path must match
+        // it byte-for-byte too (guards against batch and online drifting
+        // together within one run).
+        let path = golden_dir().join(format!("{}.json", entry.name));
+        if let Ok(stored) = std::fs::read_to_string(&path) {
+            assert_eq!(
+                stored, batch_json,
+                "{}: stored golden snapshot disagrees with this build",
+                entry.name
+            );
+        }
+    }
+}
