@@ -1,0 +1,76 @@
+//! Micro-benchmark of the fleet engine's per-event ingest loop.
+//!
+//! Measures one instance's telemetry stream flowing through the
+//! incremental collector end to end, comparing:
+//!
+//! * `scalar_dense` — one `ingest` call per event (the pre-chunking hot
+//!   path) over the dense slab store;
+//! * `chunked_dense` — `ingest_drain`, which folds same-second query runs
+//!   with one watermark check and one cell-row lookup per run;
+//! * `chunked_hashed` — the chunked path over the hashed reference store,
+//!   isolating what the direct-indexed slab buys.
+//!
+//! All three produce bit-identical aggregator state (pinned by unit and
+//! property tests); only the cost differs. Streams are cloned per
+//! iteration (`iter_batched`) because ingestion consumes events by value.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pinsql_collector::{CellStoreKind, IncrementalAggregator, IncrementalConfig};
+use pinsql_scenario::{generate_base, inject, materialize_events, AnomalyKind, ScenarioConfig};
+
+fn bench_ingest(c: &mut Criterion) {
+    let cfg = ScenarioConfig::default().with_seed(77).with_businesses(8).with_window(300, 180, 240);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+    let events = materialize_events(&scenario, None);
+    let specs = &scenario.workload.specs;
+
+    let mut group = c.benchmark_group("ingest_loop");
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    group.bench_function("scalar_dense", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |evs| {
+                let mut agg = IncrementalAggregator::new(specs, IncrementalConfig::default());
+                for ev in evs {
+                    agg.ingest(ev);
+                }
+                agg
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("chunked_dense", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |mut evs| {
+                let mut agg = IncrementalAggregator::new(specs, IncrementalConfig::default());
+                agg.ingest_drain(&mut evs);
+                agg
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("chunked_hashed", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |mut evs| {
+                let mut agg = IncrementalAggregator::new(
+                    specs,
+                    IncrementalConfig::default().with_cell_store(CellStoreKind::Hashed),
+                );
+                agg.ingest_drain(&mut evs);
+                agg
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

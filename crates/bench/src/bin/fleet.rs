@@ -5,14 +5,21 @@
 //! multiplexes their telemetry through one [`FleetEngine`] run, and
 //! records sustained ingest throughput plus per-case diagnosis latency.
 //!
-//! Usage: `cargo run -p pinsql-bench --release --bin fleet [-- INSTANCES_CSV [BUSINESSES_CSV [SEED [FANOUT]]]]`
+//! Usage: `cargo run -p pinsql-bench --release --bin fleet [-- INSTANCES_CSV [BUSINESSES_CSV [SEED [FANOUT [SHARDS_CSV]]]]]`
 //! Defaults: instances `2,4,8`, businesses `6,12`, seed 5000, fanout 0
-//! (all cores). Event rate scales with the businesses knob — more
-//! businesses means more templates and a proportionally denser query
-//! stream per instance.
+//! (all cores), shards `1,2,4`. Event rate scales with the businesses
+//! knob — more businesses means more templates and a proportionally
+//! denser query stream per instance.
 //!
-//! Besides the printed table, writes the full structure to
-//! `results/fleet.json`.
+//! Two sweeps run back to back:
+//!
+//! * the throughput sweep (instances × businesses at 1 shard) →
+//!   `results/fleet.json`, unchanged shape from earlier revisions;
+//! * the **scaling sweep** (shards × instances at the first businesses
+//!   value) → `results/fleet_scaling.json`, reporting each cell's ingest
+//!   throughput and its speedup over the 1-shard run of the same fleet.
+//!   Outcomes are bit-identical across shard counts (pinned by the
+//!   `shard_equivalence` suite), so the sweep reports timing only.
 
 use pinsql::PinSqlConfig;
 use pinsql_engine::{FleetConfig, FleetEngine, FleetReport};
@@ -37,6 +44,32 @@ struct FleetSweep {
     window_s: i64,
     delta_s: i64,
     cells: Vec<SweepCell>,
+}
+
+#[derive(Serialize)]
+struct ScalingCell {
+    instances: usize,
+    shards: usize,
+    events_total: u64,
+    ingest_wall_s: f64,
+    events_per_sec: f64,
+    /// This cell's ingest throughput over the 1-shard cell of the same
+    /// fleet (1.0 when this *is* the 1-shard cell).
+    speedup_vs_1shard: f64,
+    diagnose_mean_s: f64,
+    diagnose_max_s: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingSweep {
+    seed: u64,
+    fanout: usize,
+    businesses: usize,
+    window_s: i64,
+    delta_s: i64,
+    /// Cores visible to the process — shard speedups cannot exceed this.
+    available_cores: usize,
+    cells: Vec<ScalingCell>,
 }
 
 fn scenarios(n: usize, businesses: usize, seed: u64) -> Vec<Scenario> {
@@ -68,16 +101,30 @@ fn parse_csv(arg: Option<String>, default: &[usize]) -> Vec<usize> {
         .unwrap_or_else(|| default.to_vec())
 }
 
+fn write_json<T: Serialize>(path: &str, value: &T) {
+    if let Err(e) = std::fs::create_dir_all("results")
+        .map_err(|e| e.to_string())
+        .and_then(|_| serde_json::to_string_pretty(value).map_err(|e| e.to_string()))
+        .and_then(|json| std::fs::write(path, json).map_err(|e| e.to_string()))
+    {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() {
     let instance_counts = parse_csv(std::env::args().nth(1), &[2, 4, 8]);
     let business_counts = parse_csv(std::env::args().nth(2), &[6, 12]);
     let seed: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(5000);
     let fanout: usize = std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let shard_counts = parse_csv(std::env::args().nth(5), &[1, 2, 4]);
 
     let engine = FleetEngine::new(FleetConfig {
         delta_s: DELTA_S,
         pinsql: PinSqlConfig::default(),
         fanout,
+        shards: 1,
     });
 
     println!(
@@ -108,14 +155,63 @@ fn main() {
     }
 
     let sweep = FleetSweep { seed, fanout, window_s: WINDOW_S, delta_s: DELTA_S, cells };
-    let out = "results/fleet.json";
-    if let Err(e) = std::fs::create_dir_all("results")
-        .map_err(|e| e.to_string())
-        .and_then(|_| serde_json::to_string_pretty(&sweep).map_err(|e| e.to_string()))
-        .and_then(|json| std::fs::write(out, json).map_err(|e| e.to_string()))
-    {
-        eprintln!("failed to write {out}: {e}");
-    } else {
-        eprintln!("wrote {out}");
+    write_json("results/fleet.json", &sweep);
+
+    // Scaling sweep: shards × instances at the first businesses value.
+    let businesses = business_counts[0];
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!();
+    println!(
+        "{:>9} {:>7} {:>10} {:>12} {:>9} {:>11} {:>11}",
+        "instances", "shards", "events", "events/sec", "speedup", "diag mean s", "diag max s"
+    );
+    let mut scaling_cells = Vec::new();
+    for &n in &instance_counts {
+        let scen = scenarios(n, businesses, seed);
+        let mut baseline_eps = 0.0f64;
+        for &shards in &shard_counts {
+            let engine = FleetEngine::new(FleetConfig {
+                delta_s: DELTA_S,
+                pinsql: PinSqlConfig::default(),
+                fanout,
+                shards,
+            });
+            let report = engine.run(&scen);
+            if shards == 1 || baseline_eps == 0.0 {
+                baseline_eps = report.events_per_sec;
+            }
+            let speedup =
+                if baseline_eps > 0.0 { report.events_per_sec / baseline_eps } else { 0.0 };
+            println!(
+                "{:>9} {:>7} {:>10} {:>12.0} {:>9.2} {:>11.4} {:>11.4}",
+                n,
+                report.shards,
+                report.events_total,
+                report.events_per_sec,
+                speedup,
+                report.diagnose_mean_s,
+                report.diagnose_max_s,
+            );
+            scaling_cells.push(ScalingCell {
+                instances: n,
+                shards: report.shards,
+                events_total: report.events_total,
+                ingest_wall_s: report.ingest_wall_s,
+                events_per_sec: report.events_per_sec,
+                speedup_vs_1shard: speedup,
+                diagnose_mean_s: report.diagnose_mean_s,
+                diagnose_max_s: report.diagnose_max_s,
+            });
+        }
     }
+    let scaling = ScalingSweep {
+        seed,
+        fanout,
+        businesses,
+        window_s: WINDOW_S,
+        delta_s: DELTA_S,
+        available_cores: cores,
+        cells: scaling_cells,
+    };
+    write_json("results/fleet_scaling.json", &scaling);
 }

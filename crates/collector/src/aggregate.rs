@@ -13,7 +13,6 @@ use pinsql_timeseries::resample::{downsample, Downsample};
 use pinsql_timeseries::TimeSeries;
 use pinsql_workload::TemplateSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Per-template metric series over a collection window.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -134,14 +133,24 @@ pub fn aggregate_case(
         .collect();
     records.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
 
-    let mut by_template: HashMap<SqlId, TemplateData> = HashMap::with_capacity(catalog.len());
+    // Accumulate per template through the catalog's dense slots: `slot_pos`
+    // maps a template's slot to its position in `templates` (`u32::MAX` =
+    // not yet seen), so attribution is two `Vec` lookups — no hashing.
+    let mut slot_pos = vec![u32::MAX; catalog.n_slots()];
+    let mut templates: Vec<TemplateData> = Vec::new();
     for (i, rec) in records.iter().enumerate() {
-        let id = catalog.id_of_spec(rec.spec);
-        let entry = by_template.entry(id).or_insert_with(|| TemplateData {
-            id,
-            series: TemplateSeries::zeros(ts, n),
-            record_idx: Vec::new(),
-        });
+        let slot = catalog.slot_of_spec(rec.spec) as usize;
+        let entry = if slot_pos[slot] == u32::MAX {
+            slot_pos[slot] = templates.len() as u32;
+            templates.push(TemplateData {
+                id: catalog.id_of_slot(slot as u32),
+                series: TemplateSeries::zeros(ts, n),
+                record_idx: Vec::new(),
+            });
+            templates.last_mut().expect("just pushed")
+        } else {
+            &mut templates[slot_pos[slot] as usize]
+        };
         let sec = ((rec.start_ms - ts_ms) / 1000.0) as usize;
         let sec = sec.min(n - 1);
         entry.series.execution_count[sec] += 1.0;
@@ -149,8 +158,6 @@ pub fn aggregate_case(
         entry.series.examined_rows[sec] += rec.examined_rows as f64;
         entry.record_idx.push(i as u32);
     }
-
-    let mut templates: Vec<TemplateData> = by_template.into_values().collect();
     templates.sort_by_key(|t| t.id);
 
     let metrics = slice_metrics(metrics, ts, te);

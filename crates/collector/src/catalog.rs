@@ -5,11 +5,18 @@
 //! fingerprint (exactly how MySQL statement digests behave), so the catalog
 //! folds such specs into one template and remembers which specs
 //! contributed.
+//!
+//! Because the spec set is fixed at catalog construction, every distinct
+//! template also gets a dense **slot** — `0..n_slots()` in first-appearance
+//! order. Slots are what the ingest hot path indexes with: attributing a
+//! query record is two `Vec` lookups (`spec → slot`, `slot → cell`), no
+//! hashing at all. The sparse `SqlId` fingerprint remains the public,
+//! digest-compatible key; slots are a catalog-local compression of it.
 
 use pinsql_sqlkit::{SqlId, StatementKind};
+use pinsql_timeseries::FxHashMap;
 use pinsql_workload::{SpecId, TemplateSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Everything known about one SQL template.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,22 +32,36 @@ pub struct TemplateInfo {
     pub label: String,
 }
 
-/// Catalog of templates keyed by [`SqlId`].
+/// Catalog of templates keyed by [`SqlId`], with a dense slot index.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TemplateCatalog {
-    map: HashMap<SqlId, TemplateInfo>,
+    map: FxHashMap<SqlId, TemplateInfo>,
     /// Per-spec template id, aligned with the workload's spec vector.
     spec_to_id: Vec<SqlId>,
+    /// Per-spec dense slot, aligned with the workload's spec vector.
+    spec_to_slot: Vec<u32>,
+    /// Slot → template id, in first-appearance order over the spec vector.
+    slot_to_id: Vec<SqlId>,
+    id_to_slot: FxHashMap<SqlId, u32>,
 }
 
 impl TemplateCatalog {
     /// Builds the catalog from the workload's specs.
     pub fn from_specs(specs: &[TemplateSpec]) -> Self {
-        let mut map: HashMap<SqlId, TemplateInfo> = HashMap::with_capacity(specs.len());
+        let mut map: FxHashMap<SqlId, TemplateInfo> = FxHashMap::default();
+        map.reserve(specs.len());
         let mut spec_to_id = Vec::with_capacity(specs.len());
+        let mut spec_to_slot = Vec::with_capacity(specs.len());
+        let mut slot_to_id: Vec<SqlId> = Vec::new();
+        let mut id_to_slot: FxHashMap<SqlId, u32> = FxHashMap::default();
         for (i, spec) in specs.iter().enumerate() {
             let id = spec.template.id;
             spec_to_id.push(id);
+            let slot = *id_to_slot.entry(id).or_insert_with(|| {
+                slot_to_id.push(id);
+                (slot_to_id.len() - 1) as u32
+            });
+            spec_to_slot.push(slot);
             map.entry(id)
                 .and_modify(|info| info.specs.push(SpecId(i)))
                 .or_insert_with(|| TemplateInfo {
@@ -52,13 +73,37 @@ impl TemplateCatalog {
                     label: spec.label.clone(),
                 });
         }
-        Self { map, spec_to_id }
+        Self { map, spec_to_id, spec_to_slot, slot_to_id, id_to_slot }
     }
 
     /// The template id a spec maps to.
     #[inline]
     pub fn id_of_spec(&self, spec: SpecId) -> SqlId {
         self.spec_to_id[spec.0]
+    }
+
+    /// The dense slot a spec's template occupies.
+    #[inline]
+    pub fn slot_of_spec(&self, spec: SpecId) -> u32 {
+        self.spec_to_slot[spec.0]
+    }
+
+    /// The template id occupying a slot.
+    #[inline]
+    pub fn id_of_slot(&self, slot: u32) -> SqlId {
+        self.slot_to_id[slot as usize]
+    }
+
+    /// The slot of a template id, if the id is in the catalog.
+    #[inline]
+    pub fn slot_of_id(&self, id: SqlId) -> Option<u32> {
+        self.id_to_slot.get(&id).copied()
+    }
+
+    /// Number of dense slots (== number of distinct templates).
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.slot_to_id.len()
     }
 
     /// Template info by id.
@@ -105,9 +150,32 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_dense_and_first_appearance_ordered() {
+        let c = CostProfile::point_read(TableId(0));
+        let specs = vec![
+            TemplateSpec::new("SELECT * FROM t WHERE a = 1", c.clone(), "a"),
+            TemplateSpec::new("SELECT * FROM u WHERE a = 1", c.clone(), "b"),
+            TemplateSpec::new("SELECT * FROM t WHERE a = 9", c.clone(), "c"), // same template as spec 0
+            TemplateSpec::new("SELECT * FROM v WHERE a = 1", c, "d"),
+        ];
+        let catalog = TemplateCatalog::from_specs(&specs);
+        assert_eq!(catalog.n_slots(), 3);
+        assert_eq!(catalog.slot_of_spec(SpecId(0)), 0);
+        assert_eq!(catalog.slot_of_spec(SpecId(1)), 1);
+        assert_eq!(catalog.slot_of_spec(SpecId(2)), 0, "folded spec shares its slot");
+        assert_eq!(catalog.slot_of_spec(SpecId(3)), 2);
+        for slot in 0..catalog.n_slots() as u32 {
+            let id = catalog.id_of_slot(slot);
+            assert_eq!(catalog.slot_of_id(id), Some(slot), "slot {slot} round-trips");
+        }
+        assert_eq!(catalog.slot_of_id(SqlId(0xDEAD_BEEF)), None);
+    }
+
+    #[test]
     fn empty_catalog() {
         let catalog = TemplateCatalog::from_specs(&[]);
         assert!(catalog.is_empty());
+        assert_eq!(catalog.n_slots(), 0);
         assert_eq!(catalog.iter().count(), 0);
     }
 }

@@ -1,0 +1,234 @@
+//! Per-second, per-template cell storage for the incremental aggregator.
+//!
+//! A *cell* is one `(execution count, total response time, examined rows)`
+//! triple for one template in one second. The aggregator holds a
+//! contiguous ring of per-second rows; this module provides the two row
+//! representations behind one interface:
+//!
+//! * [`CellStoreKind::Dense`] — a direct-indexed slab: each row is a boxed
+//!   `[Cell; n_slots]`, indexed by the catalog's dense template slot.
+//!   Attributing a record is a bounds-checked array write — no hashing, no
+//!   per-record allocation (one zeroed slab per *second*, amortized over
+//!   every record of that second). This is the hot-path default: the
+//!   catalog is fixed at construction, so the slot space is known and
+//!   small (one workload's distinct templates).
+//! * [`CellStoreKind::Hashed`] — the original map representation, one
+//!   [`FxHashMap`]`<slot, Cell>` per second. Kept as the reference
+//!   implementation (the equivalence property tests drive both kinds with
+//!   identical streams) and as the fallback for enormous, sparsely-touched
+//!   catalogs where `seconds × n_slots` slabs would waste memory.
+//!
+//! Both kinds are keyed by the same dense slot, accumulate in the same
+//! per-record order, and expose touched cells identically, so every
+//! consumer — snapshot assembly, history folding, the `executions` counter
+//! — produces bit-identical results over either representation.
+
+use pinsql_timeseries::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One second's per-template aggregates:
+/// `(count, total_rt_ms, examined_rows)`.
+pub type Cell = (f64, f64, f64);
+
+/// Which row representation an aggregator uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStoreKind {
+    /// Direct-indexed `[Cell; n_slots]` slab per second (hot-path default).
+    #[default]
+    Dense,
+    /// `FxHashMap<slot, Cell>` per second (reference / sparse fallback).
+    Hashed,
+}
+
+#[derive(Debug, Clone)]
+enum Rows {
+    Dense(VecDeque<Box<[Cell]>>),
+    Hashed(VecDeque<FxHashMap<u32, Cell>>),
+}
+
+/// A ring of per-second cell rows. Ring position ↔ absolute second
+/// bookkeeping stays with the caller (the aggregator); the store only
+/// deals in row indices `0..len()`.
+#[derive(Debug, Clone)]
+pub struct CellStore {
+    n_slots: usize,
+    rows: Rows,
+}
+
+impl CellStore {
+    /// An empty store over `n_slots` dense template slots.
+    pub fn new(kind: CellStoreKind, n_slots: usize) -> Self {
+        let rows = match kind {
+            CellStoreKind::Dense => Rows::Dense(VecDeque::new()),
+            CellStoreKind::Hashed => Rows::Hashed(VecDeque::new()),
+        };
+        Self { n_slots, rows }
+    }
+
+    /// Number of second-rows currently held.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            Rows::Dense(rows) => rows.len(),
+            Rows::Hashed(rows) => rows.len(),
+        }
+    }
+
+    /// True when no rows are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an empty row at the back (one second later).
+    pub fn push_back(&mut self) {
+        match &mut self.rows {
+            Rows::Dense(rows) => rows.push_back(vec![(0.0, 0.0, 0.0); self.n_slots].into()),
+            Rows::Hashed(rows) => rows.push_back(FxHashMap::default()),
+        }
+    }
+
+    /// Prepends an empty row at the front (one second earlier).
+    pub fn push_front(&mut self) {
+        match &mut self.rows {
+            Rows::Dense(rows) => rows.push_front(vec![(0.0, 0.0, 0.0); self.n_slots].into()),
+            Rows::Hashed(rows) => rows.push_front(FxHashMap::default()),
+        }
+    }
+
+    /// Drops the oldest row.
+    pub fn pop_front(&mut self) {
+        match &mut self.rows {
+            Rows::Dense(rows) => {
+                rows.pop_front();
+            }
+            Rows::Hashed(rows) => {
+                rows.pop_front();
+            }
+        }
+    }
+
+    /// Mutable access to row `idx`, for amortizing the row lookup across a
+    /// run of same-second records.
+    #[inline]
+    pub fn row_mut(&mut self, idx: usize) -> RowMut<'_> {
+        match &mut self.rows {
+            Rows::Dense(rows) => RowMut::Dense(&mut rows[idx]),
+            Rows::Hashed(rows) => RowMut::Hashed(&mut rows[idx]),
+        }
+    }
+
+    /// Folds one record into `(idx, slot)`.
+    #[inline]
+    pub fn add(&mut self, idx: usize, slot: u32, rt_ms: f64, rows: f64) {
+        self.row_mut(idx).add(slot, rt_ms, rows);
+    }
+
+    /// The cell at `(idx, slot)`, `None` when no record ever touched it.
+    pub fn get(&self, idx: usize, slot: u32) -> Option<Cell> {
+        match &self.rows {
+            Rows::Dense(rows) => {
+                let cell = rows[idx][slot as usize];
+                (cell.0 != 0.0).then_some(cell)
+            }
+            Rows::Hashed(rows) => rows[idx].get(&slot).copied(),
+        }
+    }
+
+    /// Visits every *touched* cell of row `idx`. Dense rows visit in
+    /// ascending slot order; hashed rows in unspecified order — callers
+    /// that need an order sort by template id afterwards (every current
+    /// consumer either sorts or writes to disjoint indices).
+    pub fn for_each(&self, idx: usize, mut f: impl FnMut(u32, Cell)) {
+        match &self.rows {
+            Rows::Dense(rows) => {
+                for (slot, cell) in rows[idx].iter().enumerate() {
+                    if cell.0 != 0.0 {
+                        f(slot as u32, *cell);
+                    }
+                }
+            }
+            Rows::Hashed(rows) => {
+                for (slot, cell) in &rows[idx] {
+                    f(*slot, *cell);
+                }
+            }
+        }
+    }
+}
+
+/// One mutable second-row, either representation.
+pub enum RowMut<'a> {
+    Dense(&'a mut [Cell]),
+    Hashed(&'a mut FxHashMap<u32, Cell>),
+}
+
+impl RowMut<'_> {
+    /// Folds one record into the row: `count += 1`, `rt += rt_ms`,
+    /// `rows += rows_examined`.
+    #[inline]
+    pub fn add(&mut self, slot: u32, rt_ms: f64, rows: f64) {
+        let cell = match self {
+            RowMut::Dense(cells) => &mut cells[slot as usize],
+            RowMut::Hashed(map) => map.entry(slot).or_insert((0.0, 0.0, 0.0)),
+        };
+        cell.0 += 1.0;
+        cell.1 += rt_ms;
+        cell.2 += rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> [CellStore; 2] {
+        [CellStore::new(CellStoreKind::Dense, 4), CellStore::new(CellStoreKind::Hashed, 4)]
+    }
+
+    #[test]
+    fn kinds_agree_on_adds_and_reads() {
+        for mut store in both() {
+            store.push_back();
+            store.push_back();
+            store.add(0, 2, 10.0, 3.0);
+            store.add(0, 2, 4.0, 1.0);
+            store.add(1, 0, 7.0, 0.0);
+            assert_eq!(store.get(0, 2), Some((2.0, 14.0, 4.0)));
+            assert_eq!(store.get(0, 0), None, "untouched cell reads as absent");
+            assert_eq!(store.get(1, 0), Some((1.0, 7.0, 0.0)));
+
+            let mut touched: Vec<(u32, Cell)> = Vec::new();
+            store.for_each(0, |slot, cell| touched.push((slot, cell)));
+            assert_eq!(touched, vec![(2, (2.0, 14.0, 4.0))]);
+        }
+    }
+
+    #[test]
+    fn run_accumulation_through_row_mut() {
+        for mut store in both() {
+            store.push_back();
+            let mut row = store.row_mut(0);
+            for i in 0..5u32 {
+                row.add(i % 2, 1.0, 2.0);
+            }
+            assert_eq!(store.get(0, 0), Some((3.0, 3.0, 6.0)));
+            assert_eq!(store.get(0, 1), Some((2.0, 2.0, 4.0)));
+        }
+    }
+
+    #[test]
+    fn ring_operations() {
+        for mut store in both() {
+            assert!(store.is_empty());
+            store.push_back();
+            store.add(0, 1, 5.0, 0.0);
+            store.push_front(); // new empty second before the first
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.get(0, 1), None);
+            assert_eq!(store.get(1, 1), Some((1.0, 5.0, 0.0)));
+            store.pop_front();
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.get(0, 1), Some((1.0, 5.0, 0.0)));
+        }
+    }
+}

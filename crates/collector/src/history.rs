@@ -7,8 +7,8 @@
 //! series keyed by absolute minute index.
 
 use pinsql_sqlkit::SqlId;
+use pinsql_timeseries::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One template's minute-granularity execution history.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,7 +38,7 @@ impl HistorySeries {
 /// Store of per-template histories.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HistoryStore {
-    map: HashMap<SqlId, HistorySeries>,
+    map: FxHashMap<SqlId, HistorySeries>,
 }
 
 impl HistoryStore {

@@ -21,6 +21,18 @@
 //! [`IncrementalConfig::retention_s`]: as the watermark advances, cells,
 //! records, and metric samples older than the horizon are evicted.
 //!
+//! ## The allocation-lean hot path
+//!
+//! Attributing one query record costs two dense-`Vec` lookups (spec →
+//! catalog slot, slot → cell in the second's slab row — see
+//! [`CellStoreKind`]) and a ring push; no hashing, no per-record
+//! allocation. Time-ordered streams should prefer the chunked entry
+//! points ([`ingest_query_run`](IncrementalAggregator::ingest_query_run) /
+//! [`ingest_drain`](IncrementalAggregator::ingest_drain)), which amortize
+//! the watermark check and the row lookup across every record of a
+//! second. Per-minute history folding reuses one slot-indexed scratch
+//! buffer instead of building a map per minute.
+//!
 //! ## Replay equivalence
 //!
 //! [`IncrementalAggregator::snapshot`] re-assembles a [`CaseData`] for any
@@ -30,20 +42,21 @@
 //! [`aggregate_case`](crate::aggregate_case) computes from the complete
 //! trace: records are ingested in the same order the batch path sums them,
 //! so every per-cell floating-point accumulation happens in the same
-//! sequence. The engine crate's golden replay tests pin this contract.
+//! sequence — through the scalar *and* the chunked entry points, over
+//! either cell-store kind. The engine crate's golden replay tests pin this
+//! contract.
 
 use crate::aggregate::{CaseData, TemplateData, TemplateSeries};
 use crate::catalog::TemplateCatalog;
+use crate::cellstore::{CellStore, CellStoreKind};
 use crate::history::HistoryStore;
 use pinsql_dbsim::probe::ProbeLog;
+use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::{InstanceMetrics, MetricsSample, QueryRecord, TelemetryEvent};
 use pinsql_sqlkit::SqlId;
 use pinsql_workload::TemplateSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
-
-/// One second's per-template aggregates: `(count, total_rt_ms, examined_rows)`.
-type Cell = (f64, f64, f64);
+use std::collections::VecDeque;
 
 /// Tuning for the incremental aggregator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -56,11 +69,16 @@ pub struct IncrementalConfig {
     /// Absolute minute index the stream's second 0 maps to in the history
     /// store's timeline (histories are addressed by absolute minute).
     pub history_origin_min: i64,
+    /// Row representation for the per-second cell ring (dense slab by
+    /// default; the hashed reference kind is for equivalence tests and
+    /// enormous sparse catalogs).
+    #[serde(default)]
+    pub cell_store: CellStoreKind,
 }
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        Self { retention_s: 7200, history_origin_min: 0 }
+        Self { retention_s: 7200, history_origin_min: 0, cell_store: CellStoreKind::Dense }
     }
 }
 
@@ -75,6 +93,12 @@ impl IncrementalConfig {
     /// Builder-style history-origin override.
     pub fn with_history_origin(mut self, minute: i64) -> Self {
         self.history_origin_min = minute;
+        self
+    }
+
+    /// Builder-style cell-store override.
+    pub fn with_cell_store(mut self, kind: CellStoreKind) -> Self {
+        self.cell_store = kind;
         self
     }
 }
@@ -99,9 +123,9 @@ pub struct IncrementalAggregator {
     cfg: IncrementalConfig,
     /// Retained raw records in arrival order.
     records: VecDeque<QueryRecord>,
-    /// Per-second cells for contiguous seconds
+    /// Per-second cell rows for contiguous seconds
     /// `[cells_start, cells_start + cells.len())`.
-    cells: VecDeque<HashMap<SqlId, Cell>>,
+    cells: CellStore,
     cells_start: i64,
     /// Per-second metric samples for contiguous seconds
     /// `[metrics_start, metrics_start + metrics.len())`.
@@ -114,6 +138,14 @@ pub struct IncrementalAggregator {
     /// history store; `None` until the first cell arrives.
     history_next_min: Option<i64>,
     stats: IngestStats,
+    /// Slot-indexed scratch for history folding (one minute's counts),
+    /// reused every minute instead of building a map.
+    minute_counts: Vec<f64>,
+    /// `(id, count)` scratch for history folding, reused every minute.
+    minute_ids: Vec<(SqlId, f64)>,
+    /// Slot → position-in-`templates` scratch for `snapshot`, reused per
+    /// call (`u32::MAX` = template absent from the window).
+    slot_pos: Vec<u32>,
 }
 
 impl IncrementalAggregator {
@@ -125,11 +157,12 @@ impl IncrementalAggregator {
     /// Creates an aggregator over a pre-built catalog.
     pub fn with_catalog(catalog: TemplateCatalog, cfg: IncrementalConfig) -> Self {
         assert!(cfg.retention_s > 0, "retention must be positive");
+        let cells = CellStore::new(cfg.cell_store, catalog.n_slots());
         Self {
             catalog,
             cfg,
             records: VecDeque::new(),
-            cells: VecDeque::new(),
+            cells,
             cells_start: 0,
             metrics: VecDeque::new(),
             metrics_start: 0,
@@ -137,17 +170,40 @@ impl IncrementalAggregator {
             history: HistoryStore::new(),
             history_next_min: None,
             stats: IngestStats::default(),
+            minute_counts: Vec::new(),
+            minute_ids: Vec::new(),
+            slot_pos: Vec::new(),
         }
     }
 
     /// Folds one telemetry event into the aggregates.
-    pub fn ingest(&mut self, ev: &TelemetryEvent) {
+    pub fn ingest(&mut self, ev: TelemetryEvent) {
         self.stats.events += 1;
         match ev {
-            TelemetryEvent::Query(rec) => self.ingest_query(*rec),
-            TelemetryEvent::Metrics(sample) => self.ingest_metrics(sample.clone()),
-            TelemetryEvent::Tick { second } => self.advance_watermark(*second),
+            TelemetryEvent::Query(rec) => self.ingest_query(rec),
+            TelemetryEvent::Metrics(sample) => self.ingest_metrics(sample),
+            TelemetryEvent::Tick { second } => self.advance_watermark(second),
         }
+    }
+
+    /// Folds a buffered stretch of a stream, chunking same-second query
+    /// runs through [`ingest_query_run`](Self::ingest_query_run), then
+    /// clears the buffer so callers can reuse its allocation.
+    pub fn ingest_drain(&mut self, events: &mut Vec<TelemetryEvent>) {
+        let mut i = 0;
+        while i < events.len() {
+            if let Some((second, len)) = query_run(events, i) {
+                self.ingest_query_run(second, &events[i..i + len]);
+                i += len;
+            } else {
+                // Move the event out; the placeholder is cleared below.
+                let ev =
+                    std::mem::replace(&mut events[i], TelemetryEvent::Tick { second: i64::MIN });
+                self.ingest(ev);
+                i += 1;
+            }
+        }
+        events.clear();
     }
 
     /// Folds one query record (arrival attribution, §IV-A).
@@ -162,12 +218,56 @@ impl IncrementalAggregator {
             return;
         }
         self.stats.queries += 1;
-        let id = self.catalog.id_of_spec(rec.spec);
-        let cell = self.slot_mut(second).entry(id).or_insert((0.0, 0.0, 0.0));
-        cell.0 += 1.0;
-        cell.1 += rec.response_ms;
-        cell.2 += rec.examined_rows as f64;
+        let slot = self.catalog.slot_of_spec(rec.spec);
+        let idx = self.row_index(second);
+        self.cells.add(idx, slot, rec.response_ms, rec.examined_rows as f64);
         self.records.push_back(rec);
+    }
+
+    /// Folds a run of [`TelemetryEvent::Query`] events whose (finite)
+    /// arrival timestamps all fall in `second` — the chunked hot path: the
+    /// retention check and the cell-row lookup are paid once per run
+    /// instead of once per record. Produces state and stats bit-identical
+    /// to calling [`ingest`](Self::ingest) per event.
+    ///
+    /// Callers get runs from [`pinsql_dbsim::telemetry::query_run`]; the
+    /// second/variant contract is debug-asserted.
+    pub fn ingest_query_run(&mut self, second: i64, events: &[TelemetryEvent]) {
+        self.stats.events += events.len() as u64;
+        if self.watermark != i64::MIN && second < self.watermark - self.cfg.retention_s {
+            // Late run: classify per record exactly like the scalar path
+            // (a corrupted response time reads as malformed, not late).
+            for ev in events {
+                let TelemetryEvent::Query(rec) = ev else { continue };
+                if rec.response_ms.is_finite() {
+                    self.stats.late += 1;
+                } else {
+                    self.stats.malformed += 1;
+                }
+            }
+            return;
+        }
+        let idx = self.row_index(second);
+        let Self { cells, catalog, records, stats, .. } = self;
+        let mut row = cells.row_mut(idx);
+        for ev in events {
+            let TelemetryEvent::Query(rec) = ev else {
+                debug_assert!(false, "non-query event in a query run");
+                continue;
+            };
+            debug_assert_eq!(
+                (rec.start_ms / 1000.0).floor() as i64,
+                second,
+                "query run crosses a second boundary"
+            );
+            if !rec.response_ms.is_finite() {
+                stats.malformed += 1;
+                continue;
+            }
+            stats.queries += 1;
+            row.add(catalog.slot_of_spec(rec.spec), rec.response_ms, rec.examined_rows as f64);
+            records.push_back(*rec);
+        }
     }
 
     /// Stores one per-second metric sample. A sample for a second already
@@ -233,7 +333,8 @@ impl IncrementalAggregator {
     /// read.
     pub fn executions(&self, id: SqlId, second: i64) -> f64 {
         let Some(idx) = self.cell_index(second) else { return 0.0 };
-        self.cells[idx].get(&id).map_or(0.0, |c| c.0)
+        let Some(slot) = self.catalog.slot_of_id(id) else { return 0.0 };
+        self.cells.get(idx, slot).map_or(0.0, |c| c.0)
     }
 
     /// Number of 1-second cell slots currently held (bounded-memory
@@ -262,27 +363,42 @@ impl IncrementalAggregator {
     /// module docs). Windows reaching beyond the retained metrics are
     /// clipped exactly the way the batch slicer clips to available data.
     ///
+    /// Takes `&mut self` only to reuse the slot-position scratch buffer
+    /// across calls; observable state is untouched.
+    ///
     /// # Panics
     /// Panics if `te <= ts` (empty collection window), like the batch path.
-    pub fn snapshot(&self, ts: i64, te: i64) -> CaseData {
+    pub fn snapshot(&mut self, ts: i64, te: i64) -> CaseData {
         assert!(te > ts, "empty collection window");
         let n = (te - ts) as usize;
         let ts_ms = ts as f64 * 1000.0;
         let te_ms = te as f64 * 1000.0;
 
         // Window records in arrival order (the stream is time-ordered, so
-        // this is the batch path's filter-then-stable-sort order).
+        // this is the batch path's filter-then-stable-sort order). The
+        // reused `slot_pos` scratch maps each template's dense slot to its
+        // position in `templates` — no map to build or rehash.
+        self.slot_pos.clear();
+        self.slot_pos.resize(self.catalog.n_slots(), u32::MAX);
+        let slot_pos = &mut self.slot_pos;
+        let catalog = &self.catalog;
         let mut records: Vec<QueryRecord> = Vec::new();
-        let mut by_template: HashMap<SqlId, TemplateData> = HashMap::new();
+        let mut templates: Vec<TemplateData> = Vec::new();
         for rec in &self.records {
             if rec.start_ms >= ts_ms && rec.start_ms < te_ms {
-                let id = self.catalog.id_of_spec(rec.spec);
-                let entry = by_template.entry(id).or_insert_with(|| TemplateData {
-                    id,
-                    series: TemplateSeries::zeros(ts, n),
-                    record_idx: Vec::new(),
-                });
-                entry.record_idx.push(records.len() as u32);
+                let slot = catalog.slot_of_spec(rec.spec) as usize;
+                let tpl = if slot_pos[slot] == u32::MAX {
+                    slot_pos[slot] = templates.len() as u32;
+                    templates.push(TemplateData {
+                        id: catalog.id_of_slot(slot as u32),
+                        series: TemplateSeries::zeros(ts, n),
+                        record_idx: Vec::new(),
+                    });
+                    templates.last_mut().expect("just pushed")
+                } else {
+                    &mut templates[slot_pos[slot] as usize]
+                };
+                tpl.record_idx.push(records.len() as u32);
                 records.push(*rec);
             }
         }
@@ -295,16 +411,17 @@ impl IncrementalAggregator {
         let hi = te.min(self.cells_start + self.cells.len() as i64);
         for s in lo..hi {
             let idx = (s - ts) as usize;
-            for (id, cell) in &self.cells[(s - self.cells_start) as usize] {
-                if let Some(tpl) = by_template.get_mut(id) {
-                    tpl.series.execution_count[idx] = cell.0;
-                    tpl.series.total_rt_ms[idx] = cell.1;
-                    tpl.series.examined_rows[idx] = cell.2;
+            self.cells.for_each((s - self.cells_start) as usize, |slot, cell| {
+                let pos = slot_pos[slot as usize];
+                if pos != u32::MAX {
+                    let series = &mut templates[pos as usize].series;
+                    series.execution_count[idx] = cell.0;
+                    series.total_rt_ms[idx] = cell.1;
+                    series.examined_rows[idx] = cell.2;
                 }
-            }
+            });
         }
 
-        let mut templates: Vec<TemplateData> = by_template.into_values().collect();
         templates.sort_by_key(|t| t.id);
 
         CaseData {
@@ -347,32 +464,31 @@ impl IncrementalAggregator {
         out
     }
 
-    /// The per-template cell map for an absolute second, extending the
-    /// contiguous ring as needed.
-    fn slot_mut(&mut self, second: i64) -> &mut HashMap<SqlId, Cell> {
+    /// Ring row index for an absolute second, extending the contiguous
+    /// ring as needed.
+    fn row_index(&mut self, second: i64) -> usize {
         if self.cells.is_empty() {
             self.cells_start = second;
-            self.cells.push_back(HashMap::new());
+            self.cells.push_back();
         } else if second < self.cells_start {
             // Out-of-order record older than the ring's start but inside
-            // the retention horizon: prepend slots (rare; channel drivers
+            // the retention horizon: prepend rows (rare; channel drivers
             // with racing producers).
             for _ in 0..(self.cells_start - second) {
-                self.cells.push_front(HashMap::new());
+                self.cells.push_front();
             }
             self.cells_start = second;
         } else {
             let idx = (second - self.cells_start) as usize;
             while self.cells.len() <= idx {
-                self.cells.push_back(HashMap::new());
+                self.cells.push_back();
             }
         }
-        let idx = (second - self.cells_start) as usize;
-        &mut self.cells[idx]
+        (second - self.cells_start) as usize
     }
 
     /// Folds every fully-elapsed minute's execution counts into the
-    /// history store.
+    /// history store, through the reused slot-indexed scratch.
     fn fold_history(&mut self) {
         if self.cells.is_empty() {
             return;
@@ -383,19 +499,25 @@ impl IncrementalAggregator {
         while (next + 1) * 60 <= self.watermark {
             let minute = next;
             next += 1;
-            let mut per_template: HashMap<SqlId, f64> = HashMap::new();
+            self.minute_counts.clear();
+            self.minute_counts.resize(self.catalog.n_slots(), 0.0);
+            let counts = &mut self.minute_counts;
+            let cells = &self.cells;
             for s in minute * 60..(minute + 1) * 60 {
-                let Some(idx) = Self::index_of(self.cells_start, self.cells.len(), s) else {
+                let Some(idx) = Self::index_of(self.cells_start, cells.len(), s) else {
                     continue;
                 };
-                for (id, cell) in &self.cells[idx] {
-                    *per_template.entry(*id).or_insert(0.0) += cell.0;
-                }
+                cells.for_each(idx, |slot, cell| counts[slot as usize] += cell.0);
             }
             // Deterministic insertion order for reproducible stores.
-            let mut ids: Vec<(SqlId, f64)> = per_template.into_iter().collect();
-            ids.sort_by_key(|(id, _)| *id);
-            for (id, count) in ids {
+            self.minute_ids.clear();
+            for (slot, &count) in self.minute_counts.iter().enumerate() {
+                if count > 0.0 {
+                    self.minute_ids.push((self.catalog.id_of_slot(slot as u32), count));
+                }
+            }
+            self.minute_ids.sort_by_key(|(id, _)| *id);
+            for &(id, count) in &self.minute_ids {
                 self.history.record(id, self.cfg.history_origin_min + minute, count);
             }
         }
@@ -510,12 +632,53 @@ mod tests {
 
         let batch = aggregate_case(&log, &specs, &metrics, 20, 100);
 
-        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
-        for ev in interleave(&log, &metrics) {
-            agg.ingest(&ev);
+        for kind in [CellStoreKind::Dense, CellStoreKind::Hashed] {
+            let mut agg = IncrementalAggregator::new(
+                &specs,
+                IncrementalConfig::default().with_cell_store(kind),
+            );
+            for ev in interleave(&log, &metrics) {
+                agg.ingest(ev);
+            }
+            let online = agg.snapshot(20, 100);
+            assert_case_eq(&online, &batch);
         }
-        let online = agg.snapshot(20, 100);
-        assert_case_eq(&online, &batch);
+    }
+
+    #[test]
+    fn chunked_ingest_matches_scalar_ingest() {
+        let specs = vec![
+            spec("SELECT * FROM a WHERE x = 1"),
+            spec("SELECT * FROM b WHERE x = 1"),
+        ];
+        let mut log = Vec::new();
+        for i in 0..300 {
+            let s = (i * 13) % 90;
+            log.push(rec(i % 2, s as f64 * 1000.0 + (i % 11) as f64 * 90.9, 2.0 + i as f64, i as u64 % 3));
+        }
+        // A malformed record mid-stream exercises the run-splitting rules.
+        log.push(rec(0, f64::NAN, 1.0, 0));
+        log.push(rec(1, 10_500.0, f64::INFINITY, 0));
+        let metrics = flat_metrics(0, 90);
+        let events = interleave(&log, &metrics);
+
+        let mut scalar = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for ev in events.clone() {
+            scalar.ingest(ev);
+        }
+        let mut chunked = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        let mut buf = events;
+        chunked.ingest_drain(&mut buf);
+        assert!(buf.is_empty(), "drain clears the reusable buffer");
+
+        let s = scalar.stats();
+        let c = chunked.stats();
+        assert_eq!(s.events, c.events);
+        assert_eq!(s.queries, c.queries);
+        assert_eq!(s.malformed, c.malformed);
+        assert_eq!(s.late, c.late);
+        assert_eq!(scalar.watermark(), chunked.watermark());
+        assert_case_eq(&scalar.snapshot(0, 90), &chunked.snapshot(0, 90));
     }
 
     #[test]
@@ -526,7 +689,7 @@ mod tests {
         let metrics = flat_metrics(0, 60);
         let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
         for ev in interleave(&log, &metrics) {
-            agg.ingest(&ev);
+            agg.ingest(ev);
         }
         for (ts, te) in [(0, 60), (10, 50), (30, 31)] {
             let batch = aggregate_case(&log, &specs, &metrics, ts, te);
@@ -557,13 +720,13 @@ mod tests {
         );
         let horizon_s = 20_000i64;
         for s in 0..horizon_s {
-            agg.ingest(&TelemetryEvent::Query(rec((s % 2) as usize, s as f64 * 1000.0 + 1.0, 2.0, 1)));
-            agg.ingest(&TelemetryEvent::Metrics(MetricsSample {
+            agg.ingest(TelemetryEvent::Query(rec((s % 2) as usize, s as f64 * 1000.0 + 1.0, 2.0, 1)));
+            agg.ingest(TelemetryEvent::Metrics(MetricsSample {
                 second: s,
                 active_session: 1.0,
                 ..Default::default()
             }));
-            agg.ingest(&TelemetryEvent::Tick { second: s + 1 });
+            agg.ingest(TelemetryEvent::Tick { second: s + 1 });
             assert!(agg.cell_seconds() <= retention as usize + 1, "at {s}");
             assert!(agg.metric_seconds() <= retention as usize + 1, "at {s}");
             assert!(agg.record_count() <= retention as usize + 1, "at {s}");
@@ -618,5 +781,40 @@ mod tests {
         assert_eq!(agg.executions(id, 1), 2.0);
         assert_eq!(agg.executions(id, 2), 1.0);
         assert_eq!(agg.executions(id, 3), 0.0);
+    }
+
+    #[test]
+    fn cell_store_kinds_agree_on_out_of_order_streams() {
+        let specs = vec![
+            spec("SELECT * FROM a WHERE x = 1"),
+            spec("SELECT * FROM b WHERE x = 1"),
+        ];
+        // Deliberately unsorted arrivals, including a prepend below the
+        // ring start — the channel-driver shape interleave never emits.
+        let log = vec![
+            rec(0, 5_100.0, 2.0, 1),
+            rec(1, 1_200.0, 3.0, 2),
+            rec(0, 5_050.0, 4.0, 0),
+            rec(1, 9_900.0, 5.0, 3),
+            rec(0, 0.0, 6.0, 1),
+        ];
+        let mut dense = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        let mut hashed = IncrementalAggregator::new(
+            &specs,
+            IncrementalConfig::default().with_cell_store(CellStoreKind::Hashed),
+        );
+        for r in &log {
+            dense.ingest_query(*r);
+            hashed.ingest_query(*r);
+        }
+        dense.advance_watermark(10);
+        hashed.advance_watermark(10);
+        assert_case_eq(&dense.snapshot(0, 10), &hashed.snapshot(0, 10));
+        for s in 0..10 {
+            for spec_idx in 0..2 {
+                let id = dense.catalog().id_of_spec(SpecId(spec_idx));
+                assert_eq!(dense.executions(id, s), hashed.executions(id, s), "s={s}");
+            }
+        }
     }
 }

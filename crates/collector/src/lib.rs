@@ -14,6 +14,9 @@
 //!   [`CaseData`]: per-template `#execution`, total response time, and
 //!   examined-rows series plus the raw records PinSQL's active-session
 //!   estimator needs;
+//! * [`cellstore`] — the per-second, per-template cell ring behind the
+//!   incremental aggregator, with a direct-indexed dense-slab hot path and
+//!   a hashed reference representation ([`CellStoreKind`]);
 //! * [`history`] — the long-horizon per-template 1-minute `#execution`
 //!   store used by history-trend verification (1/3/7 days back);
 //! * [`incremental`] — the online aggregation engine: folds a
@@ -26,6 +29,7 @@
 
 pub mod aggregate;
 pub mod catalog;
+pub mod cellstore;
 pub mod history;
 pub mod incremental;
 pub mod logstore;
@@ -33,6 +37,7 @@ pub mod stream;
 
 pub use aggregate::{aggregate_case, CaseData, TemplateData, TemplateSeries};
 pub use catalog::{TemplateCatalog, TemplateInfo};
+pub use cellstore::{CellStore, CellStoreKind};
 pub use history::{HistorySeries, HistoryStore};
 pub use incremental::{IncrementalAggregator, IncrementalConfig, IngestStats};
 pub use logstore::LogStore;

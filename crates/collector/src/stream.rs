@@ -38,13 +38,17 @@ impl StreamAggregator {
         let worker_state = Arc::clone(&state);
         let worker = std::thread::spawn(move || {
             // Drain in batches under one lock acquisition: take whatever is
-            // queued, then block for the next event only when empty.
+            // queued, then block for the next event only when empty. The
+            // batch buffer is reused across iterations, and handing a whole
+            // batch to `ingest_drain` lets the aggregator fold same-second
+            // query runs through the chunked hot path.
+            let mut batch: Vec<TelemetryEvent> = Vec::new();
             while let Ok(first) = rx.recv() {
-                let mut agg = worker_state.lock();
-                agg.ingest(&first);
+                batch.push(first);
                 while let Ok(ev) = rx.try_recv() {
-                    agg.ingest(&ev);
+                    batch.push(ev);
                 }
+                worker_state.lock().ingest_drain(&mut batch);
             }
         });
         Self { sender: Some(tx), worker: Some(worker), state }
@@ -161,7 +165,7 @@ mod tests {
         tx.send(rec(0, 1999.0, 6.0, 4)).unwrap();
         tx.send(rec(0, 2000.0, 1.0, 1)).unwrap();
         drop(tx);
-        let out = agg.finish();
+        let mut out = agg.finish();
         let id = out.catalog().id_of_spec(SpecId(0));
         assert_eq!(out.executions(id, 1), 2.0);
         assert_eq!(out.executions(id, 2), 1.0);

@@ -45,5 +45,5 @@ pub use config::{PfsConfig, SimConfig};
 pub use engine::{run_open_loop, SimOutput};
 pub use metrics::InstanceMetrics;
 pub use record::QueryRecord;
-pub use telemetry::{interleave, MetricsSample, TelemetryEvent};
+pub use telemetry::{interleave, query_run, MetricsSample, TelemetryEvent};
 pub use trace::Trace;

@@ -145,6 +145,32 @@ pub fn interleave(log: &[QueryRecord], metrics: &InstanceMetrics) -> Vec<Telemet
     events
 }
 
+/// The maximal run of consecutive [`TelemetryEvent::Query`] events starting
+/// at `events[from]` whose (finite) arrival timestamps all fall in one
+/// attribution second — `(second, run length)`, or `None` when `events[from]`
+/// is absent, not a query, or has a non-finite timestamp.
+///
+/// This is the chunking primitive of the ingest hot path: on a time-ordered
+/// stream, consumers fold a whole run with one watermark check and one
+/// cell-row lookup instead of one per record. On an unordered stream it
+/// still yields correct (merely shorter) runs, so callers never need to
+/// pre-sort.
+pub fn query_run(events: &[TelemetryEvent], from: usize) -> Option<(i64, usize)> {
+    let TelemetryEvent::Query(first) = events.get(from)? else { return None };
+    if !first.start_ms.is_finite() {
+        return None;
+    }
+    let second = (first.start_ms / 1000.0).floor() as i64;
+    let mut len = 1;
+    while let Some(TelemetryEvent::Query(r)) = events.get(from + len) {
+        if !r.start_ms.is_finite() || (r.start_ms / 1000.0).floor() as i64 != second {
+            break;
+        }
+        len += 1;
+    }
+    Some((second, len))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +269,60 @@ mod tests {
             })
             .collect();
         assert_eq!(specs, vec![1, 2]);
+    }
+
+    #[test]
+    fn query_runs_chunk_by_attribution_second() {
+        let events = interleave(
+            &[rec(100.0), rec(900.0), rec(999.9), rec(1000.0), rec(2500.0)],
+            &metrics(0, 3),
+        );
+        // Walk the whole stream through query_run the way a consumer does.
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < events.len() {
+            if let Some((second, len)) = query_run(&events, i) {
+                runs.push((second, len));
+                i += len;
+            } else {
+                i += 1;
+            }
+        }
+        assert_eq!(runs, vec![(0, 3), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn query_run_rejects_non_queries_and_non_finite_starts() {
+        let events = vec![
+            TelemetryEvent::Tick { second: 1 },
+            TelemetryEvent::Query(QueryRecord {
+                spec: SpecId(0),
+                start_ms: f64::NAN,
+                response_ms: 1.0,
+                examined_rows: 0,
+            }),
+            TelemetryEvent::Query(rec(1500.0)),
+        ];
+        assert_eq!(query_run(&events, 0), None, "tick is not a run head");
+        assert_eq!(query_run(&events, 1), None, "non-finite start is not a run head");
+        assert_eq!(query_run(&events, 2), Some((1, 1)));
+        assert_eq!(query_run(&events, 3), None, "past the end");
+    }
+
+    #[test]
+    fn query_run_splits_at_malformed_timestamps() {
+        // A corrupted record mid-second must terminate the run so the
+        // consumer's scalar path can classify it.
+        let bad = QueryRecord { spec: SpecId(0), start_ms: f64::INFINITY, response_ms: 1.0, examined_rows: 0 };
+        let events = vec![
+            TelemetryEvent::Query(rec(100.0)),
+            TelemetryEvent::Query(rec(200.0)),
+            TelemetryEvent::Query(bad),
+            TelemetryEvent::Query(rec(300.0)),
+        ];
+        assert_eq!(query_run(&events, 0), Some((0, 2)));
+        assert_eq!(query_run(&events, 2), None);
+        assert_eq!(query_run(&events, 3), Some((0, 1)));
     }
 
     #[test]

@@ -9,16 +9,30 @@
 //! 1. **Materialize** — each scenario's event stream is produced with the
 //!    `par_map` fan-out (instances generate telemetry concurrently in the
 //!    real system).
-//! 2. **Multiplex** — one serial, time-ordered k-way merge over all
-//!    streams (ties broken by instance index), each event ingested by its
-//!    instance. This is the sustained-throughput section the fleet bench
-//!    measures.
-//! 3. **Diagnose** — every instance's case closes, and `PinSql::diagnose`
-//!    fans out across the closed cases, again with `par_map`, so outcomes
-//!    are index-ordered and bit-identical at any fan-out.
+//! 2. **Multiplex** — ingestion is split across
+//!    [`FleetConfig::shards`] scoped worker threads, each owning a
+//!    contiguous, disjoint slice of instances and running a private
+//!    time-ordered k-way merge over its slice's streams (ties broken by
+//!    instance index; same-second query runs move as one chunk through the
+//!    collector's amortized hot path). This is the sustained-throughput
+//!    section the fleet bench measures; its wall clock is the *slowest
+//!    shard's* merge, the quantity that shrinks as shards scale across
+//!    cores.
+//! 3. **Diagnose** — every instance's case closes in its shard, closed
+//!    cases reassemble in instance-id order, and `PinSql::diagnose` fans
+//!    out across them with `par_map`.
+//!
+//! **Determinism.** Instances are independent: no event of one instance
+//! can affect another's pipeline, so outcomes depend only on each
+//! instance's *own* event order — which every shard preserves (a merge
+//! only interleaves across streams; each stream is consumed front to
+//! back). Cases and diagnoses are therefore bit-identical for **any**
+//! `shards` and `fanout` values; the workspace's `shard_equivalence` suite
+//! pins this against the golden corpus.
 
 use crate::instance::OnlineInstance;
-use pinsql::{PinSql, PinSqlConfig};
+use pinsql::{Diagnosis, PinSql, PinSqlConfig};
+use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
 use pinsql_scenario::{materialize_events, LabeledCase, Scenario};
 use pinsql_timeseries::par::par_map;
@@ -36,11 +50,15 @@ pub struct FleetConfig {
     /// Worker threads for across-instance stages (materialize, diagnose);
     /// `0` = all cores.
     pub fanout: usize,
+    /// Ingestion worker threads, each owning a disjoint contiguous slice
+    /// of instances. Must be ≥ 1; values above the instance count are
+    /// clamped at run time. Outcomes are identical at every value.
+    pub shards: usize,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { delta_s: 600, pinsql: PinSqlConfig::default(), fanout: 0 }
+        Self { delta_s: 600, pinsql: PinSqlConfig::default(), fanout: 0, shards: 1 }
     }
 }
 
@@ -72,9 +90,12 @@ pub struct InstanceOutcome {
 #[derive(Debug, Clone, Serialize)]
 pub struct FleetReport {
     pub n_instances: usize,
+    /// Ingestion shards actually used (after clamping to the fleet size).
+    pub shards: usize,
     /// Events pushed through the multiplexed loop.
     pub events_total: u64,
-    /// Wall-clock seconds of the serial multiplexed ingest loop.
+    /// Wall-clock seconds of the multiplexed ingest stage — the slowest
+    /// shard's merge loop (shards run concurrently).
     pub ingest_wall_s: f64,
     /// Sustained ingest throughput (events / ingest_wall_s).
     pub events_per_sec: f64,
@@ -87,6 +108,28 @@ pub struct FleetReport {
     pub outcomes: Vec<InstanceOutcome>,
 }
 
+/// A fleet run with its full per-instance artifacts, for consumers that
+/// need more than the flattened report (equivalence suites compare the
+/// labelled cases and diagnoses bit-for-bit across shard counts).
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    pub report: FleetReport,
+    /// Closed cases, in instance-id order.
+    pub cases: Vec<LabeledCase>,
+    /// Diagnoses, aligned with `cases`.
+    pub diagnoses: Vec<Diagnosis>,
+}
+
+/// One ingestion shard's output: per-instance counters and closed cases
+/// for its contiguous slice, plus the shard's merge wall clock.
+struct ShardResult {
+    merge_s: f64,
+    events: u64,
+    /// `(events_ingested, queries)` per instance, slice order.
+    stats: Vec<(u64, u64)>,
+    cases: Vec<LabeledCase>,
+}
+
 /// The fleet orchestrator. See the module docs for the three stages.
 #[derive(Debug, Clone, Default)]
 pub struct FleetEngine {
@@ -94,55 +137,71 @@ pub struct FleetEngine {
 }
 
 impl FleetEngine {
+    /// # Panics
+    /// Panics if `cfg.shards == 0`: every shard owns a disjoint slice of
+    /// instances, so zero shards would silently ingest nothing.
     pub fn new(cfg: FleetConfig) -> Self {
+        assert!(
+            cfg.shards >= 1,
+            "FleetConfig.shards must be >= 1 (got 0); use shards = 1 for unsharded ingestion"
+        );
         Self { cfg }
     }
 
     /// Runs the full loop over one scenario per instance and reports
     /// throughput, latency, and per-instance outcomes.
     ///
-    /// Outcomes are deterministic: the merge order is a pure function of
-    /// event timestamps (ties by instance index) and both fan-out stages
-    /// use the index-ordered `par_map`, so any `fanout` value yields the
-    /// same outcomes (timings aside).
+    /// Outcomes are deterministic and independent of both `shards` and
+    /// `fanout` (timings aside) — see the module docs.
     pub fn run(&self, scenarios: &[Scenario]) -> FleetReport {
+        self.run_full(scenarios).report
+    }
+
+    /// [`run`](Self::run), additionally returning the closed cases and
+    /// diagnoses in instance-id order.
+    pub fn run_full(&self, scenarios: &[Scenario]) -> FleetRun {
         assert!(!scenarios.is_empty(), "fleet run needs at least one scenario");
+        assert!(self.cfg.shards >= 1, "FleetConfig.shards must be >= 1");
+        let n = scenarios.len();
+        let shards = self.cfg.shards.min(n);
 
         let streams: Vec<Vec<TelemetryEvent>> =
-            par_map(scenarios.len(), self.cfg.fanout, |i| materialize_events(&scenarios[i], None));
+            par_map(n, self.cfg.fanout, |i| materialize_events(&scenarios[i], None));
 
-        let mut instances: Vec<OnlineInstance> = scenarios
-            .iter()
-            .map(|s| OnlineInstance::new(s.clone(), self.cfg.delta_s))
+        // Contiguous near-equal slices: shard s owns instances
+        // [s*n/shards, (s+1)*n/shards). Streams move into their shard;
+        // scenarios are borrowed in place.
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
+        let mut stream_iter = streams.into_iter();
+        let shard_streams: Vec<Vec<Vec<TelemetryEvent>>> = bounds
+            .windows(2)
+            .map(|w| (&mut stream_iter).take(w[1] - w[0]).collect())
             .collect();
 
-        let t0 = Instant::now();
-        let mut cursors = vec![0usize; streams.len()];
-        let mut events_total = 0u64;
-        loop {
-            // K-way merge head: earliest event time, ties to the lowest
-            // instance index. K is small (a fleet slice), so a linear scan
-            // beats a heap's allocation churn.
-            let mut head: Option<(f64, usize)> = None;
-            for (i, stream) in streams.iter().enumerate() {
-                if let Some(ev) = stream.get(cursors[i]) {
-                    let t = ev.time_ms();
-                    if head.is_none_or(|(best, _)| t < best) {
-                        head = Some((t, i));
-                    }
-                }
-            }
-            let Some((_, i)) = head else { break };
-            instances[i].ingest(&streams[i][cursors[i]]);
-            cursors[i] += 1;
-            events_total += 1;
-        }
-        let ingest_wall_s = t0.elapsed().as_secs_f64();
+        let delta_s = self.cfg.delta_s;
+        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_streams
+                .into_iter()
+                .enumerate()
+                .map(|(s, local_streams)| {
+                    let shard_scenarios = &scenarios[bounds[s]..bounds[s + 1]];
+                    scope.spawn(move || run_shard(shard_scenarios, local_streams, delta_s))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ingest shard panicked")).collect()
+        });
 
-        let n_events: Vec<u64> = instances.iter().map(|inst| inst.events_ingested()).collect();
-        let n_queries: Vec<u64> = instances.iter().map(|inst| inst.ingest_stats().queries).collect();
-        let cases: Vec<LabeledCase> =
-            instances.into_iter().map(|inst| inst.close_case()).collect();
+        // Reassemble in instance-id order (shards own contiguous ranges,
+        // so flattening in shard order is the global order). The ingest
+        // wall clock is the slowest shard: shards run concurrently.
+        let events_total: u64 = shard_results.iter().map(|r| r.events).sum();
+        let ingest_wall_s = shard_results.iter().map(|r| r.merge_s).fold(0.0f64, f64::max);
+        let mut per_instance: Vec<(u64, u64)> = Vec::with_capacity(n);
+        let mut cases: Vec<LabeledCase> = Vec::with_capacity(n);
+        for r in shard_results {
+            per_instance.extend(r.stats);
+            cases.extend(r.cases);
+        }
 
         let t1 = Instant::now();
         let diagnoser = PinSql::new(self.cfg.pinsql.clone());
@@ -154,10 +213,17 @@ impl FleetEngine {
         });
         let diagnose_wall_s = t1.elapsed().as_secs_f64();
 
-        let outcomes: Vec<InstanceOutcome> = diagnosed
+        let mut diagnoses = Vec::with_capacity(diagnosed.len());
+        let mut diag_lat = Vec::with_capacity(diagnosed.len());
+        for (d, lat) in diagnosed {
+            diagnoses.push(d);
+            diag_lat.push(lat);
+        }
+
+        let outcomes: Vec<InstanceOutcome> = diagnoses
             .iter()
             .enumerate()
-            .map(|(i, (d, diag_s))| {
+            .map(|(i, d)| {
                 let lc = &cases[i];
                 let top = d.rsqls.first();
                 InstanceOutcome {
@@ -166,31 +232,89 @@ impl FleetEngine {
                     seed: scenarios[i].cfg.seed,
                     detected: lc.detected,
                     anomaly_type: lc.anomaly_type.clone(),
-                    n_events: n_events[i],
-                    n_queries: n_queries[i],
+                    n_events: per_instance[i].0,
+                    n_queries: per_instance[i].1,
                     case_seconds: lc.case.n_seconds(),
                     n_templates: lc.case.templates.len(),
                     n_reported: d.reported_rsqls.len(),
                     top_rsql: top.map(|r| r.label.clone()),
                     truth_hit: top.is_some_and(|r| lc.truth.rsqls.contains(&r.id)),
-                    diagnose_s: *diag_s,
+                    diagnose_s: diag_lat[i],
                 }
             })
             .collect();
 
         let lat_sum: f64 = outcomes.iter().map(|o| o.diagnose_s).sum();
         let lat_max = outcomes.iter().map(|o| o.diagnose_s).fold(0.0f64, f64::max);
-        FleetReport {
+        let report = FleetReport {
             n_instances: outcomes.len(),
+            shards,
             events_total,
             ingest_wall_s,
-            events_per_sec: if ingest_wall_s > 0.0 { events_total as f64 / ingest_wall_s } else { 0.0 },
+            events_per_sec: if ingest_wall_s > 0.0 {
+                events_total as f64 / ingest_wall_s
+            } else {
+                0.0
+            },
             diagnose_wall_s,
             diagnose_mean_s: lat_sum / outcomes.len() as f64,
             diagnose_max_s: lat_max,
             outcomes,
+        };
+        FleetRun { report, cases, diagnoses }
+    }
+}
+
+/// One shard's ingest stage: a private k-way merge over its slice's
+/// streams at chunk granularity, then in-shard case closing.
+fn run_shard<'a>(
+    scenarios: &'a [Scenario],
+    mut streams: Vec<Vec<TelemetryEvent>>,
+    delta_s: i64,
+) -> ShardResult {
+    debug_assert_eq!(scenarios.len(), streams.len());
+    let mut instances: Vec<OnlineInstance<'a>> =
+        scenarios.iter().map(|s| OnlineInstance::new(s, delta_s)).collect();
+
+    let t0 = Instant::now();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut events = 0u64;
+    loop {
+        // K-way merge head: earliest next event time, ties to the lowest
+        // instance index. K is small (a fleet slice), so a linear scan
+        // beats a heap's allocation churn.
+        let mut head: Option<(f64, usize)> = None;
+        for (j, stream) in streams.iter().enumerate() {
+            if let Some(ev) = stream.get(cursors[j]) {
+                let t = ev.time_ms();
+                if head.is_none_or(|(best, _)| t < best) {
+                    head = Some((t, j));
+                }
+            }
+        }
+        let Some((_, j)) = head else { break };
+        let stream = &mut streams[j];
+        let c = cursors[j];
+        // Merge at chunk granularity: a same-second query run moves as one
+        // unit through the amortized ingest path. Per-instance event order
+        // is untouched, so outcomes match the event-level merge exactly.
+        if let Some((second, len)) = query_run(stream, c) {
+            instances[j].ingest_queries(second, &stream[c..c + len]);
+            cursors[j] = c + len;
+            events += len as u64;
+        } else {
+            let ev = std::mem::replace(&mut stream[c], TelemetryEvent::Tick { second: i64::MIN });
+            instances[j].ingest(ev);
+            cursors[j] = c + 1;
+            events += 1;
         }
     }
+    let merge_s = t0.elapsed().as_secs_f64();
+
+    let stats =
+        instances.iter().map(|inst| (inst.events_ingested(), inst.ingest_stats().queries)).collect();
+    let cases = instances.into_iter().map(|inst| inst.close_case()).collect();
+    ShardResult { merge_s, events, stats, cases }
 }
 
 #[cfg(test)]
@@ -230,10 +354,12 @@ mod tests {
             delta_s: 180,
             pinsql: PinSqlConfig::default(),
             fanout: 2,
+            shards: 2,
         });
         let report = engine.run(&scenarios);
 
         assert_eq!(report.n_instances, 4);
+        assert_eq!(report.shards, 2);
         assert!(report.events_total > 0);
         assert_eq!(
             report.events_total,
@@ -253,28 +379,92 @@ mod tests {
     }
 
     #[test]
-    fn outcomes_are_independent_of_fanout() {
+    fn outcomes_are_independent_of_fanout_and_shards() {
         let scenarios = small_fleet(3);
-        let run = |fanout| {
+        let run = |fanout, shards| {
             FleetEngine::new(FleetConfig {
                 delta_s: 180,
                 pinsql: PinSqlConfig::default(),
                 fanout,
+                shards,
             })
             .run(&scenarios)
         };
-        let a = run(1);
-        let b = run(4);
-        assert_eq!(a.events_total, b.events_total);
-        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
-            assert_eq!(x.detected, y.detected);
-            assert_eq!(x.anomaly_type, y.anomaly_type);
-            assert_eq!(x.n_events, y.n_events);
-            assert_eq!(x.case_seconds, y.case_seconds);
-            assert_eq!(x.n_templates, y.n_templates);
-            assert_eq!(x.n_reported, y.n_reported);
-            assert_eq!(x.top_rsql, y.top_rsql);
-            assert_eq!(x.truth_hit, y.truth_hit);
+        let a = run(1, 1);
+        for (fanout, shards) in [(4, 1), (1, 2), (4, 3)] {
+            let b = run(fanout, shards);
+            assert_eq!(a.events_total, b.events_total);
+            for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                assert_eq!(x.detected, y.detected);
+                assert_eq!(x.anomaly_type, y.anomaly_type);
+                assert_eq!(x.n_events, y.n_events);
+                assert_eq!(x.n_queries, y.n_queries);
+                assert_eq!(x.case_seconds, y.case_seconds);
+                assert_eq!(x.n_templates, y.n_templates);
+                assert_eq!(x.n_reported, y.n_reported);
+                assert_eq!(x.top_rsql, y.top_rsql);
+                assert_eq!(x.truth_hit, y.truth_hit);
+            }
         }
+    }
+
+    /// The CI smoke for the scaling sweep: sharded runs must reproduce the
+    /// unsharded run's cases and diagnoses exactly, and the report must
+    /// serialize for `results/fleet_scaling.json`.
+    #[test]
+    fn scaling_smoke() {
+        let scenarios = small_fleet(4);
+        let run = |shards| {
+            FleetEngine::new(FleetConfig {
+                delta_s: 180,
+                pinsql: PinSqlConfig::default(),
+                fanout: 1,
+                shards,
+            })
+            .run_full(&scenarios)
+        };
+        let base = run(1);
+        for shards in [2usize, 4] {
+            let sharded = run(shards);
+            assert_eq!(sharded.report.shards, shards);
+            assert_eq!(sharded.cases.len(), base.cases.len());
+            for (i, (x, y)) in base.cases.iter().zip(&sharded.cases).enumerate() {
+                assert_eq!(x.window, y.window, "instance {i}");
+                assert_eq!(x.case.records, y.case.records, "instance {i}");
+                assert_eq!(x.truth.rsqls, y.truth.rsqls, "instance {i}");
+            }
+            for (i, (x, y)) in base.diagnoses.iter().zip(&sharded.diagnoses).enumerate() {
+                assert_eq!(x.rsqls, y.rsqls, "instance {i}");
+                assert_eq!(x.hsqls, y.hsqls, "instance {i}");
+                assert_eq!(x.reported_rsqls, y.reported_rsqls, "instance {i}");
+            }
+        }
+        let json = serde_json::to_string(&base.report).unwrap();
+        assert!(!json.is_empty() && json.contains("\"shards\":1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be >= 1")]
+    fn zero_shards_is_rejected() {
+        let _ = FleetEngine::new(FleetConfig {
+            delta_s: 180,
+            pinsql: PinSqlConfig::default(),
+            fanout: 1,
+            shards: 0,
+        });
+    }
+
+    #[test]
+    fn oversized_shard_count_is_clamped() {
+        let scenarios = small_fleet(2);
+        let report = FleetEngine::new(FleetConfig {
+            delta_s: 180,
+            pinsql: PinSqlConfig::default(),
+            fanout: 1,
+            shards: 16,
+        })
+        .run(&scenarios);
+        assert_eq!(report.shards, 2, "shards clamp to the fleet size");
+        assert_eq!(report.n_instances, 2);
     }
 }

@@ -9,11 +9,19 @@
 //! the batch path uses, over a `CaseData` snapshot that is bit-identical
 //! to batch aggregation — which is what makes [`replay_diagnose`]
 //! reproduce batch diagnoses exactly.
+//!
+//! The pipeline borrows its [`Scenario`] (instances are cheap views over
+//! fleet-owned scenarios; nothing is cloned per instance) and consumes
+//! events by value — a record travels from the stream into the collector's
+//! ring without a single intermediate clone. Time-ordered streams should
+//! arrive through [`OnlineInstance::ingest_stream`], which chunks
+//! same-second query runs through the collector's amortized hot path.
 
 use pinsql::{Diagnosis, PinSql, PinSqlConfig};
 use pinsql_collector::{HistoryStore, IncrementalAggregator, IncrementalConfig, IngestStats};
-use pinsql_detect::{classify, OnlineDetectorBank, PhenomenonConfig};
+use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
+use pinsql_detect::{classify, OnlineDetectorBank, PhenomenonConfig};
 use pinsql_scenario::materialize::MINUTES_ORIGIN;
 use pinsql_scenario::{
     case_history, label_truth, materialize_events, select_case_window, LabeledCase, Scenario,
@@ -22,15 +30,15 @@ use pinsql_scenario::{
 /// One instance's online pipeline: incremental aggregation + streaming
 /// detection, closed into a labelled case on demand.
 #[derive(Debug, Clone)]
-pub struct OnlineInstance {
-    scenario: Scenario,
+pub struct OnlineInstance<'a> {
+    scenario: &'a Scenario,
     delta_s: i64,
     aggregator: IncrementalAggregator,
     bank: OnlineDetectorBank,
     events: u64,
 }
 
-impl OnlineInstance {
+impl<'a> OnlineInstance<'a> {
     /// Creates the pipeline for one simulated instance.
     ///
     /// `delta_s` is the collection look-back diagnosis will use. The
@@ -38,7 +46,7 @@ impl OnlineInstance {
     /// window so any case window the detectors select is still resident —
     /// a real deployment would size it to `δ_s` plus the maximum anomaly
     /// duration instead.
-    pub fn new(scenario: Scenario, delta_s: i64) -> Self {
+    pub fn new(scenario: &'a Scenario, delta_s: i64) -> Self {
         let retention = scenario.cfg.window_s + 120;
         let aggregator = IncrementalAggregator::new(
             &scenario.workload.specs,
@@ -49,11 +57,37 @@ impl OnlineInstance {
 
     /// Folds one telemetry event into the pipeline: every event reaches
     /// the aggregator; metric samples additionally drive the detectors.
-    pub fn ingest(&mut self, ev: &TelemetryEvent) {
+    pub fn ingest(&mut self, ev: TelemetryEvent) {
         self.events += 1;
-        self.aggregator.ingest(ev);
-        if let TelemetryEvent::Metrics(sample) = ev {
+        if let TelemetryEvent::Metrics(sample) = &ev {
             self.bank.observe(sample);
+        }
+        self.aggregator.ingest(ev);
+    }
+
+    /// Folds a run of query events sharing one attribution second through
+    /// the collector's chunked hot path (see
+    /// [`IncrementalAggregator::ingest_query_run`]).
+    pub fn ingest_queries(&mut self, second: i64, events: &[TelemetryEvent]) {
+        self.events += events.len() as u64;
+        self.aggregator.ingest_query_run(second, events);
+    }
+
+    /// Consumes a stretch of a time-ordered stream, chunking same-second
+    /// query runs and moving every event in by value. Equivalent to
+    /// calling [`ingest`](Self::ingest) per event, bit for bit.
+    pub fn ingest_stream(&mut self, mut events: Vec<TelemetryEvent>) {
+        let mut i = 0;
+        while i < events.len() {
+            if let Some((second, len)) = query_run(&events, i) {
+                self.ingest_queries(second, &events[i..i + len]);
+                i += len;
+            } else {
+                let ev =
+                    std::mem::replace(&mut events[i], TelemetryEvent::Tick { second: i64::MIN });
+                self.ingest(ev);
+                i += 1;
+            }
         }
     }
 
@@ -88,7 +122,7 @@ impl OnlineInstance {
 
     /// The scenario this instance replays.
     pub fn scenario(&self) -> &Scenario {
-        &self.scenario
+        self.scenario
     }
 
     /// Closes the anomaly case: flushes the detectors, classifies
@@ -100,10 +134,10 @@ impl OnlineInstance {
         let features = self.bank.features();
         let phenomena = classify(&features, &PhenomenonConfig::default());
         let (window, detected, anomaly_type) =
-            select_case_window(&phenomena, &self.scenario, self.delta_s);
+            select_case_window(&phenomena, self.scenario, self.delta_s);
         let case = self.aggregator.snapshot(window.ts(), window.te());
-        let truth = label_truth(&self.scenario, &case, &window);
-        let history = case_history(&self.scenario, &window);
+        let truth = label_truth(self.scenario, &case, &window);
+        let history = case_history(self.scenario, &window);
         LabeledCase {
             case,
             window,
@@ -131,10 +165,8 @@ pub fn replay_diagnose(
     cfg: &PinSqlConfig,
 ) -> (LabeledCase, Diagnosis) {
     let events = materialize_events(scenario, None);
-    let mut inst = OnlineInstance::new(scenario.clone(), delta_s);
-    for ev in &events {
-        inst.ingest(ev);
-    }
+    let mut inst = OnlineInstance::new(scenario, delta_s);
+    inst.ingest_stream(events);
     let lc = inst.close_case();
     let d = PinSql::new(cfg.clone()).diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
     (lc, d)
@@ -202,16 +234,39 @@ mod tests {
     }
 
     #[test]
+    fn chunked_stream_matches_per_event_ingest() {
+        let cfg = ScenarioConfig::default().with_seed(11).with_businesses(6);
+        let base = generate_base(&cfg);
+        let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+        let events = materialize_events(&scenario, None);
+
+        let mut scalar = OnlineInstance::new(&scenario, 300);
+        for ev in events.clone() {
+            scalar.ingest(ev);
+        }
+        let mut chunked = OnlineInstance::new(&scenario, 300);
+        chunked.ingest_stream(events);
+
+        assert_eq!(scalar.events_ingested(), chunked.events_ingested());
+        let s = scalar.ingest_stats();
+        let c = chunked.ingest_stats();
+        assert_eq!(s.events, c.events);
+        assert_eq!(s.queries, c.queries);
+        assert_eq!(s.malformed, c.malformed);
+        assert_eq!(s.late, c.late);
+        assert_case_eq(&scalar.close_case(), &chunked.close_case());
+    }
+
+    #[test]
     fn instance_tracks_stream_state() {
         let cfg = ScenarioConfig::default().with_seed(7).with_businesses(6);
         let base = generate_base(&cfg);
         let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
         let events = materialize_events(&scenario, None);
-        let mut inst = OnlineInstance::new(scenario.clone(), 300);
-        for ev in &events {
-            inst.ingest(ev);
-        }
-        assert_eq!(inst.events_ingested(), events.len() as u64);
+        let n_events = events.len() as u64;
+        let mut inst = OnlineInstance::new(&scenario, 300);
+        inst.ingest_stream(events);
+        assert_eq!(inst.events_ingested(), n_events);
         assert!(inst.watermark() >= scenario.cfg.window_s, "final tick advances the clock");
         assert!(inst.ingest_stats().queries > 0);
         assert!(!inst.online_history().is_empty(), "in-line history fed from the stream");

@@ -12,10 +12,12 @@
 //!   history) and the online detector bank; when the case closes, the
 //!   window is selected, a batch-bit-identical `CaseData` snapshot is cut,
 //!   and the case is labelled.
-//! * [`fleet`] — [`FleetEngine`]: multiplexes N instances' event streams
-//!   through one time-ordered loop and fans diagnosis out across instances
+//! * [`fleet`] — [`FleetEngine`]: shards N instances' event streams across
+//!   scoped ingestion workers (each a private time-ordered k-way merge over
+//!   a disjoint slice of instances) and fans diagnosis out across instances
 //!   with the deterministic `par_map` primitive, reporting sustained
-//!   ingest throughput and per-case diagnosis latency.
+//!   ingest throughput and per-case diagnosis latency. Outcomes are
+//!   bit-identical at every shard/fan-out count.
 //!
 //! ## Replay equivalence (the non-negotiable invariant)
 //!
@@ -27,5 +29,5 @@
 pub mod fleet;
 pub mod instance;
 
-pub use fleet::{FleetConfig, FleetEngine, FleetReport, InstanceOutcome};
+pub use fleet::{FleetConfig, FleetEngine, FleetReport, FleetRun, InstanceOutcome};
 pub use instance::{replay_diagnose, OnlineInstance};

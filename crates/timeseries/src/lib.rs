@@ -27,6 +27,9 @@
 //!   Pearson degrades to a dot product.
 //! * [`par`] — deterministic scoped-thread fan-out ([`par_map`]) used to
 //!   parallelize the embarrassingly parallel diagnosis loops.
+//! * [`fxhash`] — a seedless multiply-rotate hasher ([`FxHashMap`] /
+//!   [`FxHashSet`]) for the internal integer-keyed maps on ingest hot
+//!   paths, where SipHash's DoS resistance buys nothing.
 //! * [`resample`] — aggregation between the 1-second and 1-minute
 //!   granularities the collector maintains (§IV-A).
 //!
@@ -35,6 +38,7 @@
 //! callers can pre-normalize once and reuse buffers.
 
 pub mod changepoint;
+pub mod fxhash;
 pub mod graph;
 pub mod matrix;
 pub mod outlier;
@@ -46,6 +50,7 @@ pub mod stats;
 pub mod weights;
 
 pub use changepoint::{has_change_point, pettitt, Pettitt};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::{
     connected_components, connected_components_par, CorrelationGraph, UnionFind,
 };

@@ -68,7 +68,7 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    let out = agg.finish();
+    let mut out = agg.finish();
     let stats = out.stats();
     println!(
         "streaming aggregation folded {} events ({} queries) into {} retained seconds",

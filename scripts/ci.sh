@@ -11,5 +11,8 @@ cargo test -q -p pinsql-eval robustness_smoke
 # Fast fail on the fleet engine: a 4-instance multiplexed ingest +
 # diagnosis round-trip through the online path.
 cargo test -q -p pinsql-engine fleet_smoke
+# Fast fail on sharded ingestion: shards 1/2/4 over the same small fleet
+# must close bit-identical cases and diagnoses.
+cargo test -q -p pinsql-engine scaling_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings
