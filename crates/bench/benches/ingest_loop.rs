@@ -13,9 +13,16 @@
 //! All three produce bit-identical aggregator state (pinned by unit and
 //! property tests); only the cost differs. Streams are cloned per
 //! iteration (`iter_batched`) because ingestion consumes events by value.
+//!
+//! A second group compares the full `OnlineInstance` pipeline with
+//! observability disabled (`NoopObserver`, the default — instrumentation
+//! must compile to nothing; `obs_smoke` asserts the factor) and enabled
+//! (`RecordingObserver` — the price of per-event span recording).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use pinsql_collector::{CellStoreKind, IncrementalAggregator, IncrementalConfig};
+use pinsql_engine::OnlineInstance;
+use pinsql_obs::{Observer, RecordingObserver};
 use pinsql_scenario::{generate_base, inject, materialize_events, AnomalyKind, ScenarioConfig};
 
 fn bench_ingest(c: &mut Criterion) {
@@ -72,5 +79,42 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest);
+fn bench_observed_instance(c: &mut Criterion) {
+    let cfg = ScenarioConfig::default().with_seed(77).with_businesses(8).with_window(300, 180, 240);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+    let events = materialize_events(&scenario, None);
+
+    let mut group = c.benchmark_group("instance_ingest");
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    group.bench_function("noop_observer", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |evs| {
+                let mut inst = OnlineInstance::new(&scenario, 180);
+                inst.ingest_stream(evs);
+                inst.events_ingested()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("recording_observer", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |evs| {
+                let obs = RecordingObserver::new();
+                let mut inst = OnlineInstance::with_observer(&scenario, 180, obs.fork("bench"));
+                inst.ingest_stream(evs);
+                inst.events_ingested()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_observed_instance);
 criterion_main!(benches);

@@ -20,9 +20,17 @@
 //!   throughput and its speedup over the 1-shard run of the same fleet.
 //!   Outcomes are bit-identical across shard counts (pinned by the
 //!   `shard_equivalence` suite), so the sweep reports timing only.
+//!
+//! A final **traced run** repeats the largest fleet under a
+//! `RecordingObserver` and exports the per-stage timeline as
+//! `results/trace_fleet.json` (chrome://tracing / Perfetto format) plus
+//! flat per-stage histograms, counters, and the fleet health roll-up as
+//! `results/fleet_metrics.json`.
 
 use pinsql::PinSqlConfig;
 use pinsql_engine::{FleetConfig, FleetEngine, FleetReport};
+use pinsql_obs::export::{chrome_trace, metrics_export, MetricsExport};
+use pinsql_obs::{FleetHealth, RecordingObserver, Stage};
 use pinsql_scenario::{generate_base, inject, inject_none, AnomalyKind, Scenario, ScenarioConfig};
 use serde::Serialize;
 
@@ -58,6 +66,19 @@ struct ScalingCell {
     speedup_vs_1shard: f64,
     diagnose_mean_s: f64,
     diagnose_max_s: f64,
+}
+
+/// `results/fleet_metrics.json`: the traced run's flat metrics view.
+#[derive(Serialize)]
+struct FleetMetrics {
+    instances: usize,
+    businesses: usize,
+    shards: usize,
+    fanout: usize,
+    /// Per-stage latency histograms, counters, and gauges.
+    metrics: MetricsExport,
+    /// Per-instance health snapshots plus fleet totals.
+    health: FleetHealth,
 }
 
 #[derive(Serialize)]
@@ -214,4 +235,59 @@ fn main() {
         cells: scaling_cells,
     };
     write_json("results/fleet_scaling.json", &scaling);
+
+    // Traced run: the largest fleet once more, recording. The diagnosis
+    // outputs are identical to the untraced runs (obs_equivalence pins
+    // this); what this adds is the cross-thread stage timeline.
+    let n = *instance_counts.last().unwrap_or(&2);
+    let shards = *shard_counts.last().unwrap_or(&1);
+    let scen = scenarios(n, businesses, seed);
+    let obs = RecordingObserver::new();
+    let run = FleetEngine::new(FleetConfig {
+        delta_s: DELTA_S,
+        pinsql: PinSqlConfig::default(),
+        fanout,
+        shards,
+    })
+    .run_full_observed(&scen, &obs);
+
+    let registry = obs.registry();
+    println!();
+    println!("traced run: {n} instances, {shards} shards");
+    println!("{:>17} {:>9} {:>12} {:>12} {:>12}", "stage", "spans", "mean us", "p99 us", "max us");
+    for stage in Stage::ALL {
+        let h = registry.span_hist(stage);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:>17} {:>9} {:>12.1} {:>12.1} {:>12.1}",
+            stage.name(),
+            h.count(),
+            h.mean_ns() / 1000.0,
+            h.quantile_upper_ns(0.99) as f64 / 1000.0,
+            h.max_ns() as f64 / 1000.0,
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all("results")
+        .map_err(|e| e.to_string())
+        .and_then(|_| {
+            std::fs::write("results/trace_fleet.json", chrome_trace(&registry, &obs.lanes()))
+                .map_err(|e| e.to_string())
+        })
+    {
+        eprintln!("failed to write results/trace_fleet.json: {e}");
+    } else {
+        eprintln!("wrote results/trace_fleet.json (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    let metrics = FleetMetrics {
+        instances: n,
+        businesses,
+        shards,
+        fanout,
+        metrics: metrics_export(&registry),
+        health: run.health,
+    };
+    write_json("results/fleet_metrics.json", &metrics);
 }

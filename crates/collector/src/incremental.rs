@@ -104,7 +104,7 @@ impl IncrementalConfig {
 }
 
 /// Ingestion counters (observability for the fleet engine).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IngestStats {
     /// Total events ingested (all variants).
     pub events: u64,
@@ -114,6 +114,16 @@ pub struct IngestStats {
     pub malformed: u64,
     /// Events older than the retention horizon, dropped on arrival.
     pub late: u64,
+    /// Per-second cell rows materialized in the ring since birth (a
+    /// monotone fold counter; resident rows are `cell_seconds`).
+    #[serde(default)]
+    pub cells: u64,
+    /// Cells, records, and metric samples evicted by retention.
+    #[serde(default)]
+    pub evictions: u64,
+    /// Complete minutes folded into the in-line history feed.
+    #[serde(default)]
+    pub history_minutes: u64,
 }
 
 /// The incremental, bounded-state aggregation engine.
@@ -470,18 +480,21 @@ impl IncrementalAggregator {
         if self.cells.is_empty() {
             self.cells_start = second;
             self.cells.push_back();
+            self.stats.cells += 1;
         } else if second < self.cells_start {
             // Out-of-order record older than the ring's start but inside
             // the retention horizon: prepend rows (rare; channel drivers
             // with racing producers).
             for _ in 0..(self.cells_start - second) {
                 self.cells.push_front();
+                self.stats.cells += 1;
             }
             self.cells_start = second;
         } else {
             let idx = (second - self.cells_start) as usize;
             while self.cells.len() <= idx {
                 self.cells.push_back();
+                self.stats.cells += 1;
             }
         }
         (second - self.cells_start) as usize
@@ -499,6 +512,7 @@ impl IncrementalAggregator {
         while (next + 1) * 60 <= self.watermark {
             let minute = next;
             next += 1;
+            self.stats.history_minutes += 1;
             self.minute_counts.clear();
             self.minute_counts.resize(self.catalog.n_slots(), 0.0);
             let counts = &mut self.minute_counts;
@@ -531,6 +545,7 @@ impl IncrementalAggregator {
         while !self.cells.is_empty() && self.cells_start < horizon {
             self.cells.pop_front();
             self.cells_start += 1;
+            self.stats.evictions += 1;
         }
         if self.cells.is_empty() {
             self.cells_start = self.cells_start.max(horizon);
@@ -538,11 +553,13 @@ impl IncrementalAggregator {
         while !self.metrics.is_empty() && self.metrics_start < horizon {
             self.metrics.pop_front();
             self.metrics_start += 1;
+            self.stats.evictions += 1;
         }
         let horizon_ms = horizon as f64 * 1000.0;
         while let Some(front) = self.records.front() {
             if front.start_ms < horizon_ms {
                 self.records.pop_front();
+                self.stats.evictions += 1;
             } else {
                 break;
             }
@@ -758,6 +775,58 @@ mod tests {
         // Closing the third minute folds it.
         agg.advance_watermark(180);
         assert_eq!(agg.history().window_filled(id, origin + 2, origin + 3), vec![60.0]);
+    }
+
+    #[test]
+    fn fold_and_eviction_counters_track_state() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let retention = 120;
+        let mut agg = IncrementalAggregator::new(
+            &specs,
+            IncrementalConfig::default().with_retention(retention),
+        );
+        for s in 0..300i64 {
+            agg.ingest_query(rec(0, s as f64 * 1000.0, 1.0, 0));
+            agg.advance_watermark(s + 1);
+        }
+        let stats = agg.stats();
+        // One cell row per second, monotone even though only `retention`
+        // rows stay resident.
+        assert_eq!(stats.cells, 300);
+        assert!(agg.cell_seconds() <= retention as usize + 1);
+        // Evictions cover the cells and records pushed past the horizon.
+        assert!(stats.evictions > 0);
+        assert_eq!(
+            stats.evictions,
+            (300 - agg.cell_seconds() as u64) + (300 - agg.record_count() as u64)
+        );
+        // 300 s = 5 minutes; the last one is complete at watermark 300.
+        assert_eq!(stats.history_minutes, 5);
+    }
+
+    #[test]
+    fn chunked_ingest_matches_scalar_fold_counters() {
+        let specs =
+            vec![spec("SELECT * FROM a WHERE x = 1"), spec("SELECT * FROM b WHERE x = 1")];
+        let mut log = Vec::new();
+        for i in 0..200 {
+            let s = (i * 31) % 70;
+            log.push(rec(i % 2, s as f64 * 1000.0 + (i % 13) as f64 * 71.3, 2.0, 1));
+        }
+        let metrics = flat_metrics(0, 70);
+        let events = interleave(&log, &metrics);
+        let mut scalar = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for ev in events.clone() {
+            scalar.ingest(ev);
+        }
+        let mut chunked = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        let mut buf = events;
+        chunked.ingest_drain(&mut buf);
+        let s = scalar.stats();
+        let c = chunked.stats();
+        assert_eq!(s.cells, c.cells, "rows created, not calls, are counted");
+        assert_eq!(s.evictions, c.evictions);
+        assert_eq!(s.history_minutes, c.history_minutes);
     }
 
     #[test]

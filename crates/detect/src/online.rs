@@ -265,6 +265,18 @@ impl OnlineDetectorBank {
         self.detectors.iter().any(|d| d.in_segment())
     }
 
+    /// Number of metric detectors currently inside an anomalous segment
+    /// (0 ..= [`WATCHED_METRICS`] count).
+    pub fn open_segments(&self) -> usize {
+        self.detectors.iter().filter(|d| d.in_segment()).count()
+    }
+
+    /// Samples each detector has consumed (all six advance in lockstep;
+    /// 0 before the first sample).
+    pub fn samples_seen(&self) -> usize {
+        self.detectors.first().map_or(0, OnlineFeatureDetector::samples_seen)
+    }
+
     /// All features so far, grouped by metric in [`WATCHED_METRICS`] order
     /// and time-ordered within each metric — the exact list the batch
     /// detection loop hands to `classify`.
@@ -312,6 +324,30 @@ mod tests {
         assert_matches_batch(&flat(200, 10.0), 0, &cfg());
         assert_matches_batch(&flat(5, 10.0), 0, &cfg());
         assert_matches_batch(&[], 0, &cfg());
+    }
+
+    #[test]
+    fn bank_health_accessors_track_stream_state() {
+        let mut bank = OnlineDetectorBank::new();
+        assert_eq!(bank.samples_seen(), 0);
+        assert_eq!(bank.open_segments(), 0);
+        // A quiet warm-up then a sustained active-session surge: at least
+        // that metric's detector must be inside a segment mid-surge.
+        for s in 0..120i64 {
+            let surge = s >= 80;
+            bank.observe(&MetricsSample {
+                second: s,
+                active_session: if surge { 400.0 } else { 2.0 + (s % 3) as f64 * 0.2 },
+                ..Default::default()
+            });
+        }
+        assert_eq!(bank.samples_seen(), 120, "all detectors advance in lockstep");
+        assert!(bank.open_segments() >= 1, "surge opens a segment");
+        assert!(bank.any_open());
+        assert!(bank.open_segments() <= WATCHED_METRICS.len());
+        bank.finish();
+        assert_eq!(bank.open_segments(), 0, "finish flushes open segments");
+        assert!(bank.feature_count() >= 1);
     }
 
     #[test]

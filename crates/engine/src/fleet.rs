@@ -34,6 +34,7 @@ use crate::instance::OnlineInstance;
 use pinsql::{Diagnosis, PinSql, PinSqlConfig};
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
+use pinsql_obs::{FleetHealth, HealthSnapshot, NoopObserver, Observer, Stage};
 use pinsql_scenario::{materialize_events, LabeledCase, Scenario};
 use pinsql_timeseries::par::par_map;
 use serde::Serialize;
@@ -118,6 +119,9 @@ pub struct FleetRun {
     pub cases: Vec<LabeledCase>,
     /// Diagnoses, aligned with `cases`.
     pub diagnoses: Vec<Diagnosis>,
+    /// Fleet health roll-up: one snapshot per instance (taken right before
+    /// its case closed), in instance-id order, plus exact totals.
+    pub health: FleetHealth,
 }
 
 /// One ingestion shard's output: per-instance counters and closed cases
@@ -128,6 +132,8 @@ struct ShardResult {
     /// `(events_ingested, queries)` per instance, slice order.
     stats: Vec<(u64, u64)>,
     cases: Vec<LabeledCase>,
+    /// Health snapshot per instance, slice order (taken at case close).
+    health: Vec<HealthSnapshot>,
 }
 
 /// The fleet orchestrator. See the module docs for the three stages.
@@ -160,6 +166,15 @@ impl FleetEngine {
     /// [`run`](Self::run), additionally returning the closed cases and
     /// diagnoses in instance-id order.
     pub fn run_full(&self, scenarios: &[Scenario]) -> FleetRun {
+        self.run_full_observed(scenarios, &NoopObserver)
+    }
+
+    /// [`run_full`](Self::run_full) under an explicit observer: each
+    /// ingest shard records on its own forked lane (`shard{s}`), each
+    /// diagnosis on a `diag{i}` lane, so the exported trace shows the real
+    /// cross-thread timeline. Cases, diagnoses, and health are
+    /// byte-identical whatever `O` is (pinned by `obs_equivalence`).
+    pub fn run_full_observed<O: Observer>(&self, scenarios: &[Scenario], obs: &O) -> FleetRun {
         assert!(!scenarios.is_empty(), "fleet run needs at least one scenario");
         assert!(self.cfg.shards >= 1, "FleetConfig.shards must be >= 1");
         let n = scenarios.len();
@@ -185,7 +200,10 @@ impl FleetEngine {
                 .enumerate()
                 .map(|(s, local_streams)| {
                     let shard_scenarios = &scenarios[bounds[s]..bounds[s + 1]];
-                    scope.spawn(move || run_shard(shard_scenarios, local_streams, delta_s))
+                    let shard_obs = obs.fork(&format!("shard{s}"));
+                    scope.spawn(move || {
+                        run_shard(shard_scenarios, local_streams, delta_s, shard_obs)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("ingest shard panicked")).collect()
@@ -198,9 +216,11 @@ impl FleetEngine {
         let ingest_wall_s = shard_results.iter().map(|r| r.merge_s).fold(0.0f64, f64::max);
         let mut per_instance: Vec<(u64, u64)> = Vec::with_capacity(n);
         let mut cases: Vec<LabeledCase> = Vec::with_capacity(n);
+        let mut health: Vec<HealthSnapshot> = Vec::with_capacity(n);
         for r in shard_results {
             per_instance.extend(r.stats);
             cases.extend(r.cases);
+            health.extend(r.health);
         }
 
         let t1 = Instant::now();
@@ -208,7 +228,18 @@ impl FleetEngine {
         let diagnosed = par_map(cases.len(), self.cfg.fanout, |i| {
             let lc = &cases[i];
             let t = Instant::now();
-            let d = diagnoser.diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
+            let d = if O::ENABLED {
+                let lane = obs.fork(&format!("diag{i}"));
+                diagnoser.diagnose_observed(
+                    &lc.case,
+                    &lc.window,
+                    &lc.history,
+                    lc.minutes_origin,
+                    &lane,
+                )
+            } else {
+                diagnoser.diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin)
+            };
             (d, t.elapsed().as_secs_f64())
         });
         let diagnose_wall_s = t1.elapsed().as_secs_f64();
@@ -261,21 +292,23 @@ impl FleetEngine {
             diagnose_max_s: lat_max,
             outcomes,
         };
-        FleetRun { report, cases, diagnoses }
+        FleetRun { report, cases, diagnoses, health: FleetHealth::from_instances(health) }
     }
 }
 
 /// One shard's ingest stage: a private k-way merge over its slice's
 /// streams at chunk granularity, then in-shard case closing.
-fn run_shard<'a>(
+fn run_shard<'a, O: Observer>(
     scenarios: &'a [Scenario],
     mut streams: Vec<Vec<TelemetryEvent>>,
     delta_s: i64,
+    obs: O,
 ) -> ShardResult {
     debug_assert_eq!(scenarios.len(), streams.len());
-    let mut instances: Vec<OnlineInstance<'a>> =
-        scenarios.iter().map(|s| OnlineInstance::new(s, delta_s)).collect();
+    let mut instances: Vec<OnlineInstance<'a, O>> =
+        scenarios.iter().map(|s| OnlineInstance::with_observer(s, delta_s, obs.clone())).collect();
 
+    let merge_n0 = if O::ENABLED { obs.now_ns() } else { 0 };
     let t0 = Instant::now();
     let mut cursors = vec![0usize; streams.len()];
     let mut events = 0u64;
@@ -310,11 +343,15 @@ fn run_shard<'a>(
         }
     }
     let merge_s = t0.elapsed().as_secs_f64();
+    if O::ENABLED {
+        obs.span(Stage::IngestMerge, merge_n0, obs.now_ns());
+    }
 
     let stats =
         instances.iter().map(|inst| (inst.events_ingested(), inst.ingest_stats().queries)).collect();
+    let health = instances.iter().map(OnlineInstance::health_snapshot).collect();
     let cases = instances.into_iter().map(|inst| inst.close_case()).collect();
-    ShardResult { merge_s, events, stats, cases }
+    ShardResult { merge_s, events, stats, cases, health }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use pinsql_collector::{HistoryStore, IncrementalAggregator, IncrementalConfig, I
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
 use pinsql_detect::{classify, OnlineDetectorBank, PhenomenonConfig};
+use pinsql_obs::{Counter, Gauge, HealthSnapshot, NoopObserver, Observer, Stage};
 use pinsql_scenario::materialize::MINUTES_ORIGIN;
 use pinsql_scenario::{
     case_history, label_truth, materialize_events, select_case_window, LabeledCase, Scenario,
@@ -29,13 +30,24 @@ use pinsql_scenario::{
 
 /// One instance's online pipeline: incremental aggregation + streaming
 /// detection, closed into a labelled case on demand.
+///
+/// The pipeline is generic over an [`Observer`]; the default
+/// [`NoopObserver`] compiles every instrumentation site to nothing, so
+/// existing call sites pay no cost (the `obs_smoke` overhead guard and
+/// `obs_equivalence` byte-identity suite pin this).
 #[derive(Debug, Clone)]
-pub struct OnlineInstance<'a> {
+pub struct OnlineInstance<'a, O: Observer = NoopObserver> {
     scenario: &'a Scenario,
     delta_s: i64,
     aggregator: IncrementalAggregator,
     bank: OnlineDetectorBank,
     events: u64,
+    obs: O,
+    /// Whether the detector bank was inside an open segment at the last
+    /// metric sample — edges of this flag count case opens/closes.
+    seg_open: bool,
+    cases_opened: u64,
+    cases_closed: u64,
 }
 
 impl<'a> OnlineInstance<'a> {
@@ -47,12 +59,30 @@ impl<'a> OnlineInstance<'a> {
     /// a real deployment would size it to `δ_s` plus the maximum anomaly
     /// duration instead.
     pub fn new(scenario: &'a Scenario, delta_s: i64) -> Self {
+        Self::with_observer(scenario, delta_s, NoopObserver)
+    }
+}
+
+impl<'a, O: Observer> OnlineInstance<'a, O> {
+    /// [`new`](OnlineInstance::new) with an explicit observer handle
+    /// (usually a forked lane of a `RecordingObserver`).
+    pub fn with_observer(scenario: &'a Scenario, delta_s: i64, obs: O) -> Self {
         let retention = scenario.cfg.window_s + 120;
         let aggregator = IncrementalAggregator::new(
             &scenario.workload.specs,
             IncrementalConfig::default().with_retention(retention),
         );
-        Self { scenario, delta_s, aggregator, bank: OnlineDetectorBank::new(), events: 0 }
+        Self {
+            scenario,
+            delta_s,
+            aggregator,
+            bank: OnlineDetectorBank::new(),
+            events: 0,
+            obs,
+            seg_open: false,
+            cases_opened: 0,
+            cases_closed: 0,
+        }
     }
 
     /// Folds one telemetry event into the pipeline: every event reaches
@@ -60,9 +90,28 @@ impl<'a> OnlineInstance<'a> {
     pub fn ingest(&mut self, ev: TelemetryEvent) {
         self.events += 1;
         if let TelemetryEvent::Metrics(sample) = &ev {
+            let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
             self.bank.observe(sample);
+            if O::ENABLED {
+                self.obs.span(Stage::DetectorStep, n0, self.obs.now_ns());
+            }
+            // Segment edges arrive at metric cadence (~1/s), so this check
+            // is off the per-query hot path.
+            let open = self.bank.any_open();
+            if open != self.seg_open {
+                if open {
+                    self.cases_opened += 1;
+                } else {
+                    self.cases_closed += 1;
+                }
+                self.seg_open = open;
+            }
         }
+        let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
         self.aggregator.ingest(ev);
+        if O::ENABLED {
+            self.obs.span(Stage::CellFold, n0, self.obs.now_ns());
+        }
     }
 
     /// Folds a run of query events sharing one attribution second through
@@ -70,7 +119,11 @@ impl<'a> OnlineInstance<'a> {
     /// [`IncrementalAggregator::ingest_query_run`]).
     pub fn ingest_queries(&mut self, second: i64, events: &[TelemetryEvent]) {
         self.events += events.len() as u64;
+        let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
         self.aggregator.ingest_query_run(second, events);
+        if O::ENABLED {
+            self.obs.span(Stage::CellFold, n0, self.obs.now_ns());
+        }
     }
 
     /// Consumes a stretch of a time-ordered stream, chunking same-second
@@ -125,17 +178,69 @@ impl<'a> OnlineInstance<'a> {
         self.scenario
     }
 
+    /// A point-in-time read of the pipeline's counters and queue depths.
+    /// Cheap (no scans over retained data, no detector flush) and safe to
+    /// take mid-ingest — the `obs_health` suite pins its invariants under
+    /// chaos-perturbed telemetry.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let stats = self.aggregator.stats();
+        HealthSnapshot {
+            events_ingested: self.events,
+            queries_ingested: stats.queries,
+            malformed_dropped: stats.malformed,
+            late_dropped: stats.late,
+            cells_folded: stats.cells,
+            retention_evictions: stats.evictions,
+            history_minutes: stats.history_minutes,
+            cell_seconds: self.aggregator.cell_seconds(),
+            records_resident: self.aggregator.record_count(),
+            metric_seconds: self.aggregator.metric_seconds(),
+            templates_tracked: self.aggregator.catalog().len(),
+            watermark: self.aggregator.watermark(),
+            detector_samples: self.bank.samples_seen(),
+            open_segments: self.bank.open_segments(),
+            features_closed: self.bank.feature_count(),
+            cases_opened: self.cases_opened,
+            anomaly_open: self.bank.any_open(),
+        }
+    }
+
     /// Closes the anomaly case: flushes the detectors, classifies
     /// phenomena, selects the case window, cuts the batch-bit-identical
     /// snapshot, and labels ground truth — the exact sequence (and code)
     /// of the batch labelling path.
     pub fn close_case(mut self) -> LabeledCase {
+        if O::ENABLED {
+            // Lifetime counters roll up once, at close; the live state is
+            // always readable through `health_snapshot` instead.
+            let stats = self.aggregator.stats();
+            self.obs.add(Counter::EventsIngested, self.events);
+            self.obs.add(Counter::QueriesIngested, stats.queries);
+            self.obs.add(Counter::MalformedDropped, stats.malformed);
+            self.obs.add(Counter::LateDropped, stats.late);
+            self.obs.add(Counter::CellsFolded, stats.cells);
+            self.obs.add(Counter::RetentionEvictions, stats.evictions);
+            self.obs.add(Counter::HistoryMinutes, stats.history_minutes);
+            self.obs.add(Counter::CasesOpened, self.cases_opened);
+            self.obs.add(Counter::CasesClosed, self.cases_closed);
+            self.obs.gauge(Gauge::CellSeconds, self.aggregator.cell_seconds() as u64);
+            self.obs.gauge(Gauge::RecordsResident, self.aggregator.record_count() as u64);
+            self.obs.gauge(Gauge::MetricSeconds, self.aggregator.metric_seconds() as u64);
+            self.obs.gauge(Gauge::TemplatesTracked, self.aggregator.catalog().len() as u64);
+        }
+        let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
         self.bank.finish();
         let features = self.bank.features();
+        if O::ENABLED {
+            self.obs.add(Counter::FeaturesClosed, features.len() as u64);
+        }
         let phenomena = classify(&features, &PhenomenonConfig::default());
         let (window, detected, anomaly_type) =
             select_case_window(&phenomena, self.scenario, self.delta_s);
         let case = self.aggregator.snapshot(window.ts(), window.te());
+        if O::ENABLED {
+            self.obs.span(Stage::WindowCut, n0, self.obs.now_ns());
+        }
         let truth = label_truth(self.scenario, &case, &window);
         let history = case_history(self.scenario, &window);
         LabeledCase {
@@ -164,11 +269,30 @@ pub fn replay_diagnose(
     delta_s: i64,
     cfg: &PinSqlConfig,
 ) -> (LabeledCase, Diagnosis) {
+    replay_diagnose_observed(scenario, delta_s, cfg, &NoopObserver)
+}
+
+/// [`replay_diagnose`] under an explicit observer: the whole replay —
+/// ingest folds, detector steps, window cut, and the three diagnosis
+/// stages — lands in the observer's registry. The case and diagnosis are
+/// byte-identical whatever `O` is.
+pub fn replay_diagnose_observed<O: Observer>(
+    scenario: &Scenario,
+    delta_s: i64,
+    cfg: &PinSqlConfig,
+    obs: &O,
+) -> (LabeledCase, Diagnosis) {
     let events = materialize_events(scenario, None);
-    let mut inst = OnlineInstance::new(scenario, delta_s);
+    let mut inst = OnlineInstance::with_observer(scenario, delta_s, obs.clone());
     inst.ingest_stream(events);
     let lc = inst.close_case();
-    let d = PinSql::new(cfg.clone()).diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
+    let d = PinSql::new(cfg.clone()).diagnose_observed(
+        &lc.case,
+        &lc.window,
+        &lc.history,
+        lc.minutes_origin,
+        obs,
+    );
     (lc, d)
 }
 

@@ -1,0 +1,243 @@
+//! Exporters: chrome-trace JSON and a flat metrics document.
+//!
+//! [`chrome_trace`] renders a registry's trace buffer in the Chrome
+//! Trace Event format (the JSON array flavour wrapped in an object), so
+//! a fleet run can be opened directly in `chrome://tracing` / Perfetto:
+//! one row (`tid`) per lane, one complete (`"X"`) event per span.
+//! [`metrics_export`] flattens counters, gauges, and per-stage histogram
+//! summaries into the JSON document the `fleet` bench writes next to its
+//! sweep results. [`validate_chrome_trace`] is the schema check CI's
+//! `obs_smoke` step runs over the written file.
+
+use crate::hist::LatencyHistogram;
+use crate::registry::Registry;
+use crate::{Counter, Gauge, Stage};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One Chrome Trace Event. Only the fields the viewers require.
+#[derive(Debug, Serialize)]
+struct ChromeEvent {
+    name: String,
+    cat: &'static str,
+    ph: &'static str,
+    /// Microseconds since the observer's origin.
+    ts: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dur: Option<f64>,
+    pid: u64,
+    tid: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    args: Option<BTreeMap<&'static str, String>>,
+}
+
+#[derive(Debug, Serialize)]
+struct ChromeTrace {
+    #[serde(rename = "traceEvents")]
+    trace_events: Vec<ChromeEvent>,
+    #[serde(rename = "displayTimeUnit")]
+    display_time_unit: &'static str,
+    /// Spans dropped by the trace cap (0 = the trace is complete).
+    trace_dropped: u64,
+}
+
+/// Renders the registry's trace buffer as chrome-trace JSON. `lanes` is
+/// the observer's lane table (see
+/// [`RecordingObserver::lanes`](crate::RecordingObserver::lanes)); each
+/// lane becomes one named thread row.
+pub fn chrome_trace(registry: &Registry, lanes: &[String]) -> String {
+    let mut events: Vec<ChromeEvent> = lanes
+        .iter()
+        .enumerate()
+        .map(|(tid, label)| ChromeEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata",
+            ph: "M",
+            ts: 0.0,
+            dur: None,
+            pid: 1,
+            tid: tid as u64,
+            args: Some(BTreeMap::from([("name", label.clone())])),
+        })
+        .collect();
+    for ev in registry.trace() {
+        events.push(ChromeEvent {
+            name: ev.stage.name().to_string(),
+            cat: "pinsql",
+            ph: "X",
+            ts: ev.start_ns as f64 / 1000.0,
+            dur: Some((ev.end_ns.saturating_sub(ev.start_ns)) as f64 / 1000.0),
+            pid: 1,
+            tid: ev.lane as u64,
+            args: None,
+        });
+    }
+    let doc = ChromeTrace {
+        trace_events: events,
+        display_time_unit: "ms",
+        trace_dropped: registry.trace_dropped(),
+    };
+    serde_json::to_string(&doc).expect("chrome trace serializes")
+}
+
+/// Per-stage histogram summary in the flat metrics document.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageSummary {
+    pub count: u64,
+    pub total_ns: u64,
+    pub mean_ns: f64,
+    pub max_ns: u64,
+    /// Upper-bound estimates from the log2 buckets.
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl StageSummary {
+    fn of(h: &LatencyHistogram) -> Self {
+        Self {
+            count: h.count(),
+            total_ns: h.total_ns(),
+            mean_ns: h.mean_ns(),
+            max_ns: h.max_ns(),
+            p50_ns: h.quantile_upper_ns(0.5),
+            p99_ns: h.quantile_upper_ns(0.99),
+            buckets: h.buckets().to_vec(),
+        }
+    }
+}
+
+/// The flat metrics document (`results/fleet_metrics.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsExport {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Stages that recorded at least one span.
+    pub stages: BTreeMap<&'static str, StageSummary>,
+    pub trace_events: usize,
+    pub trace_dropped: u64,
+}
+
+/// Flattens a registry into the metrics document.
+pub fn metrics_export(registry: &Registry) -> MetricsExport {
+    MetricsExport {
+        counters: Counter::ALL.iter().map(|&c| (c.name(), registry.counter(c))).collect(),
+        gauges: Gauge::ALL.iter().map(|&g| (g.name(), registry.gauge_value(g))).collect(),
+        stages: Stage::ALL
+            .iter()
+            .filter(|&&s| registry.span_hist(s).count() > 0)
+            .map(|&s| (s.name(), StageSummary::of(registry.span_hist(s))))
+            .collect(),
+        trace_events: registry.trace().len(),
+        trace_dropped: registry.trace_dropped(),
+    }
+}
+
+/// Validates a chrome-trace document produced by [`chrome_trace`]:
+/// object root, `traceEvents` array, every event carrying a string
+/// `name`, a known `ph`, numeric `pid`/`tid`/`ts`, and `dur` on complete
+/// events. Returns the number of complete (`"X"`) events.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("not JSON: {e}"))?;
+    if !doc.is_object() {
+        return Err("root must be an object".to_string());
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    let known_stages: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing string name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        for field in ["pid", "tid"] {
+            if ev.get(field).and_then(|v| v.as_u64()).is_none() {
+                return Err(format!("event {i}: missing numeric {field}"));
+            }
+        }
+        if ev.get("ts").and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("event {i}: missing numeric ts"));
+        }
+        match ph {
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("event {i}: X event without dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+                if !known_stages.contains(&name) {
+                    return Err(format!("event {i}: unknown stage name {name:?}"));
+                }
+                complete += 1;
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    Ok(complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> (Registry, Vec<String>) {
+        let mut reg = Registry::new();
+        reg.record_span(Stage::IngestMerge, 1, 0, 5_000);
+        reg.record_span(Stage::CellFold, 1, 100, 400);
+        reg.record_span(Stage::Hsql, 2, 6_000, 9_000);
+        reg.add(Counter::EventsIngested, 12);
+        reg.gauge(Gauge::CellSeconds, 30);
+        (reg, vec!["main".into(), "shard0".into(), "diag0".into()])
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_validation() {
+        let (reg, lanes) = sample_registry();
+        let json = chrome_trace(&reg, &lanes);
+        assert_eq!(validate_chrome_trace(&json), Ok(3));
+        // Sanity on the raw shape: named rows plus complete events.
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3 + 3, "three metadata rows, three spans");
+        assert_eq!(doc.get("trace_dropped").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("[]").is_err(), "root array");
+        assert!(validate_chrome_trace("{}").is_err(), "no traceEvents");
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"cell_fold","ph":"X","ts":1.0,"pid":1,"tid":0}]}"#
+        )
+        .is_err(), "X without dur");
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"nope","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":0}]}"#
+        )
+        .is_err(), "unknown stage");
+    }
+
+    #[test]
+    fn metrics_export_flattens_only_recorded_stages() {
+        let (reg, _) = sample_registry();
+        let m = metrics_export(&reg);
+        assert_eq!(m.counters["events_ingested"], 12);
+        assert_eq!(m.gauges["cell_seconds"], 30);
+        assert_eq!(m.stages.len(), 3);
+        assert!(m.stages.contains_key("hsql_rank"));
+        assert!(!m.stages.contains_key("repair_suggest"));
+        assert_eq!(m.trace_events, 3);
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        assert!(json.contains("\"p99_ns\""));
+    }
+}

@@ -1,0 +1,119 @@
+//! Point-in-time health of one instance pipeline and its fleet roll-up.
+//!
+//! A [`HealthSnapshot`] is a plain read of counters and queue depths the
+//! pipeline already maintains — taking one is cheap enough to do
+//! mid-ingest (no locks, no scans over retained data) and never perturbs
+//! state. The engine crate exposes `OnlineInstance::health_snapshot` and
+//! folds shard snapshots into a [`FleetHealth`] on every fleet run.
+
+use serde::{Deserialize, Serialize};
+
+/// One instance's pipeline health. Counter fields are monotone over the
+/// instance's lifetime; `*_resident` / `*_seconds` fields are current
+/// queue depths bounded by the retention configuration (the `obs_health`
+/// suite pins both invariants under chaos-perturbed telemetry).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Events ingested (all variants).
+    pub events_ingested: u64,
+    /// Query records folded into cells.
+    pub queries_ingested: u64,
+    /// Records dropped for non-finite fields.
+    pub malformed_dropped: u64,
+    /// Events behind the retention horizon, dropped on arrival.
+    pub late_dropped: u64,
+    /// Per-second cell rows materialized since birth.
+    pub cells_folded: u64,
+    /// Cells, records, and metric samples evicted by retention.
+    pub retention_evictions: u64,
+    /// Complete minutes folded into the in-line history feed.
+    pub history_minutes: u64,
+    /// Cell rows currently resident (bounded by retention).
+    pub cell_seconds: usize,
+    /// Raw records currently retained (bounded by retention).
+    pub records_resident: usize,
+    /// Metric samples currently retained (bounded by retention).
+    pub metric_seconds: usize,
+    /// Templates the catalog tracks.
+    pub templates_tracked: usize,
+    /// Collector watermark (`i64::MIN` before any event).
+    pub watermark: i64,
+    /// Samples consumed by each metric detector.
+    pub detector_samples: usize,
+    /// Metric detectors currently inside an anomalous segment.
+    pub open_segments: usize,
+    /// Features closed by the detector bank so far.
+    pub features_closed: usize,
+    /// Transitions of the bank into an open anomaly (case opens).
+    pub cases_opened: u64,
+    /// True while any metric has an open anomalous segment.
+    pub anomaly_open: bool,
+}
+
+/// Fleet-level health: per-instance snapshots (instance-id order) plus
+/// exact totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    pub instances: Vec<HealthSnapshot>,
+    pub events_total: u64,
+    pub queries_total: u64,
+    pub malformed_total: u64,
+    pub late_total: u64,
+    pub evictions_total: u64,
+    pub cases_opened_total: u64,
+    /// Highest per-instance records-resident depth at snapshot time.
+    pub max_records_resident: usize,
+    /// Highest per-instance cell-seconds depth at snapshot time.
+    pub max_cell_seconds: usize,
+}
+
+impl FleetHealth {
+    /// Rolls instance snapshots (taken at case close) into fleet totals.
+    pub fn from_instances(instances: Vec<HealthSnapshot>) -> Self {
+        let mut out = FleetHealth { instances, ..FleetHealth::default() };
+        for h in &out.instances {
+            out.events_total += h.events_ingested;
+            out.queries_total += h.queries_ingested;
+            out.malformed_total += h.malformed_dropped;
+            out.late_total += h.late_dropped;
+            out.evictions_total += h.retention_evictions;
+            out.cases_opened_total += h.cases_opened;
+            out.max_records_resident = out.max_records_resident.max(h.records_resident);
+            out.max_cell_seconds = out.max_cell_seconds.max(h.cell_seconds);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_rollup_totals() {
+        let a = HealthSnapshot {
+            events_ingested: 10,
+            queries_ingested: 7,
+            records_resident: 5,
+            cell_seconds: 3,
+            cases_opened: 1,
+            ..HealthSnapshot::default()
+        };
+        let b = HealthSnapshot {
+            events_ingested: 20,
+            queries_ingested: 9,
+            records_resident: 2,
+            cell_seconds: 8,
+            retention_evictions: 4,
+            ..HealthSnapshot::default()
+        };
+        let fleet = FleetHealth::from_instances(vec![a, b]);
+        assert_eq!(fleet.events_total, 30);
+        assert_eq!(fleet.queries_total, 16);
+        assert_eq!(fleet.evictions_total, 4);
+        assert_eq!(fleet.cases_opened_total, 1);
+        assert_eq!(fleet.max_records_resident, 5);
+        assert_eq!(fleet.max_cell_seconds, 8);
+        assert_eq!(fleet.instances.len(), 2);
+    }
+}

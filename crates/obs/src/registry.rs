@@ -1,0 +1,149 @@
+//! The mergeable recording state behind a [`RecordingObserver`]
+//! (`crate::RecordingObserver`): per-stage histograms, counters, gauges,
+//! and a capped trace-event buffer.
+
+use crate::hist::LatencyHistogram;
+use crate::{Counter, Gauge, Stage};
+
+/// Trace events kept per registry before dropping (drops are counted, so
+/// a truncated trace is visible rather than silent).
+pub const TRACE_CAP: usize = 65_536;
+
+/// One completed span, for chrome-trace export. `lane` indexes the
+/// observer's lane table (shards, diagnosis workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub stage: Stage,
+    pub lane: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+/// All recorded observability state. Merging two registries (shards,
+/// threads) is exact: histogram buckets and counters sum, gauges keep the
+/// maximum, traces concatenate up to [`TRACE_CAP`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    spans: Vec<LatencyHistogram>,
+    counters: Vec<u64>,
+    gauges: Vec<u64>,
+    trace: Vec<TraceEvent>,
+    trace_dropped: u64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            spans: (0..Stage::COUNT).map(|_| LatencyHistogram::new()).collect(),
+            counters: vec![0; Counter::COUNT],
+            gauges: vec![0; Gauge::COUNT],
+            trace: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
+
+    /// Records one completed span into the stage's histogram and, capacity
+    /// permitting, the trace buffer.
+    pub fn record_span(&mut self, stage: Stage, lane: u32, start_ns: u64, end_ns: u64) {
+        self.spans[stage.index()].record(end_ns.saturating_sub(start_ns));
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(TraceEvent { stage, lane, start_ns, end_ns });
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
+    pub fn add(&mut self, counter: Counter, delta: u64) {
+        self.counters[counter.index()] += delta;
+    }
+
+    pub fn gauge(&mut self, gauge: Gauge, value: u64) {
+        let g = &mut self.gauges[gauge.index()];
+        *g = (*g).max(value);
+    }
+
+    pub fn span_hist(&self, stage: Stage) -> &LatencyHistogram {
+        &self.spans[stage.index()]
+    }
+
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    pub fn gauge_value(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge.index()]
+    }
+
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Folds another registry in (see type docs for the merge semantics).
+    pub fn merge(&mut self, other: &Registry) {
+        for (a, b) in self.spans.iter_mut().zip(&other.spans) {
+            a.merge(b);
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(&other.gauges) {
+            *a = (*a).max(*b);
+        }
+        let room = TRACE_CAP - self.trace.len();
+        let take = other.trace.len().min(room);
+        self.trace.extend_from_slice(&other.trace[..take]);
+        self.trace_dropped += other.trace_dropped + (other.trace.len() - take) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.add(Counter::EventsIngested, 3);
+        b.add(Counter::EventsIngested, 4);
+        a.gauge(Gauge::CellSeconds, 10);
+        b.gauge(Gauge::CellSeconds, 7);
+        a.record_span(Stage::CellFold, 0, 100, 250);
+        b.record_span(Stage::CellFold, 1, 0, 50);
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::EventsIngested), 7);
+        assert_eq!(a.gauge_value(Gauge::CellSeconds), 10);
+        assert_eq!(a.span_hist(Stage::CellFold).count(), 2);
+        assert_eq!(a.span_hist(Stage::CellFold).total_ns(), 200);
+        assert_eq!(a.trace().len(), 2);
+        assert_eq!(a.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn trace_cap_counts_drops_across_merge() {
+        let mut a = Registry::new();
+        for i in 0..TRACE_CAP {
+            a.record_span(Stage::CellFold, 0, i as u64, i as u64 + 1);
+        }
+        a.record_span(Stage::CellFold, 0, 0, 1);
+        assert_eq!(a.trace().len(), TRACE_CAP);
+        assert_eq!(a.trace_dropped(), 1);
+        let mut b = Registry::new();
+        b.record_span(Stage::Hsql, 0, 0, 9);
+        a.merge(&b);
+        assert_eq!(a.trace_dropped(), 2, "merge overflow is counted, not silent");
+        // The histogram still saw every span.
+        assert_eq!(a.span_hist(Stage::CellFold).count(), TRACE_CAP as u64 + 1);
+        assert_eq!(a.span_hist(Stage::Hsql).count(), 1);
+    }
+}

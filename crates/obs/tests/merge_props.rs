@@ -1,0 +1,202 @@
+//! Property tests for registry/histogram merge algebra.
+//!
+//! The fleet engine merges per-shard registries in whatever order shards
+//! finish, so the merge must be associative and commutative, and bucket
+//! counts must sum exactly across arbitrary shard splits. These are
+//! deterministic property tests over an explicit LCG (no external
+//! dependency, seeds printed in failures), sweeping many random workloads
+//! and split shapes per property.
+
+use pinsql_obs::{Counter, Gauge, LatencyHistogram, Registry, Stage};
+
+/// Deterministic 64-bit LCG (MMIX constants) — reproducible workloads.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        // Top bits have the longest period.
+        (self.next() >> 11) % n.max(1)
+    }
+}
+
+/// A random span workload: durations spread across the full log2 range
+/// (including 0 and huge values) so every bucket shape gets exercised.
+fn random_durations(rng: &mut Lcg, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let magnitude = rng.below(64);
+            if magnitude == 0 { 0 } else { rng.next() >> (64 - magnitude.min(63)) }
+        })
+        .collect()
+}
+
+fn hist_of(durations: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &d in durations {
+        h.record(d);
+    }
+    h
+}
+
+/// Applies one random op stream to a registry (spans + counters + gauges).
+fn apply_ops(reg: &mut Registry, rng: &mut Lcg, n: usize) {
+    for _ in 0..n {
+        match rng.below(3) {
+            0 => {
+                let stage = Stage::ALL[rng.below(Stage::COUNT as u64) as usize];
+                let start = rng.below(1 << 40);
+                let dur = rng.below(1 << 30);
+                reg.record_span(stage, rng.below(4) as u32, start, start + dur);
+            }
+            1 => {
+                let c = Counter::ALL[rng.below(Counter::COUNT as u64) as usize];
+                reg.add(c, rng.below(1000));
+            }
+            _ => {
+                let g = Gauge::ALL[rng.below(Gauge::COUNT as u64) as usize];
+                reg.gauge(g, rng.below(1 << 20));
+            }
+        }
+    }
+}
+
+fn assert_registry_eq(a: &Registry, b: &Registry, ctx: &str) {
+    for s in Stage::ALL {
+        assert_eq!(a.span_hist(s), b.span_hist(s), "{ctx}: stage {}", s.name());
+    }
+    for c in Counter::ALL {
+        assert_eq!(a.counter(c), b.counter(c), "{ctx}: counter {}", c.name());
+    }
+    for g in Gauge::ALL {
+        assert_eq!(a.gauge_value(g), b.gauge_value(g), "{ctx}: gauge {}", g.name());
+    }
+}
+
+#[test]
+fn histogram_bucket_counts_sum_exactly_over_arbitrary_splits() {
+    for seed in 0..200u64 {
+        let mut rng = Lcg::new(seed);
+        let n = 1 + rng.below(500) as usize;
+        let durations = random_durations(&mut rng, n);
+        let whole = hist_of(&durations);
+
+        // A random shard split: each duration assigned to one of k parts.
+        let k = 1 + rng.below(8) as usize;
+        let mut parts = vec![LatencyHistogram::new(); k];
+        for &d in &durations {
+            parts[rng.below(k as u64) as usize].record(d);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole, "seed {seed}: split-merge must equal bulk");
+        assert_eq!(
+            merged.buckets().iter().sum::<u64>(),
+            n as u64,
+            "seed {seed}: every duration lands in exactly one bucket"
+        );
+        assert_eq!(merged.count(), n as u64, "seed {seed}");
+    }
+}
+
+#[test]
+fn histogram_merge_is_commutative_and_associative() {
+    for seed in 0..200u64 {
+        let mut rng = Lcg::new(0xABCD ^ seed);
+        let sized = |rng: &mut Lcg| {
+            let n = 1 + rng.below(200) as usize;
+            hist_of(&random_durations(rng, n))
+        };
+        let a = sized(&mut rng);
+        let b = sized(&mut rng);
+        let c = sized(&mut rng);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "seed {seed}: commutativity");
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "seed {seed}: associativity");
+
+        // Identity: merging an empty histogram changes nothing.
+        let mut a_id = a.clone();
+        a_id.merge(&LatencyHistogram::new());
+        assert_eq!(a_id, a, "seed {seed}: identity");
+    }
+}
+
+#[test]
+fn registry_merge_is_commutative_and_associative() {
+    for seed in 0..100u64 {
+        let mut rng = Lcg::new(0xFEED ^ seed);
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let mut c = Registry::new();
+        for reg in [&mut a, &mut b, &mut c] {
+            let n = 1 + rng.below(300) as usize;
+            apply_ops(reg, &mut rng, n);
+        }
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Traces concatenate in merge order (order is presentation, not
+        // data), so commutativity is over histograms/counters/gauges.
+        assert_registry_eq(&ab, &ba, &format!("seed {seed} commutativity"));
+        assert_eq!(ab.trace().len(), ba.trace().len(), "seed {seed}");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_registry_eq(&ab_c, &a_bc, &format!("seed {seed} associativity"));
+    }
+}
+
+#[test]
+fn registry_split_merge_equals_single_stream() {
+    // One op stream applied whole vs. round-robined across k registries
+    // then merged: counters and histograms must agree exactly.
+    for seed in 0..60u64 {
+        let mut rng = Lcg::new(0xC0FFEE ^ seed);
+        let n_ops = 1 + rng.below(400) as usize;
+        let k = 1 + rng.below(6) as usize;
+
+        // Re-derive the identical op stream from a cloned rng state.
+        let mut whole = Registry::new();
+        let mut rng_whole = Lcg(rng.0);
+        apply_ops(&mut whole, &mut rng_whole, n_ops);
+
+        let mut parts = vec![Registry::new(); k];
+        let mut rng_parts = Lcg(rng.0);
+        for i in 0..n_ops {
+            apply_ops(&mut parts[i % k], &mut rng_parts, 1);
+        }
+
+        let mut merged = Registry::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_registry_eq(&merged, &whole, &format!("seed {seed} split/whole"));
+    }
+}

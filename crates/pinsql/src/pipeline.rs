@@ -6,6 +6,7 @@ use crate::rsql::identify_rsqls;
 use crate::session_estimate::estimate_sessions;
 use pinsql_collector::{CaseData, HistoryStore};
 use pinsql_detect::AnomalyWindow;
+use pinsql_obs::{NoopObserver, Observer, Stage};
 use pinsql_sqlkit::SqlId;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -107,13 +108,49 @@ impl PinSql {
         history: &HistoryStore,
         minutes_origin: i64,
     ) -> Diagnosis {
+        self.diagnose_observed(case, window, history, minutes_origin, &NoopObserver)
+    }
+
+    /// [`diagnose`](Self::diagnose) with per-stage observability spans
+    /// ([`Stage::SessionEstimate`], [`Stage::Hsql`], [`Stage::Rsql`]).
+    ///
+    /// The observer only watches: the returned `Diagnosis` is
+    /// byte-identical whatever `O` is (the workspace `obs_equivalence`
+    /// suite pins this), and with the default [`NoopObserver`] the
+    /// instrumentation compiles to nothing.
+    pub fn diagnose_observed<O: Observer>(
+        &self,
+        case: &CaseData,
+        window: &AnomalyWindow,
+        history: &HistoryStore,
+        minutes_origin: i64,
+        obs: &O,
+    ) -> Diagnosis {
+        let n0 = if O::ENABLED { obs.now_ns() } else { 0 };
         let t0 = Instant::now();
         let est = estimate_sessions(case, &self.cfg);
         let t1 = Instant::now();
+        let n1 = if O::ENABLED {
+            let n = obs.now_ns();
+            obs.span(Stage::SessionEstimate, n0, n);
+            n
+        } else {
+            0
+        };
         let hsql = rank_hsqls(case, &est, window, &self.cfg);
         let t2 = Instant::now();
+        let n2 = if O::ENABLED {
+            let n = obs.now_ns();
+            obs.span(Stage::Hsql, n1, n);
+            n
+        } else {
+            0
+        };
         let rsql = identify_rsqls(case, &est, &hsql, window, history, minutes_origin, &self.cfg);
         let t3 = Instant::now();
+        if O::ENABLED {
+            obs.span(Stage::Rsql, n2, obs.now_ns());
+        }
 
         let to_ranked = |list: &[(usize, f64)]| -> Vec<RankedTemplate> {
             list.iter()

@@ -14,5 +14,9 @@ cargo test -q -p pinsql-engine fleet_smoke
 # Fast fail on sharded ingestion: shards 1/2/4 over the same small fleet
 # must close bit-identical cases and diagnoses.
 cargo test -q -p pinsql-engine scaling_smoke
+# Fast fail on observability: a recorded golden case must export a valid
+# chrome-trace document, and the disabled observer must add no measurable
+# cost to the ingest hot path.
+cargo test -q --test obs_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,113 @@
+//! Observer inertness: recording observability must not change a single
+//! output byte.
+//!
+//! The full 16-case golden corpus runs as one fleet with the default
+//! `NoopObserver`, then again under a fresh `RecordingObserver` at every
+//! shards ∈ {1, 2, 4} × fanout ∈ {1, 4} combination. Each instance's
+//! `Snapshot` JSON — scores as `f64` bit patterns — is compared
+//! **byte-for-byte** between the two. A recording run that perturbs any
+//! fold order, detector step, window cut, or diagnosis stage anywhere in
+//! the pipeline fails this suite.
+//!
+//! Each recording run must also leave a *non-trivial* trace behind (spans
+//! for every pipeline stage it exercised), so this suite cannot pass
+//! vacuously with instrumentation compiled out of both paths.
+
+mod common;
+
+use common::{load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
+use pinsql::PinSqlConfig;
+use pinsql_engine::{replay_diagnose, replay_diagnose_observed, FleetConfig, FleetEngine};
+use pinsql_obs::{NoopObserver, RecordingObserver, Stage};
+
+fn engine(shards: usize, fanout: usize) -> FleetEngine {
+    FleetEngine::new(FleetConfig {
+        delta_s: GOLDEN_DELTA_S,
+        pinsql: PinSqlConfig::default(),
+        fanout,
+        shards,
+    })
+}
+
+#[test]
+fn recording_observer_is_inert_on_every_golden_case() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+
+    // Noop reference once: fleet outcomes are shard/fanout-invariant
+    // (pinned by shard_equivalence), so one run stands for all combos.
+    let reference = engine(1, 1).run_full(&scenarios);
+    let reference_jsons: Vec<String> = manifest
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let snap = snapshot_of(entry, &reference.cases[i], &reference.diagnoses[i]);
+            serde_json::to_string_pretty(&snap).expect("serialize snapshot")
+        })
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        for fanout in [1usize, 4] {
+            let obs = RecordingObserver::new();
+            let run = engine(shards, fanout).run_full_observed(&scenarios, &obs);
+            assert_eq!(run.cases.len(), manifest.len());
+
+            for (i, entry) in manifest.iter().enumerate() {
+                let snap = snapshot_of(entry, &run.cases[i], &run.diagnoses[i]);
+                let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+                assert_eq!(
+                    json, reference_jsons[i],
+                    "{}: recording run (shards {shards}, fanout {fanout}) diverged from noop",
+                    entry.name
+                );
+            }
+
+            // Health is part of the output contract too.
+            assert_eq!(run.health, reference.health, "shards {shards}, fanout {fanout}");
+
+            // The recording run must actually have recorded: one merge
+            // span per shard, one diagnosis-stage span per instance, and
+            // fold/detector activity everywhere.
+            let reg = obs.registry();
+            assert_eq!(reg.span_hist(Stage::IngestMerge).count(), shards as u64);
+            for stage in [Stage::SessionEstimate, Stage::Hsql, Stage::Rsql] {
+                assert_eq!(
+                    reg.span_hist(stage).count(),
+                    manifest.len() as u64,
+                    "stage {} (shards {shards}, fanout {fanout})",
+                    stage.name()
+                );
+            }
+            assert_eq!(reg.span_hist(Stage::WindowCut).count(), manifest.len() as u64);
+            assert!(reg.span_hist(Stage::CellFold).count() > 0);
+            assert!(reg.span_hist(Stage::DetectorStep).count() > 0);
+            // Lanes: main + one per shard + one per diagnosis.
+            assert_eq!(obs.lanes().len(), 1 + shards + manifest.len());
+        }
+    }
+}
+
+#[test]
+fn observed_replay_matches_unobserved_replay() {
+    // The single-instance replay path, same contract: the observer only
+    // watches. Two corpus entries cover a detected spike and a lock case.
+    let manifest = load_manifest();
+    for entry in manifest.iter().filter(|e| e.kind == "business_spike" || e.kind == "mdl_lock").take(2)
+    {
+        let scenario = scenario_for(entry);
+        let cfg = PinSqlConfig::default();
+        let (lc_a, d_a) = replay_diagnose(&scenario, GOLDEN_DELTA_S, &cfg);
+        let obs = RecordingObserver::new();
+        let (lc_b, d_b) = replay_diagnose_observed(&scenario, GOLDEN_DELTA_S, &cfg, &obs);
+
+        let a = serde_json::to_string_pretty(&snapshot_of(entry, &lc_a, &d_a)).unwrap();
+        let b = serde_json::to_string_pretty(&snapshot_of(entry, &lc_b, &d_b)).unwrap();
+        assert_eq!(a, b, "{}: observed replay diverged", entry.name);
+        assert!(obs.registry().span_hist(Stage::CellFold).count() > 0);
+
+        // Explicitly passing the noop observer is the unobserved path.
+        let (lc_c, d_c) = replay_diagnose_observed(&scenario, GOLDEN_DELTA_S, &cfg, &NoopObserver);
+        let c = serde_json::to_string_pretty(&snapshot_of(entry, &lc_c, &d_c)).unwrap();
+        assert_eq!(a, c, "{}: noop-observed replay diverged", entry.name);
+    }
+}

@@ -1,9 +1,12 @@
 //! Repairing-module effects, verified through the simulator: throttling
-//! and optimizing the pinpointed R-SQL must actually resolve the anomaly.
+//! and optimizing the pinpointed R-SQL must actually resolve the anomaly
+//! — through the batch path and through the online replay path.
 
-use pinsql::repair::{optimize_spec, throttle_spec};
-use pinsql::{PinSql, PinSqlConfig};
+use pinsql::repair::{optimize_spec, suggest_actions, suggest_actions_observed, throttle_spec};
+use pinsql::{PinSql, PinSqlConfig, RepairConfig};
 use pinsql_dbsim::run_open_loop;
+use pinsql_engine::replay_diagnose;
+use pinsql_obs::{RecordingObserver, Stage};
 use pinsql_scenario::{generate_base, inject, materialize, AnomalyKind, ScenarioConfig};
 
 fn anomaly_mean(series: &[f64], cfg: &ScenarioConfig) -> f64 {
@@ -74,6 +77,55 @@ fn optimizing_the_rsql_resolves_without_losing_traffic() {
     assert!(
         executed_after > executed_before * 0.8,
         "optimization must not drop traffic: {executed_before} -> {executed_after}"
+    );
+}
+
+#[test]
+fn online_replay_drives_the_same_repair_as_batch() {
+    // The production loop suggests repairs from *online* diagnoses, not
+    // batch ones. The replay-equivalence contract says both paths must
+    // land on the same actions; this pins it through `replay_diagnose`,
+    // and pins that observing the repair stage changes nothing.
+    let cfg = ScenarioConfig::default().with_seed(71);
+    let base = generate_base(&cfg);
+    let scenario = inject(&base, &cfg, AnomalyKind::PoorSql);
+    let repair_cfg = RepairConfig::default();
+
+    let batch = materialize(&scenario, 600);
+    let batch_d = PinSql::new(PinSqlConfig::default()).diagnose(
+        &batch.case,
+        &batch.window,
+        &batch.history,
+        batch.minutes_origin,
+    );
+    let batch_actions =
+        suggest_actions(&batch_d, &batch.case, &batch.window, &batch.anomaly_type, &repair_cfg);
+
+    let (lc, d) = replay_diagnose(&scenario, 600, &PinSqlConfig::default());
+    let online_actions = suggest_actions(&d, &lc.case, &lc.window, &lc.anomaly_type, &repair_cfg);
+    assert_eq!(online_actions, batch_actions, "online replay must repair like batch");
+
+    // Observed suggestion: identical output, one recorded repair span.
+    let obs = RecordingObserver::new();
+    let observed =
+        suggest_actions_observed(&d, &lc.case, &lc.window, &lc.anomaly_type, &repair_cfg, &obs);
+    assert_eq!(observed, online_actions);
+    assert_eq!(obs.registry().span_hist(Stage::Repair).count(), 1);
+
+    // The online diagnosis pinpoints the injected root cause, and
+    // throttling it resolves the anomaly — same effect bar as the batch
+    // test above, driven entirely from the online path.
+    let rsql = &d.rsqls[0];
+    assert!(lc.truth.rsqls.contains(&rsql.id), "online diagnosis correct for this seed");
+    let spec = lc.case.catalog.get(rsql.id).unwrap().specs[0];
+    let original = run_open_loop(&scenario.workload, &scenario.sim, 0, cfg.window_s);
+    let throttled_w = throttle_spec(&scenario.workload, spec, 0.02);
+    let throttled = run_open_loop(&throttled_w, &scenario.sim, 0, cfg.window_s);
+    let before = anomaly_mean(&original.metrics.active_session, &cfg);
+    let after = anomaly_mean(&throttled.metrics.active_session, &cfg);
+    assert!(
+        after < before * 0.3,
+        "throttling the online-pinpointed root cause must deflate: {before:.1} -> {after:.1}"
     );
 }
 
