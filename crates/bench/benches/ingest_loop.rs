@@ -18,12 +18,21 @@
 //! observability disabled (`NoopObserver`, the default — instrumentation
 //! must compile to nothing; `obs_smoke` asserts the factor) and enabled
 //! (`RecordingObserver` — the price of per-event span recording).
+//!
+//! A third group, `ingest_loop_fleet`, replays the 3000-template
+//! synthetic fleet workload (the committed `BENCH_ingest_loop.json`
+//! shape, shortened for criterion) across `CellStoreKind` ×
+//! `KernelKind`, collector and detector bank together — the matrix the
+//! `ingest_rate` binary measures at full length.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pinsql_bench::synth::{synthetic_specs, synthetic_stream};
 use pinsql_collector::{CellStoreKind, IncrementalAggregator, IncrementalConfig};
+use pinsql_detect::OnlineDetectorBank;
 use pinsql_engine::OnlineInstance;
 use pinsql_obs::{Observer, RecordingObserver};
 use pinsql_scenario::{generate_base, inject, materialize_events, AnomalyKind, ScenarioConfig};
+use pinsql_timeseries::KernelKind;
 
 fn bench_ingest(c: &mut Criterion) {
     let cfg = ScenarioConfig::default().with_seed(77).with_businesses(8).with_window(300, 180, 240);
@@ -79,6 +88,48 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fleet_scale(c: &mut Criterion) {
+    let templates = 3000;
+    let (qps, dur_s, retention_s) = (25, 600, 420);
+    let specs = synthetic_specs(templates);
+    let events = synthetic_stream(templates, qps, dur_s, 0xC0FFEE);
+
+    let mut group = c.benchmark_group("ingest_loop_fleet");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+
+    for kind in [CellStoreKind::Dense, CellStoreKind::Hashed] {
+        for kernel in [KernelKind::Fast, KernelKind::Reference] {
+            let name = format!("{kind:?}_{}", kernel.label()).to_lowercase();
+            group.bench_function(&name, |b| {
+                b.iter_batched(
+                    || events.clone(),
+                    |mut evs| {
+                        let mut agg = IncrementalAggregator::new(
+                            &specs,
+                            IncrementalConfig::default()
+                                .with_retention(retention_s)
+                                .with_cell_store(kind),
+                        );
+                        let mut bank = OnlineDetectorBank::with_kernel(kernel);
+                        for ev in &evs {
+                            if let pinsql_dbsim::TelemetryEvent::Metrics(sample) = ev {
+                                bank.observe(sample);
+                            }
+                        }
+                        agg.ingest_drain(&mut evs);
+                        bank.finish();
+                        (agg, bank)
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+
+    group.finish();
+}
+
 fn bench_observed_instance(c: &mut Criterion) {
     let cfg = ScenarioConfig::default().with_seed(77).with_businesses(8).with_window(300, 180, 240);
     let base = generate_base(&cfg);
@@ -116,5 +167,5 @@ fn bench_observed_instance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_observed_instance);
+criterion_group!(benches, bench_ingest, bench_fleet_scale, bench_observed_instance);
 criterion_main!(benches);

@@ -146,6 +146,7 @@ fn main() {
         pinsql: PinSqlConfig::default(),
         fanout,
         shards: 1,
+        ..FleetConfig::default()
     });
 
     println!(
@@ -196,6 +197,7 @@ fn main() {
                 pinsql: PinSqlConfig::default(),
                 fanout,
                 shards,
+                ..FleetConfig::default()
             });
             let report = engine.run(&scen);
             if shards == 1 || baseline_eps == 0.0 {
@@ -248,6 +250,7 @@ fn main() {
         pinsql: PinSqlConfig::default(),
         fanout,
         shards,
+        ..FleetConfig::default()
     })
     .run_full_observed(&scen, &obs);
 

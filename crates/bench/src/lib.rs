@@ -1,0 +1,9 @@
+//! Shared helpers for the bench binaries and criterion benches.
+//!
+//! The table/figure binaries drive full scenarios; [`synth`] provides the
+//! lighter fleet-scale ingest workload (thousands of templates, Zipf-ish
+//! skew, per-second metrics + ticks) that the ingest-rate benches and the
+//! CI kernel-smoke gate share, so "the committed number" and "the number
+//! the gate re-measures" come from the same generator.
+
+pub mod synth;

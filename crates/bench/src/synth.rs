@@ -1,0 +1,79 @@
+//! Synthetic fleet-scale ingest workload for the ingest-rate benches.
+//!
+//! A deterministic stream of `qps` query records per second over
+//! `n_templates` templates (80% of traffic on the hottest 10% — the
+//! skew a production instance's template population shows), with one
+//! metrics sample and one tick per second and a 60 s active-session
+//! surge in the final third. Everything derives from one LCG seed, so
+//! two runs — or two cell-store/kernel configurations — fold the exact
+//! same bits and their snapshots can be compared byte-for-byte.
+
+use pinsql_dbsim::{MetricsSample, QueryRecord, TelemetryEvent};
+use pinsql_workload::{CostProfile, SpecId, TableId, TemplateSpec};
+
+/// Small deterministic LCG (same constants as the test suites).
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64
+    }
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// `n` point-read template specs; `SpecId(i)` maps to the `i`-th spec.
+pub fn synthetic_specs(n: usize) -> Vec<TemplateSpec> {
+    (0..n)
+        .map(|i| {
+            TemplateSpec::new(
+                &format!("SELECT c{i} FROM bench_t{i} WHERE id = ?"),
+                CostProfile::point_read(TableId(0)),
+                format!("synth{i}"),
+            )
+        })
+        .collect()
+}
+
+/// A time-ordered telemetry stream: per second, `qps` skewed query
+/// records (sorted by sub-second arrival), one metrics sample, one tick.
+pub fn synthetic_stream(n_templates: usize, qps: usize, dur_s: i64, seed: u64) -> Vec<TelemetryEvent> {
+    let mut rng = Lcg(seed);
+    let mut events = Vec::with_capacity(qps * dur_s as usize + 2 * dur_s as usize);
+    for s in 0..dur_s {
+        let base = s as f64 * 1000.0;
+        let mut offs: Vec<f64> = (0..qps).map(|_| rng.next_f64() * 999.0).collect();
+        offs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for off in offs {
+            let t = if rng.next_f64() < 0.8 {
+                rng.below((n_templates / 10).max(1))
+            } else {
+                rng.below(n_templates)
+            };
+            events.push(TelemetryEvent::Query(QueryRecord {
+                spec: SpecId(t),
+                start_ms: base + off,
+                response_ms: 1.0 + rng.next_f64() * 20.0,
+                examined_rows: (rng.next_u64() % 50) as u64,
+            }));
+        }
+        let surge = s >= dur_s * 2 / 3 && s < dur_s * 2 / 3 + 60;
+        events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
+            second: s,
+            active_session: if surge { 80.0 + rng.next_f64() } else { 4.0 + rng.next_f64() * 2.0 },
+            cpu_usage: 0.3 + rng.next_f64() * 0.05 + if surge { 0.5 } else { 0.0 },
+            iops_usage: 0.2 + rng.next_f64() * 0.02,
+            row_lock_waits: rng.next_f64().floor(),
+            mdl_waits: 0.0,
+            qps: qps as f64 + rng.next_f64(),
+            probes: Vec::new(),
+        })));
+        events.push(TelemetryEvent::Tick { second: s + 1 });
+    }
+    events
+}

@@ -36,9 +36,16 @@ impl HistorySeries {
 }
 
 /// Store of per-template histories.
+///
+/// Series live in a dense `Vec`; the id map only resolves `SqlId` to a
+/// stable entry index. Hot writers (the incremental aggregator's minute
+/// fold) resolve each template once via [`entry_index`](Self::entry_index)
+/// and then append through [`record_at`](Self::record_at) — a direct
+/// vector index instead of a hash probe per (template, minute).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HistoryStore {
-    map: FxHashMap<SqlId, HistorySeries>,
+    series: Vec<HistorySeries>,
+    index: FxHashMap<SqlId, u32>,
 }
 
 impl HistoryStore {
@@ -49,19 +56,41 @@ impl HistoryStore {
 
     /// Inserts (replacing) a template's history.
     pub fn insert(&mut self, series: HistorySeries) {
-        self.map.insert(series.id, series);
+        if let Some(&i) = self.index.get(&series.id) {
+            self.series[i as usize] = series;
+        } else {
+            self.index.insert(series.id, self.series.len() as u32);
+            self.series.push(series);
+        }
+    }
+
+    /// The stable entry index for a template, creating an empty series on
+    /// first sight. The index stays valid for the store's lifetime and can
+    /// be cached by callers that record repeatedly.
+    pub fn entry_index(&mut self, id: SqlId) -> u32 {
+        if let Some(&i) = self.index.get(&id) {
+            return i;
+        }
+        let i = self.series.len() as u32;
+        self.index.insert(id, i);
+        self.series.push(HistorySeries { id, start_minute: 0, executions: Vec::new() });
+        i
     }
 
     /// Accumulates executions for a template at an absolute minute,
     /// extending the series as needed. Creating a series lazily starts it
     /// at the first touched minute.
     pub fn record(&mut self, id: SqlId, minute: i64, count: f64) {
-        let entry = self.map.entry(id).or_insert_with(|| HistorySeries {
-            id,
-            start_minute: minute,
-            executions: Vec::new(),
-        });
-        if minute < entry.start_minute {
+        let i = self.entry_index(id);
+        self.record_at(i, minute, count);
+    }
+
+    /// [`record`](Self::record) through a cached [`entry_index`](Self::entry_index).
+    pub fn record_at(&mut self, entry: u32, minute: i64, count: f64) {
+        let entry = &mut self.series[entry as usize];
+        if entry.executions.is_empty() {
+            entry.start_minute = minute;
+        } else if minute < entry.start_minute {
             // Prepend zeros (rare: out-of-order backfill).
             let shift = (entry.start_minute - minute) as usize;
             let mut v = vec![0.0; shift];
@@ -78,7 +107,7 @@ impl HistoryStore {
 
     /// A template's history, if known.
     pub fn get(&self, id: SqlId) -> Option<&HistorySeries> {
-        self.map.get(&id)
+        self.index.get(&id).map(|&i| &self.series[i as usize])
     }
 
     /// The execution series over minutes `[from, to)`, zero-filled where no
@@ -88,7 +117,7 @@ impl HistoryStore {
     pub fn window_filled(&self, id: SqlId, from_min: i64, to_min: i64) -> Vec<f64> {
         let n = (to_min - from_min).max(0) as usize;
         let mut out = vec![0.0; n];
-        if let Some(series) = self.map.get(&id) {
+        if let Some(series) = self.get(id) {
             let overlap = series.window(from_min, to_min);
             if !overlap.is_empty() {
                 let offset = (series.start_minute.max(from_min) - from_min) as usize;
@@ -100,12 +129,12 @@ impl HistoryStore {
 
     /// Number of templates with history.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.series.len()
     }
 
     /// True when no template has history.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.series.is_empty()
     }
 }
 
@@ -158,6 +187,21 @@ mod tests {
         store.insert(HistorySeries { id: ID, start_minute: 0, executions: vec![9.0, 9.0] });
         assert_eq!(store.window_filled(ID, 0, 2), vec![9.0, 9.0]);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn record_at_matches_record() {
+        let mut by_id = HistoryStore::new();
+        let mut by_index = HistoryStore::new();
+        let idx = by_index.entry_index(ID);
+        for (m, c) in [(10, 1.0), (8, 2.0), (12, 3.0), (10, 0.5)] {
+            by_id.record(ID, m, c);
+            by_index.record_at(idx, m, c);
+        }
+        assert_eq!(by_id.window_filled(ID, 8, 13), by_index.window_filled(ID, 8, 13));
+        assert_eq!(by_index.entry_index(ID), idx, "entry index is stable");
+        assert_eq!(by_id.len(), by_index.len());
+        assert_eq!(by_id.get(ID).unwrap().start_minute, by_index.get(ID).unwrap().start_minute);
     }
 
     #[test]

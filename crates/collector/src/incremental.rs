@@ -24,14 +24,27 @@
 //! ## The allocation-lean hot path
 //!
 //! Attributing one query record costs two dense-`Vec` lookups (spec →
-//! catalog slot, slot → cell in the second's slab row — see
+//! catalog slot, slot → cell in the second's compact row — see
 //! [`CellStoreKind`]) and a ring push; no hashing, no per-record
-//! allocation. Time-ordered streams should prefer the chunked entry
-//! points ([`ingest_query_run`](IncrementalAggregator::ingest_query_run) /
+//! allocation (evicted rows are recycled, so the steady state allocates
+//! nothing per second either). Time-ordered streams should prefer the
+//! chunked entry points
+//! ([`ingest_query_run`](IncrementalAggregator::ingest_query_run) /
 //! [`ingest_drain`](IncrementalAggregator::ingest_drain)), which amortize
-//! the watermark check and the row lookup across every record of a
-//! second. Per-minute history folding reuses one slot-indexed scratch
-//! buffer instead of building a map per minute.
+//! the watermark check and the row lookup across every record of a second
+//! and devirtualize the cell-store representation once per run. Per-minute
+//! history folding reuses one slot-indexed scratch buffer instead of
+//! building a map per minute.
+//!
+//! `snapshot` is assembled from running state, not a re-scan: one sweep
+//! over the window's touched cells yields every template's execution-count
+//! moments ([`MomentAccumulator`]), after which each template's window
+//! membership, total record count (hence the exact `record_idx` /
+//! `records` capacities), and summary statistics are O(1) field reads —
+//! see [`window_moments`](IncrementalAggregator::window_moments). On
+//! time-ordered streams the record ring is known sorted (a cheap flag
+//! maintained at ingest), so the window's records are located by binary
+//! search instead of scanning the whole retention horizon.
 //!
 //! ## Replay equivalence
 //!
@@ -48,12 +61,13 @@
 
 use crate::aggregate::{CaseData, TemplateData, TemplateSeries};
 use crate::catalog::TemplateCatalog;
-use crate::cellstore::{CellStore, CellStoreKind};
+use crate::cellstore::{CellStore, CellStoreKind, RowMut};
 use crate::history::HistoryStore;
 use pinsql_dbsim::probe::ProbeLog;
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::{InstanceMetrics, MetricsSample, QueryRecord, TelemetryEvent};
 use pinsql_sqlkit::SqlId;
+use pinsql_timeseries::MomentAccumulator;
 use pinsql_workload::TemplateSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -63,8 +77,10 @@ use std::collections::VecDeque;
 pub struct IncrementalConfig {
     /// Seconds of cells / records / metric samples to retain behind the
     /// watermark. Must cover the largest collection window a diagnosis
-    /// will ask for (`δ_s` + anomaly length), and should be ≥ 60 so the
-    /// history feed always sees complete minutes.
+    /// will ask for (`δ_s` + anomaly length), and must be ≥ 60 so every
+    /// minute folds into the history feed before any of its cells can be
+    /// evicted (the fold counts executions at ingest time; see
+    /// `fold_history`).
     pub retention_s: i64,
     /// Absolute minute index the stream's second 0 maps to in the history
     /// store's timeline (histories are addressed by absolute minute).
@@ -85,7 +101,7 @@ impl Default for IncrementalConfig {
 impl IncrementalConfig {
     /// Builder-style retention override.
     pub fn with_retention(mut self, retention_s: i64) -> Self {
-        assert!(retention_s > 0, "retention must be positive");
+        assert!(retention_s >= 60, "retention must cover at least one full minute");
         self.retention_s = retention_s;
         self
     }
@@ -126,6 +142,79 @@ pub struct IngestStats {
     pub history_minutes: u64,
 }
 
+/// In-flight per-minute execution counts for the history feed.
+///
+/// `rows[m - start]` is the dense slot-count row for minute `m`. Records
+/// bump their minute's row at ingest time; when a minute completes the
+/// fold detaches its row and emits it — no re-read of the minute's 60
+/// cell rows, which are cache-cold by then. This is *exactly* equivalent
+/// to re-scanning the cells because (a) counts are integer-valued sums of
+/// `1.0`, so arrival order cannot change the total, (b) a record is
+/// accumulated iff its minute is at or ahead of the fold frontier, which
+/// is also precisely when a fold-time scan would still see it (minutes
+/// behind the frontier never re-fold), and (c) `retention_s ≥ 60`
+/// guarantees a minute folds before any of its cell rows can be evicted,
+/// so a fold-time scan could never miss an accumulated record either.
+#[derive(Debug, Clone, Default)]
+struct MinuteAcc {
+    /// Minute index of `rows.front()` (meaningless while `rows` is empty).
+    start: i64,
+    rows: VecDeque<Vec<f64>>,
+    /// Recycled rows, so steady state allocates nothing per minute.
+    free: Vec<Vec<f64>>,
+}
+
+impl MinuteAcc {
+    /// The slot-count row for `minute`, extending the ring to cover it.
+    fn row_mut(&mut self, minute: i64, n_slots: usize) -> &mut [f64] {
+        if self.rows.is_empty() {
+            self.start = minute;
+            let row = Self::zeroed(&mut self.free, n_slots);
+            self.rows.push_back(row);
+        } else if minute < self.start {
+            for _ in 0..(self.start - minute) {
+                let row = Self::zeroed(&mut self.free, n_slots);
+                self.rows.push_front(row);
+            }
+            self.start = minute;
+        } else {
+            while self.rows.len() <= (minute - self.start) as usize {
+                let row = Self::zeroed(&mut self.free, n_slots);
+                self.rows.push_back(row);
+            }
+        }
+        &mut self.rows[(minute - self.start) as usize]
+    }
+
+    /// Detaches `minute`'s counts if any were accumulated. Rows behind
+    /// `minute` are recycled (the fold visits minutes in order, so they
+    /// can only be rows a gap minute never touched).
+    fn take(&mut self, minute: i64) -> Option<Vec<f64>> {
+        while !self.rows.is_empty() && self.start < minute {
+            let row = self.rows.pop_front().expect("checked non-empty");
+            self.free.push(row);
+            self.start += 1;
+        }
+        if self.rows.is_empty() || self.start != minute {
+            return None;
+        }
+        self.start += 1;
+        self.rows.pop_front()
+    }
+
+    /// Returns a detached row to the recycle pool.
+    fn recycle(&mut self, row: Vec<f64>) {
+        self.free.push(row);
+    }
+
+    fn zeroed(free: &mut Vec<Vec<f64>>, n_slots: usize) -> Vec<f64> {
+        let mut row = free.pop().unwrap_or_default();
+        row.clear();
+        row.resize(n_slots, 0.0);
+        row
+    }
+}
+
 /// The incremental, bounded-state aggregation engine.
 #[derive(Debug, Clone)]
 pub struct IncrementalAggregator {
@@ -133,6 +222,10 @@ pub struct IncrementalAggregator {
     cfg: IncrementalConfig,
     /// Retained raw records in arrival order.
     records: VecDeque<QueryRecord>,
+    /// True while `records` is non-decreasing in `start_ms` — the
+    /// time-ordered-stream common case, which lets `snapshot` binary-search
+    /// the window instead of scanning the ring.
+    records_sorted: bool,
     /// Per-second cell rows for contiguous seconds
     /// `[cells_start, cells_start + cells.len())`.
     cells: CellStore,
@@ -148,11 +241,13 @@ pub struct IncrementalAggregator {
     /// history store; `None` until the first cell arrives.
     history_next_min: Option<i64>,
     stats: IngestStats,
-    /// Slot-indexed scratch for history folding (one minute's counts),
-    /// reused every minute instead of building a map.
-    minute_counts: Vec<f64>,
-    /// `(id, count)` scratch for history folding, reused every minute.
-    minute_ids: Vec<(SqlId, f64)>,
+    /// In-flight per-minute execution counts, bumped at ingest time while
+    /// the record is in hand instead of re-scanning the minute's (by then
+    /// cache-cold) cell rows when it folds.
+    minute_acc: MinuteAcc,
+    /// Slot → cached [`HistoryStore`] entry index (`u32::MAX` = not yet
+    /// resolved), so the minute fold hashes each template once ever.
+    slot_hist: Vec<u32>,
     /// Slot → position-in-`templates` scratch for `snapshot`, reused per
     /// call (`u32::MAX` = template absent from the window).
     slot_pos: Vec<u32>,
@@ -166,12 +261,13 @@ impl IncrementalAggregator {
 
     /// Creates an aggregator over a pre-built catalog.
     pub fn with_catalog(catalog: TemplateCatalog, cfg: IncrementalConfig) -> Self {
-        assert!(cfg.retention_s > 0, "retention must be positive");
+        assert!(cfg.retention_s >= 60, "retention must cover at least one full minute");
         let cells = CellStore::new(cfg.cell_store, catalog.n_slots());
         Self {
             catalog,
             cfg,
             records: VecDeque::new(),
+            records_sorted: true,
             cells,
             cells_start: 0,
             metrics: VecDeque::new(),
@@ -180,20 +276,45 @@ impl IncrementalAggregator {
             history: HistoryStore::new(),
             history_next_min: None,
             stats: IngestStats::default(),
-            minute_counts: Vec::new(),
-            minute_ids: Vec::new(),
+            minute_acc: MinuteAcc::default(),
+            slot_hist: Vec::new(),
             slot_pos: Vec::new(),
         }
     }
 
     /// Folds one telemetry event into the aggregates.
+    ///
+    /// Callers that have already matched the event (the engine's instance
+    /// loop does, to feed the detector bank) should call the per-variant
+    /// entry points below instead of re-wrapping — same counters, same
+    /// state, one `match` fewer per event.
     pub fn ingest(&mut self, ev: TelemetryEvent) {
-        self.stats.events += 1;
         match ev {
-            TelemetryEvent::Query(rec) => self.ingest_query(rec),
-            TelemetryEvent::Metrics(sample) => self.ingest_metrics(sample),
-            TelemetryEvent::Tick { second } => self.advance_watermark(second),
+            TelemetryEvent::Query(rec) => self.ingest_query_event(rec),
+            TelemetryEvent::Metrics(sample) => self.ingest_metrics_event(*sample),
+            TelemetryEvent::Tick { second } => self.ingest_tick(second),
         }
+    }
+
+    /// [`ingest`](Self::ingest) for an already-matched query event.
+    #[inline]
+    pub fn ingest_query_event(&mut self, rec: QueryRecord) {
+        self.stats.events += 1;
+        self.ingest_query(rec);
+    }
+
+    /// [`ingest`](Self::ingest) for an already-matched metrics event.
+    #[inline]
+    pub fn ingest_metrics_event(&mut self, sample: MetricsSample) {
+        self.stats.events += 1;
+        self.ingest_metrics(sample);
+    }
+
+    /// [`ingest`](Self::ingest) for an already-matched tick.
+    #[inline]
+    pub fn ingest_tick(&mut self, second: i64) {
+        self.stats.events += 1;
+        self.advance_watermark(second);
     }
 
     /// Folds a buffered stretch of a stream, chunking same-second query
@@ -231,6 +352,13 @@ impl IncrementalAggregator {
         let slot = self.catalog.slot_of_spec(rec.spec);
         let idx = self.row_index(second);
         self.cells.add(idx, slot, rec.response_ms, rec.examined_rows as f64);
+        let minute = second.div_euclid(60);
+        if self.history_next_min.map_or(true, |next| minute >= next) {
+            self.minute_acc.row_mut(minute, self.catalog.n_slots())[slot as usize] += 1.0;
+        }
+        if self.records.back().is_some_and(|b| rec.start_ms < b.start_ms) {
+            self.records_sorted = false;
+        }
         self.records.push_back(rec);
     }
 
@@ -258,8 +386,66 @@ impl IncrementalAggregator {
             return;
         }
         let idx = self.row_index(second);
-        let Self { cells, catalog, records, stats, .. } = self;
-        let mut row = cells.row_mut(idx);
+        let minute = second.div_euclid(60);
+        let Self { cells, catalog, records, records_sorted, stats, minute_acc, history_next_min, .. } =
+            self;
+        // The whole run lands in one minute; resolve its history counts
+        // row once (None when the minute already folded — a late run the
+        // history feed must not double-count).
+        let mut hist: Option<&mut [f64]> = history_next_min
+            .map_or(true, |next| minute >= next)
+            .then(|| minute_acc.row_mut(minute, catalog.n_slots()));
+        // Dispatch the row representation once per run, not once per
+        // record: each arm hands `fold_run` a monomorphic cell fold.
+        match cells.row_mut(idx) {
+            RowMut::Dense(mut row) => Self::fold_run(
+                second,
+                events,
+                catalog,
+                records,
+                records_sorted,
+                stats,
+                |slot, rt, rows| {
+                    row.add(slot, rt, rows);
+                    if let Some(h) = hist.as_deref_mut() {
+                        h[slot as usize] += 1.0;
+                    }
+                },
+            ),
+            RowMut::Hashed(map) => Self::fold_run(
+                second,
+                events,
+                catalog,
+                records,
+                records_sorted,
+                stats,
+                |slot, rt, rows| {
+                    let cell = map.entry(slot).or_insert((0.0, 0.0, 0.0));
+                    cell.0 += 1.0;
+                    cell.1 += rt;
+                    cell.2 += rows;
+                    if let Some(h) = hist.as_deref_mut() {
+                        h[slot as usize] += 1.0;
+                    }
+                },
+            ),
+        }
+    }
+
+    /// The shared per-record body of [`ingest_query_run`](Self::ingest_query_run),
+    /// generic over the cell fold so each store kind gets its own compiled
+    /// inner loop.
+    #[inline]
+    fn fold_run(
+        second: i64,
+        events: &[TelemetryEvent],
+        catalog: &TemplateCatalog,
+        records: &mut VecDeque<QueryRecord>,
+        records_sorted: &mut bool,
+        stats: &mut IngestStats,
+        mut fold_cell: impl FnMut(u32, f64, f64),
+    ) {
+        records.reserve(events.len());
         for ev in events {
             let TelemetryEvent::Query(rec) = ev else {
                 debug_assert!(false, "non-query event in a query run");
@@ -275,7 +461,10 @@ impl IncrementalAggregator {
                 continue;
             }
             stats.queries += 1;
-            row.add(catalog.slot_of_spec(rec.spec), rec.response_ms, rec.examined_rows as f64);
+            fold_cell(catalog.slot_of_spec(rec.spec), rec.response_ms, rec.examined_rows as f64);
+            if records.back().is_some_and(|b| rec.start_ms < b.start_ms) {
+                *records_sorted = false;
+            }
             records.push_back(*rec);
         }
     }
@@ -384,20 +573,40 @@ impl IncrementalAggregator {
         let ts_ms = ts as f64 * 1000.0;
         let te_ms = te as f64 * 1000.0;
 
-        // Window records in arrival order (the stream is time-ordered, so
-        // this is the batch path's filter-then-stable-sort order). The
-        // reused `slot_pos` scratch maps each template's dense slot to its
-        // position in `templates` — no map to build or rehash.
-        self.slot_pos.clear();
-        self.slot_pos.resize(self.catalog.n_slots(), u32::MAX);
-        let slot_pos = &mut self.slot_pos;
-        let catalog = &self.catalog;
-        let mut records: Vec<QueryRecord> = Vec::new();
-        let mut templates: Vec<TemplateData> = Vec::new();
-        for rec in &self.records {
-            if rec.start_ms >= ts_ms && rec.start_ms < te_ms {
+        // One sweep over the window's touched cells yields each template's
+        // execution-count moments. Membership and sizing then need no
+        // record re-scan: a template is in the window iff it has a touched
+        // cell there (every retained record has its cell row — they share
+        // one retention horizon), and its exact record count is the
+        // integer-exact count sum. So `templates` and `records` are built
+        // at final size, and the per-record loop below is a push into
+        // pre-sized vectors.
+        let touched = self.sweep_window_moments(ts, te);
+        let window_records: usize = touched.iter().map(|(_, m)| m.sum() as usize).sum();
+        let mut templates: Vec<TemplateData> = touched
+            .iter()
+            .map(|&(slot, ref m)| TemplateData {
+                id: self.catalog.id_of_slot(slot),
+                series: TemplateSeries::zeros(ts, n),
+                record_idx: Vec::with_capacity(m.sum() as usize),
+            })
+            .collect();
+
+        let Self { records: ring, records_sorted, slot_pos, catalog, cells, cells_start, .. } =
+            &mut *self;
+        let cells_start = *cells_start;
+        let mut records: Vec<QueryRecord> = Vec::with_capacity(window_records);
+        {
+            // Window records in arrival order (on a time-ordered stream
+            // this is the batch path's filter-then-stable-sort order). The
+            // `slot_pos` scratch — populated by the sweep above — maps each
+            // dense slot to its template's position; the create-on-miss arm
+            // is unreachable for consistent state and kept as a graceful
+            // fallback.
+            let mut push_rec = |rec: &QueryRecord| {
                 let slot = catalog.slot_of_spec(rec.spec) as usize;
                 let tpl = if slot_pos[slot] == u32::MAX {
+                    debug_assert!(false, "window record without a window cell");
                     slot_pos[slot] = templates.len() as u32;
                     templates.push(TemplateData {
                         id: catalog.id_of_slot(slot as u32),
@@ -410,6 +619,22 @@ impl IncrementalAggregator {
                 };
                 tpl.record_idx.push(records.len() as u32);
                 records.push(*rec);
+            };
+            if *records_sorted {
+                // Sorted ring: binary-search the window bounds instead of
+                // scanning the whole retention horizon. Same records, same
+                // order as the filter below.
+                let lo_idx = ring.partition_point(|r| r.start_ms < ts_ms);
+                let hi_idx = ring.partition_point(|r| r.start_ms < te_ms);
+                for rec in ring.range(lo_idx..hi_idx) {
+                    push_rec(rec);
+                }
+            } else {
+                for rec in ring.iter() {
+                    if rec.start_ms >= ts_ms && rec.start_ms < te_ms {
+                        push_rec(rec);
+                    }
+                }
             }
         }
 
@@ -417,11 +642,11 @@ impl IncrementalAggregator {
         // second)` cell was accumulated record-by-record at ingest, in the
         // same order the batch aggregator sums, so assignment (not
         // re-accumulation) preserves bit-identity.
-        let lo = ts.max(self.cells_start);
-        let hi = te.min(self.cells_start + self.cells.len() as i64);
+        let lo = ts.max(cells_start);
+        let hi = te.min(cells_start + cells.len() as i64);
         for s in lo..hi {
             let idx = (s - ts) as usize;
-            self.cells.for_each((s - self.cells_start) as usize, |slot, cell| {
+            cells.for_each((s - cells_start) as usize, |slot, cell| {
                 let pos = slot_pos[slot as usize];
                 if pos != u32::MAX {
                     let series = &mut templates[pos as usize].series;
@@ -442,6 +667,58 @@ impl IncrementalAggregator {
             records,
             templates,
         }
+    }
+
+    /// Per-template first/second moments of the per-second execution
+    /// counts inside `[ts, te)`, sorted by template id.
+    ///
+    /// One sweep over the window's *touched* cells; each template's
+    /// count/sum/sum-of-squares (hence mean and variance over its active
+    /// seconds) is then an O(1) finalize — no per-template re-scan. The
+    /// accumulator's `n` counts the seconds the template actually executed
+    /// in; callers wanting zero-inclusive means divide `sum()` by the
+    /// window length instead. `snapshot` runs the same sweep to pre-size
+    /// its output exactly.
+    ///
+    /// Takes `&mut self` only to reuse the slot-position scratch buffer.
+    ///
+    /// # Panics
+    /// Panics if `te <= ts` (empty window), like [`snapshot`](Self::snapshot).
+    pub fn window_moments(&mut self, ts: i64, te: i64) -> Vec<(SqlId, MomentAccumulator)> {
+        assert!(te > ts, "empty collection window");
+        let touched = self.sweep_window_moments(ts, te);
+        let mut out: Vec<(SqlId, MomentAccumulator)> = touched
+            .into_iter()
+            .map(|(slot, m)| (self.catalog.id_of_slot(slot), m))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Sweeps the window's touched cells once, returning `(slot, moments)`
+    /// in first-touch order and leaving `slot_pos[slot]` = position for
+    /// every touched slot (callers use it as the template index map).
+    fn sweep_window_moments(&mut self, ts: i64, te: i64) -> Vec<(u32, MomentAccumulator)> {
+        self.slot_pos.clear();
+        self.slot_pos.resize(self.catalog.n_slots(), u32::MAX);
+        let slot_pos = &mut self.slot_pos;
+        let mut touched: Vec<(u32, MomentAccumulator)> = Vec::new();
+        let lo = ts.max(self.cells_start);
+        let hi = te.min(self.cells_start + self.cells.len() as i64);
+        for s in lo..hi {
+            self.cells.for_each((s - self.cells_start) as usize, |slot, cell| {
+                let pos = slot_pos[slot as usize];
+                let acc = if pos == u32::MAX {
+                    slot_pos[slot as usize] = touched.len() as u32;
+                    touched.push((slot, MomentAccumulator::default()));
+                    &mut touched.last_mut().expect("just pushed").1
+                } else {
+                    &mut touched[pos as usize].1
+                };
+                acc.push(cell.0);
+            });
+        }
+        touched
     }
 
     /// The retained metrics restricted to `[ts, te)`, non-finite samples
@@ -501,7 +778,7 @@ impl IncrementalAggregator {
     }
 
     /// Folds every fully-elapsed minute's execution counts into the
-    /// history store, through the reused slot-indexed scratch.
+    /// history store from the at-ingest accumulator (see [`MinuteAcc`]).
     fn fold_history(&mut self) {
         if self.cells.is_empty() {
             return;
@@ -513,27 +790,25 @@ impl IncrementalAggregator {
             let minute = next;
             next += 1;
             self.stats.history_minutes += 1;
-            self.minute_counts.clear();
-            self.minute_counts.resize(self.catalog.n_slots(), 0.0);
-            let counts = &mut self.minute_counts;
-            let cells = &self.cells;
-            for s in minute * 60..(minute + 1) * 60 {
-                let Some(idx) = Self::index_of(self.cells_start, cells.len(), s) else {
-                    continue;
-                };
-                cells.for_each(idx, |slot, cell| counts[slot as usize] += cell.0);
-            }
-            // Deterministic insertion order for reproducible stores.
-            self.minute_ids.clear();
-            for (slot, &count) in self.minute_counts.iter().enumerate() {
+            let Some(counts) = self.minute_acc.take(minute) else {
+                continue;
+            };
+            // Slot-order emission is deterministic and identical for both
+            // cell-store kinds (the dense counts row folded away any
+            // arrival order); each slot resolves its history entry index
+            // once ever, so steady-state recording is a direct vector
+            // index per (template, minute), no hashing.
+            self.slot_hist.resize(self.catalog.n_slots(), u32::MAX);
+            for (slot, &count) in counts.iter().enumerate() {
                 if count > 0.0 {
-                    self.minute_ids.push((self.catalog.id_of_slot(slot as u32), count));
+                    let entry = &mut self.slot_hist[slot];
+                    if *entry == u32::MAX {
+                        *entry = self.history.entry_index(self.catalog.id_of_slot(slot as u32));
+                    }
+                    self.history.record_at(*entry, self.cfg.history_origin_min + minute, count);
                 }
             }
-            self.minute_ids.sort_by_key(|(id, _)| *id);
-            for &(id, count) in &self.minute_ids {
-                self.history.record(id, self.cfg.history_origin_min + minute, count);
-            }
+            self.minute_acc.recycle(counts);
         }
         self.history_next_min = Some(next);
     }
@@ -563,6 +838,11 @@ impl IncrementalAggregator {
             } else {
                 break;
             }
+        }
+        if self.records.is_empty() {
+            // An emptied ring is trivially sorted again; late disorder
+            // stops poisoning the binary-search fast path forever.
+            self.records_sorted = true;
         }
     }
 
@@ -738,11 +1018,11 @@ mod tests {
         let horizon_s = 20_000i64;
         for s in 0..horizon_s {
             agg.ingest(TelemetryEvent::Query(rec((s % 2) as usize, s as f64 * 1000.0 + 1.0, 2.0, 1)));
-            agg.ingest(TelemetryEvent::Metrics(MetricsSample {
+            agg.ingest(TelemetryEvent::Metrics(Box::new(MetricsSample {
                 second: s,
                 active_session: 1.0,
                 ..Default::default()
-            }));
+            })));
             agg.ingest(TelemetryEvent::Tick { second: s + 1 });
             assert!(agg.cell_seconds() <= retention as usize + 1, "at {s}");
             assert!(agg.metric_seconds() <= retention as usize + 1, "at {s}");
@@ -827,6 +1107,93 @@ mod tests {
         assert_eq!(s.cells, c.cells, "rows created, not calls, are counted");
         assert_eq!(s.evictions, c.evictions);
         assert_eq!(s.history_minutes, c.history_minutes);
+    }
+
+    #[test]
+    fn window_moments_match_snapshot_series() {
+        let specs = vec![
+            spec("SELECT * FROM a WHERE x = 1"),
+            spec("SELECT * FROM b WHERE x = 1"),
+        ];
+        let mut log = Vec::new();
+        for i in 0..240 {
+            let s = (i * 7) % 60;
+            log.push(rec(i % 2, s as f64 * 1000.0 + (i % 5) as f64 * 100.0, 2.0, 1));
+        }
+        let metrics = flat_metrics(0, 60);
+        for kind in [CellStoreKind::Dense, CellStoreKind::Hashed] {
+            let mut agg = IncrementalAggregator::new(
+                &specs,
+                IncrementalConfig::default().with_cell_store(kind),
+            );
+            for ev in interleave(&log, &metrics) {
+                agg.ingest(ev);
+            }
+            let moments = agg.window_moments(10, 50);
+            let case = agg.snapshot(10, 50);
+            assert_eq!(moments.len(), case.templates.len());
+            for ((id, m), tpl) in moments.iter().zip(&case.templates) {
+                assert_eq!(*id, tpl.id, "sorted by id, like snapshot templates");
+                let counts = &tpl.series.execution_count;
+                let active = counts.iter().filter(|&&c| c > 0.0).count() as u64;
+                let total: f64 = counts.iter().sum();
+                let sumsq: f64 = counts.iter().map(|c| c * c).sum();
+                assert_eq!(m.count(), active);
+                assert_eq!(m.sum(), total, "integer count sums are exact");
+                assert_eq!(m.sum_sq(), sumsq);
+                assert_eq!(m.sum() as usize, tpl.record_idx.len(), "exact presize");
+            }
+        }
+    }
+
+    #[test]
+    fn per_variant_entry_points_match_ingest() {
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let log: Vec<QueryRecord> = (0..120).map(|i| rec(0, i as f64 * 500.0, 2.0, 1)).collect();
+        let metrics = flat_metrics(0, 60);
+        let events = interleave(&log, &metrics);
+
+        let mut whole = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for ev in events.clone() {
+            whole.ingest(ev);
+        }
+        let mut split = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for ev in events {
+            match ev {
+                TelemetryEvent::Query(rec) => split.ingest_query_event(rec),
+                TelemetryEvent::Metrics(sample) => split.ingest_metrics_event(*sample),
+                TelemetryEvent::Tick { second } => split.ingest_tick(second),
+            }
+        }
+        assert_eq!(whole.stats(), split.stats());
+        assert_eq!(whole.watermark(), split.watermark());
+        assert_case_eq(&whole.snapshot(0, 60), &split.snapshot(0, 60));
+    }
+
+    #[test]
+    fn sorted_and_unsorted_record_paths_agree() {
+        let specs = vec![
+            spec("SELECT * FROM a WHERE x = 1"),
+            spec("SELECT * FROM b WHERE x = 1"),
+        ];
+        // Sorted prefix, then one straggler flips the ring to unsorted.
+        let mut log: Vec<QueryRecord> =
+            (0..200).map(|i| rec(i % 2, i as f64 * 300.0, 2.0, 1)).collect();
+        let mut sorted_agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for r in &log {
+            sorted_agg.ingest_query(*r);
+        }
+        sorted_agg.advance_watermark(60);
+        let fast = sorted_agg.snapshot(5, 55);
+
+        log.push(rec(0, 100.0, 9.0, 1)); // out of order, outside [5, 55)
+        let mut unsorted_agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        for r in &log {
+            unsorted_agg.ingest_query(*r);
+        }
+        unsorted_agg.advance_watermark(60);
+        let slow = unsorted_agg.snapshot(5, 55);
+        assert_case_eq(&fast, &slow);
     }
 
     #[test]

@@ -47,6 +47,22 @@ pub struct MetricsSample {
 }
 
 impl MetricsSample {
+    /// The six watched metric values in [`InstanceMetrics::iter_named`]
+    /// order (`active_session, cpu_usage, iops_usage, row_lock_waits,
+    /// mdl_waits, qps`) — the pre-resolved slot decode the online detector
+    /// bank indexes by, instead of matching names per sample.
+    #[inline]
+    pub fn metric_values(&self) -> [f64; 6] {
+        [
+            self.active_session,
+            self.cpu_usage,
+            self.iops_usage,
+            self.row_lock_waits,
+            self.mdl_waits,
+            self.qps,
+        ]
+    }
+
     /// The sample's value for a canonical metric name (see
     /// [`crate::metrics::names`]); `None` for unknown names.
     pub fn by_name(&self, name: &str) -> Option<f64> {
@@ -64,12 +80,19 @@ impl MetricsSample {
 }
 
 /// One event of an instance's telemetry stream.
+///
+/// The metrics sample is boxed: streams are overwhelmingly query records,
+/// and an inline [`MetricsSample`] (with its probe `Vec`) would widen
+/// *every* event to its size. Boxing the ~1/second cold variant keeps the
+/// enum at `Query`'s footprint, so a million-event stream moves less than
+/// half the memory through the ingest loop. `serde` treats `Box<T>`
+/// transparently, so wire formats are unchanged.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TelemetryEvent {
     /// A query-log record, delivered at its arrival timestamp.
     Query(QueryRecord),
     /// The per-second instance-metric sample for `[second, second + 1)`.
-    Metrics(MetricsSample),
+    Metrics(Box<MetricsSample>),
     /// Watermark: all telemetry with timestamps `< second` was delivered.
     Tick { second: i64 },
 }
@@ -122,7 +145,7 @@ pub fn interleave(log: &[QueryRecord], metrics: &InstanceMetrics) -> Vec<Telemet
             }
             probe_cursor += 1;
         }
-        events.push(TelemetryEvent::Metrics(MetricsSample {
+        events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
             second,
             active_session: metrics.active_session[idx],
             cpu_usage: metrics.cpu_usage[idx],
@@ -131,7 +154,7 @@ pub fn interleave(log: &[QueryRecord], metrics: &InstanceMetrics) -> Vec<Telemet
             mdl_waits: metrics.mdl_waits[idx],
             qps: metrics.qps[idx],
             probes,
-        }));
+        })));
         events.push(TelemetryEvent::Tick { second: second + 1 });
     }
 
@@ -235,7 +258,7 @@ mod tests {
         let samples: Vec<&MetricsSample> = events
             .iter()
             .filter_map(|e| match e {
-                TelemetryEvent::Metrics(m) => Some(m),
+                TelemetryEvent::Metrics(m) => Some(m.as_ref()),
                 _ => None,
             })
             .collect();
@@ -333,5 +356,46 @@ mod tests {
         assert_eq!(m.by_name("cpu_usage"), Some(0.1));
         assert_eq!(m.by_name("qps"), Some(5.0));
         assert_eq!(m.by_name("nope"), None);
+    }
+
+    #[test]
+    fn metric_values_decode_in_iter_named_order() {
+        let m = MetricsSample {
+            second: 0,
+            active_session: 1.0,
+            cpu_usage: 2.0,
+            iops_usage: 3.0,
+            row_lock_waits: 4.0,
+            mdl_waits: 5.0,
+            qps: 6.0,
+            probes: Vec::new(),
+        };
+        let values = m.metric_values();
+        let im = metrics(0, 1);
+        for (slot, (name, _)) in im.iter_named().enumerate() {
+            assert_eq!(values[slot], m.by_name(name).unwrap(), "{name}");
+        }
+        assert_eq!(values, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn event_stays_query_sized_with_boxed_metrics() {
+        // The ingest loop streams millions of events; the cold metrics
+        // variant must not widen the enum past the query record.
+        assert!(
+            std::mem::size_of::<TelemetryEvent>()
+                <= std::mem::size_of::<QueryRecord>() + 8,
+            "TelemetryEvent grew: {} bytes",
+            std::mem::size_of::<TelemetryEvent>()
+        );
+    }
+
+    #[test]
+    fn boxed_metrics_serialize_transparently() {
+        let events = interleave(&[rec(100.0)], &metrics(0, 1));
+        let json = serde_json::to_string(&events).unwrap();
+        assert!(json.contains("\"Metrics\":{\"second\":0"), "{json}");
+        let back: Vec<TelemetryEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events);
     }
 }

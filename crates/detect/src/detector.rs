@@ -10,6 +10,7 @@
 
 use crate::features::{Feature, FeatureKind};
 use pinsql_timeseries::rolling::{robust_z, RollingWindow};
+use pinsql_timeseries::KernelKind;
 use serde::{Deserialize, Serialize};
 
 /// Detector tuning.
@@ -30,6 +31,11 @@ pub struct DetectorConfig {
     pub mad_floor: f64,
     /// Minimum samples before detection starts (baseline warm-up).
     pub warmup: usize,
+    /// Which median/MAD implementation the baseline uses. Both kinds are
+    /// bit-identical (see `pinsql_timeseries::kernels`); the knob exists
+    /// for the equivalence suites and as an escape hatch.
+    #[serde(default)]
+    pub kernel: KernelKind,
 }
 
 impl Default for DetectorConfig {
@@ -42,6 +48,7 @@ impl Default for DetectorConfig {
             spike_max_s: 60,
             mad_floor: 1.0,
             warmup: 20,
+            kernel: KernelKind::default(),
         }
     }
 }
@@ -63,6 +70,12 @@ impl DetectorConfig {
             Self::default()
         }
     }
+
+    /// Builder-style kernel override.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// Detects anomalous features in `series`, whose first sample is at
@@ -83,8 +96,14 @@ pub fn detect_features(
             i += 1;
             continue;
         }
-        let med = baseline.median().expect("warm baseline");
-        let mad = baseline.mad().expect("warm baseline");
+        // `capacity >= 2` makes an empty post-warm-up baseline impossible,
+        // but the graceful-degradation contract says degenerate input never
+        // panics: an unwarm baseline keeps warming instead.
+        let Some((med, mad)) = baseline.median_mad(cfg.kernel) else {
+            baseline.push(x);
+            i += 1;
+            continue;
+        };
         let z = robust_z(x, med, mad, cfg.mad_floor);
         if z.abs() < cfg.trigger_z {
             baseline.push(x);

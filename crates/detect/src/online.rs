@@ -31,6 +31,7 @@ use crate::features::{Feature, FeatureKind};
 use pinsql_dbsim::metrics::names;
 use pinsql_dbsim::MetricsSample;
 use pinsql_timeseries::rolling::{robust_z, RollingWindow};
+use pinsql_timeseries::KernelKind;
 
 /// Detection state for one metric.
 #[derive(Debug, Clone)]
@@ -97,11 +98,17 @@ impl OnlineFeatureDetector {
     /// Consumes the next sample; returns any features that *closed* on it
     /// (usually none, at most one plus whatever the recovery replay opens).
     pub fn push(&mut self, x: f64) -> Vec<Feature> {
+        let mut out = Vec::new();
+        self.push_into(x, &mut out);
+        out
+    }
+
+    /// [`push`](Self::push) appending closed features into `out` — the
+    /// allocation-free form the detector bank drives per second.
+    pub fn push_into(&mut self, x: f64, out: &mut Vec<Feature>) {
         let idx = self.n;
         self.n += 1;
-        let mut out = Vec::new();
-        self.step(idx, x, &mut out);
-        out
+        self.step(idx, x, out);
     }
 
     /// Ends the stream: an unrecovered open segment is emitted as a level
@@ -134,8 +141,13 @@ impl OnlineFeatureDetector {
                     self.baseline.push(x);
                     return;
                 }
-                let med = self.baseline.median().expect("warm baseline");
-                let mad = self.baseline.mad().expect("warm baseline");
+                // With `capacity >= 2` a warm baseline always has a median,
+                // but degenerate input must never panic (the PR 2
+                // graceful-degradation contract): keep warming instead.
+                let Some((med, mad)) = self.baseline.median_mad(self.cfg.kernel) else {
+                    self.baseline.push(x);
+                    return;
+                };
                 let z = robust_z(x, med, mad, self.cfg.mad_floor);
                 if z.abs() < self.cfg.trigger_z {
                     self.baseline.push(x);
@@ -195,6 +207,7 @@ pub struct OnlineDetectorBank {
     closed: Vec<Vec<Feature>>,
     start_second: Option<i64>,
     finished: bool,
+    kernel: KernelKind,
 }
 
 /// The instance metrics watched, in [`InstanceMetrics::iter_named`]
@@ -221,7 +234,19 @@ impl OnlineDetectorBank {
     /// [`DetectorConfig::for_metric`]). The time origin latches to the
     /// first observed sample's second.
     pub fn new() -> Self {
-        Self { detectors: Vec::new(), closed: Vec::new(), start_second: None, finished: false }
+        Self::with_kernel(KernelKind::default())
+    }
+
+    /// [`new`](Self::new) with an explicit statistics kernel for every
+    /// detector (the equivalence suites run both kinds).
+    pub fn with_kernel(kernel: KernelKind) -> Self {
+        Self {
+            detectors: Vec::new(),
+            closed: Vec::new(),
+            start_second: None,
+            finished: false,
+            kernel,
+        }
     }
 
     /// Feeds one per-second metrics sample to all six detectors.
@@ -229,21 +254,39 @@ impl OnlineDetectorBank {
     /// Non-finite values are read as `0.0`, matching the sanitize pass the
     /// batch path applies before detection. Samples must arrive in second
     /// order, one per second.
+    ///
+    /// The six metric slots are pre-resolved: detectors sit in
+    /// [`WATCHED_METRICS`] order and the sample decodes to the same order
+    /// through [`MetricsSample::metric_values`], so the per-second loop is
+    /// six array reads — no name matching, no per-push feature `Vec`.
     pub fn observe(&mut self, sample: &MetricsSample) {
         assert!(!self.finished, "bank already finished");
         if self.start_second.is_none() {
             let start = sample.second;
             self.start_second = Some(start);
+            let kernel = self.kernel;
             self.detectors = WATCHED_METRICS
                 .iter()
-                .map(|m| OnlineFeatureDetector::new(m, start, DetectorConfig::for_metric(m)))
+                .map(|m| {
+                    OnlineFeatureDetector::new(
+                        m,
+                        start,
+                        DetectorConfig::for_metric(m).with_kernel(kernel),
+                    )
+                })
                 .collect();
             self.closed = vec![Vec::new(); WATCHED_METRICS.len()];
         }
+        debug_assert!(self
+            .detectors
+            .iter()
+            .zip(WATCHED_METRICS)
+            .all(|(d, m)| d.metric() == m));
+        let values = sample.metric_values();
         for (slot, det) in self.detectors.iter_mut().enumerate() {
-            let v = sample.by_name(det.metric()).unwrap_or(0.0);
+            let v = values[slot];
             let v = if v.is_finite() { v } else { 0.0 };
-            self.closed[slot].extend(det.push(v));
+            det.push_into(v, &mut self.closed[slot]);
         }
     }
 
@@ -423,6 +466,59 @@ mod tests {
                 .collect();
             assert_matches_batch(&series, trial as i64 * 100, &cfg());
             assert_matches_batch(&series, 0, &DetectorConfig::default());
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_return_to_warmup_instead_of_panicking() {
+        // Regression for the old `expect("warm baseline")` in `step`: a
+        // detector whose baseline cannot produce statistics must keep
+        // warming up, never panic — the graceful-degradation contract.
+        for warmup in [0usize, 1, 2] {
+            for kernel in [KernelKind::Reference, KernelKind::Fast] {
+                let cfg = DetectorConfig {
+                    warmup,
+                    baseline_len: 1, // clamped to 2 internally
+                    kernel,
+                    ..Default::default()
+                };
+                // Constant, tiny, and empty streams all stay feature-free.
+                assert_matches_batch(&[], 0, &cfg);
+                assert_matches_batch(&[5.0], 0, &cfg);
+                assert_matches_batch(&vec![5.0; 50], 0, &cfg);
+                // A stream that triggers immediately after the minimal
+                // warm-up still closes cleanly.
+                let mut s = vec![1.0, 1.0, 1.0];
+                s.extend(std::iter::repeat(500.0).take(10));
+                s.extend(std::iter::repeat(1.0).take(20));
+                assert_matches_batch(&s, 0, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_kinds_are_bit_identical_on_noise() {
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let series: Vec<f64> = (0..600)
+            .map(|i| {
+                let base = 10.0 + 2.0 * next();
+                if next() < 0.03 {
+                    base + 50.0 * next()
+                } else if i % 89 == 0 {
+                    base - 9.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        for base in [cfg(), DetectorConfig::default(), DetectorConfig::for_utilization()] {
+            let fast = online(&series, 7, &base.clone().with_kernel(KernelKind::Fast));
+            let reference = online(&series, 7, &base.with_kernel(KernelKind::Reference));
+            assert_eq!(fast, reference);
         }
     }
 

@@ -32,6 +32,7 @@
 
 use crate::instance::OnlineInstance;
 use pinsql::{Diagnosis, PinSql, PinSqlConfig};
+use pinsql_detect::KernelKind;
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
 use pinsql_obs::{FleetHealth, HealthSnapshot, NoopObserver, Observer, Stage};
@@ -55,11 +56,21 @@ pub struct FleetConfig {
     /// of instances. Must be ≥ 1; values above the instance count are
     /// clamped at run time. Outcomes are identical at every value.
     pub shards: usize,
+    /// Detector statistics kernel for every instance's bank. Both kinds
+    /// are bit-identical; the equivalence suites run the full
+    /// kernel × shards × fanout matrix against the golden corpus.
+    pub kernel: KernelKind,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { delta_s: 600, pinsql: PinSqlConfig::default(), fanout: 0, shards: 1 }
+        Self {
+            delta_s: 600,
+            pinsql: PinSqlConfig::default(),
+            fanout: 0,
+            shards: 1,
+            kernel: KernelKind::default(),
+        }
     }
 }
 
@@ -194,6 +205,7 @@ impl FleetEngine {
             .collect();
 
         let delta_s = self.cfg.delta_s;
+        let kernel = self.cfg.kernel;
         let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = shard_streams
                 .into_iter()
@@ -202,7 +214,7 @@ impl FleetEngine {
                     let shard_scenarios = &scenarios[bounds[s]..bounds[s + 1]];
                     let shard_obs = obs.fork(&format!("shard{s}"));
                     scope.spawn(move || {
-                        run_shard(shard_scenarios, local_streams, delta_s, shard_obs)
+                        run_shard(shard_scenarios, local_streams, delta_s, kernel, shard_obs)
                     })
                 })
                 .collect();
@@ -302,11 +314,14 @@ fn run_shard<'a, O: Observer>(
     scenarios: &'a [Scenario],
     mut streams: Vec<Vec<TelemetryEvent>>,
     delta_s: i64,
+    kernel: KernelKind,
     obs: O,
 ) -> ShardResult {
     debug_assert_eq!(scenarios.len(), streams.len());
-    let mut instances: Vec<OnlineInstance<'a, O>> =
-        scenarios.iter().map(|s| OnlineInstance::with_observer(s, delta_s, obs.clone())).collect();
+    let mut instances: Vec<OnlineInstance<'a, O>> = scenarios
+        .iter()
+        .map(|s| OnlineInstance::with_observer(s, delta_s, obs.clone()).with_kernel(kernel))
+        .collect();
 
     let merge_n0 = if O::ENABLED { obs.now_ns() } else { 0 };
     let t0 = Instant::now();
@@ -392,6 +407,7 @@ mod tests {
             pinsql: PinSqlConfig::default(),
             fanout: 2,
             shards: 2,
+            ..FleetConfig::default()
         });
         let report = engine.run(&scenarios);
 
@@ -424,6 +440,7 @@ mod tests {
                 pinsql: PinSqlConfig::default(),
                 fanout,
                 shards,
+                ..FleetConfig::default()
             })
             .run(&scenarios)
         };
@@ -457,6 +474,7 @@ mod tests {
                 pinsql: PinSqlConfig::default(),
                 fanout: 1,
                 shards,
+                ..FleetConfig::default()
             })
             .run_full(&scenarios)
         };
@@ -488,6 +506,7 @@ mod tests {
             pinsql: PinSqlConfig::default(),
             fanout: 1,
             shards: 0,
+            ..FleetConfig::default()
         });
     }
 
@@ -499,6 +518,7 @@ mod tests {
             pinsql: PinSqlConfig::default(),
             fanout: 1,
             shards: 16,
+            ..FleetConfig::default()
         })
         .run(&scenarios);
         assert_eq!(report.shards, 2, "shards clamp to the fleet size");

@@ -21,7 +21,7 @@ use pinsql::{Diagnosis, PinSql, PinSqlConfig};
 use pinsql_collector::{HistoryStore, IncrementalAggregator, IncrementalConfig, IngestStats};
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
-use pinsql_detect::{classify, OnlineDetectorBank, PhenomenonConfig};
+use pinsql_detect::{classify, KernelKind, OnlineDetectorBank, PhenomenonConfig};
 use pinsql_obs::{Counter, Gauge, HealthSnapshot, NoopObserver, Observer, Stage};
 use pinsql_scenario::materialize::MINUTES_ORIGIN;
 use pinsql_scenario::{
@@ -85,32 +85,62 @@ impl<'a, O: Observer> OnlineInstance<'a, O> {
         }
     }
 
+    /// Replaces the detector bank's statistics kernel (bit-identical
+    /// either way; the knob feeds the equivalence suites). Call before the
+    /// first event — the bank is rebuilt empty.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        debug_assert_eq!(self.events, 0, "kernel must be chosen before ingestion");
+        self.bank = OnlineDetectorBank::with_kernel(kernel);
+        self
+    }
+
     /// Folds one telemetry event into the pipeline: every event reaches
     /// the aggregator; metric samples additionally drive the detectors.
+    ///
+    /// The event is matched exactly once — each variant drops straight
+    /// into the aggregator's per-variant entry point, so the dominant
+    /// query case never touches the cold metrics/tick arms again
+    /// downstream.
     pub fn ingest(&mut self, ev: TelemetryEvent) {
         self.events += 1;
-        if let TelemetryEvent::Metrics(sample) = &ev {
-            let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
-            self.bank.observe(sample);
-            if O::ENABLED {
-                self.obs.span(Stage::DetectorStep, n0, self.obs.now_ns());
-            }
-            // Segment edges arrive at metric cadence (~1/s), so this check
-            // is off the per-query hot path.
-            let open = self.bank.any_open();
-            if open != self.seg_open {
-                if open {
-                    self.cases_opened += 1;
-                } else {
-                    self.cases_closed += 1;
+        match ev {
+            TelemetryEvent::Query(rec) => {
+                let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
+                self.aggregator.ingest_query_event(rec);
+                if O::ENABLED {
+                    self.obs.span(Stage::CellFold, n0, self.obs.now_ns());
                 }
-                self.seg_open = open;
             }
-        }
-        let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
-        self.aggregator.ingest(ev);
-        if O::ENABLED {
-            self.obs.span(Stage::CellFold, n0, self.obs.now_ns());
+            TelemetryEvent::Metrics(sample) => {
+                let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
+                self.bank.observe(&sample);
+                if O::ENABLED {
+                    self.obs.span(Stage::DetectorStep, n0, self.obs.now_ns());
+                }
+                // Segment edges arrive at metric cadence (~1/s), so this
+                // check is off the per-query hot path.
+                let open = self.bank.any_open();
+                if open != self.seg_open {
+                    if open {
+                        self.cases_opened += 1;
+                    } else {
+                        self.cases_closed += 1;
+                    }
+                    self.seg_open = open;
+                }
+                let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
+                self.aggregator.ingest_metrics_event(*sample);
+                if O::ENABLED {
+                    self.obs.span(Stage::CellFold, n0, self.obs.now_ns());
+                }
+            }
+            TelemetryEvent::Tick { second } => {
+                let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
+                self.aggregator.ingest_tick(second);
+                if O::ENABLED {
+                    self.obs.span(Stage::CellFold, n0, self.obs.now_ns());
+                }
+            }
         }
     }
 
@@ -272,6 +302,24 @@ pub fn replay_diagnose(
     replay_diagnose_observed(scenario, delta_s, cfg, &NoopObserver)
 }
 
+/// [`replay_diagnose`] with an explicit detector-kernel choice. Both kinds
+/// are bit-identical (the golden equivalence suites run the full matrix);
+/// the parameter exists so those suites — and any deployment wanting the
+/// scalar reference formulation — can pick.
+pub fn replay_diagnose_with_kernel(
+    scenario: &Scenario,
+    delta_s: i64,
+    cfg: &PinSqlConfig,
+    kernel: KernelKind,
+) -> (LabeledCase, Diagnosis) {
+    let events = materialize_events(scenario, None);
+    let mut inst = OnlineInstance::new(scenario, delta_s).with_kernel(kernel);
+    inst.ingest_stream(events);
+    let lc = inst.close_case();
+    let d = PinSql::new(cfg.clone()).diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
+    (lc, d)
+}
+
 /// [`replay_diagnose`] under an explicit observer: the whole replay —
 /// ingest folds, detector steps, window cut, and the three diagnosis
 /// stages — lands in the observer's registry. The case and diagnosis are
@@ -379,6 +427,20 @@ mod tests {
         assert_eq!(s.malformed, c.malformed);
         assert_eq!(s.late, c.late);
         assert_case_eq(&scalar.close_case(), &chunked.close_case());
+    }
+
+    #[test]
+    fn kernel_kinds_replay_identically() {
+        let cfg = ScenarioConfig::default().with_seed(21).with_businesses(6);
+        let base = generate_base(&cfg);
+        let scenario = inject(&base, &cfg, AnomalyKind::BusinessSpike);
+        let pin = PinSqlConfig::default();
+        let (lc_fast, d_fast) =
+            replay_diagnose_with_kernel(&scenario, 300, &pin, KernelKind::Fast);
+        let (lc_ref, d_ref) =
+            replay_diagnose_with_kernel(&scenario, 300, &pin, KernelKind::Reference);
+        assert_case_eq(&lc_fast, &lc_ref);
+        assert_diagnosis_eq(&d_fast, &d_ref);
     }
 
     #[test]

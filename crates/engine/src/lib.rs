@@ -30,4 +30,6 @@ pub mod fleet;
 pub mod instance;
 
 pub use fleet::{FleetConfig, FleetEngine, FleetReport, FleetRun, InstanceOutcome};
-pub use instance::{replay_diagnose, replay_diagnose_observed, OnlineInstance};
+pub use instance::{
+    replay_diagnose, replay_diagnose_observed, replay_diagnose_with_kernel, OnlineInstance,
+};

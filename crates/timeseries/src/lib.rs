@@ -20,6 +20,9 @@
 //!   it to confirm level shifts.
 //! * [`rolling`] — rolling robust statistics (median / MAD / quantiles) used
 //!   by the anomaly-feature detectors in the `pinsql-detect` crate.
+//! * [`kernels`] — unrolled slice kernels (sum / sumsq / dot), the
+//!   selection-based `O(log w)` rolling median/MAD, streaming moment
+//!   accumulators, and the [`KernelKind`] fast/reference knob.
 //! * [`graph`] — correlation graphs and connected components (union-find),
 //!   used by SQL-template clustering (§VI).
 //! * [`matrix`] — the [`NormalizedMatrix`] correlation kernel: z-scored,
@@ -40,6 +43,7 @@
 pub mod changepoint;
 pub mod fxhash;
 pub mod graph;
+pub mod kernels;
 pub mod matrix;
 pub mod outlier;
 pub mod par;
@@ -51,6 +55,7 @@ pub mod weights;
 
 pub use changepoint::{has_change_point, pettitt, Pettitt};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use kernels::{KernelKind, MomentAccumulator};
 pub use graph::{
     connected_components, connected_components_par, CorrelationGraph, UnionFind,
 };

@@ -106,29 +106,9 @@ impl NormalizedMatrix {
     }
 }
 
-/// Dot product of two equally-long slices with eight independent
-/// accumulators.
-///
-/// Strict left-to-right f64 summation forms a serial dependence chain
-/// LLVM must not reorder, which blocks vectorization of the pair loop —
-/// the whole point of the matrix. The fixed lane split keeps the result
-/// deterministic (identical for every parallelism level and every call
-/// site); it merely differs from single-chain rounding by the usual ~1
-/// ulp, far below the clustering threshold's resolution.
-#[inline]
-pub fn dot_kernel(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (a8, b8) in (&mut ca).zip(&mut cb) {
-        for k in 0..8 {
-            acc[k] += a8[k] * b8[k];
-        }
-    }
-    let tail: f64 =
-        ca.remainder().iter().zip(cb.remainder()).map(|(x, y)| x * y).sum();
-    acc.iter().sum::<f64>() + tail
-}
+/// The canonical deterministic dot kernel now lives with the other slice
+/// kernels; re-exported here because the matrix is its defining consumer.
+pub use crate::kernels::dot as dot_kernel;
 
 #[cfg(test)]
 mod tests {

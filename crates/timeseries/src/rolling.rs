@@ -8,6 +8,13 @@
 //! The windows here are small (tens to hundreds of samples), so the median
 //! is recomputed from a maintained sorted buffer: `O(w)` per step via binary
 //! search + shift, which comfortably beats fancier structures at these sizes.
+//! The MAD, by contrast, used to collect-and-sort the deviations on every
+//! query; [`RollingWindow::median_mad`] routes that through the
+//! selection-based `O(log w)` kernel ([`crate::kernels::mad_of_sorted`]) —
+//! bit-identical to the reference formulation, which stays available behind
+//! [`KernelKind::Reference`] for the equivalence suites.
+
+use crate::kernels::{self, KernelKind};
 
 /// A fixed-capacity rolling window maintaining its contents both in arrival
 /// order (for eviction) and in sorted order (for quantiles).
@@ -106,6 +113,25 @@ impl RollingWindow {
         })
     }
 
+    /// Median and MAD in one call, through the selected kernel; `None`
+    /// when empty.
+    ///
+    /// `KernelKind::Reference` is [`median`](Self::median) +
+    /// [`mad`](Self::mad) (allocate the deviations, sort, index);
+    /// `KernelKind::Fast` selects the same order statistics straight from
+    /// the maintained sorted buffer in `O(log w)` without allocating. The
+    /// two are bit-identical (pinned by this module's tests, `kernel_props`
+    /// and the golden corpus).
+    pub fn median_mad(&self, kind: KernelKind) -> Option<(f64, f64)> {
+        match kind {
+            KernelKind::Reference => Some((self.median()?, self.mad()?)),
+            KernelKind::Fast => {
+                let med = kernels::median_of_sorted(&self.sorted)?;
+                Some((med, kernels::mad_of_sorted(&self.sorted, med)))
+            }
+        }
+    }
+
     /// Mean of the current contents; `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         if self.is_empty() {
@@ -200,6 +226,31 @@ mod tests {
         }
         // median = 2, |devs| sorted = [0,0,1,1,6] → mad = 1
         assert_eq!(w.mad(), Some(1.0));
+    }
+
+    #[test]
+    fn median_mad_kernels_are_bit_identical() {
+        // A deterministic stream with duplicates, evictions, and values
+        // landing exactly on the median.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((state >> 40) % 1000) as f64) / 10.0
+        };
+        for capacity in [2usize, 3, 5, 16, 121] {
+            let mut w = RollingWindow::new(capacity);
+            assert_eq!(w.median_mad(KernelKind::Fast), None);
+            assert_eq!(w.median_mad(KernelKind::Reference), None);
+            for _ in 0..(capacity * 3 + 7) {
+                w.push(next());
+                let (fm, fd) = w.median_mad(KernelKind::Fast).unwrap();
+                let (rm, rd) = w.median_mad(KernelKind::Reference).unwrap();
+                assert_eq!(fm.to_bits(), rm.to_bits(), "median, capacity {capacity}");
+                assert_eq!(fd.to_bits(), rd.to_bits(), "mad, capacity {capacity}");
+                assert_eq!(rm.to_bits(), w.median().unwrap().to_bits());
+                assert_eq!(rd.to_bits(), w.mad().unwrap().to_bits());
+            }
+        }
     }
 
     #[test]

@@ -18,5 +18,12 @@ cargo test -q -p pinsql-engine scaling_smoke
 # chrome-trace document, and the disabled observer must add no measurable
 # cost to the ingest hot path.
 cargo test -q --test obs_smoke
+# kernel_smoke: the fast kernels must stay bit-identical to the scalar
+# reference (property suite), and the dense store's ingest advantage over
+# the hashed reference store must not regress >20% against the committed
+# summary. The gate compares the machine-neutral dense/hashed throughput
+# ratio, so it holds on slow CI hosts too.
+cargo test -q --test kernel_props
+cargo run --release -q -p pinsql-bench --bin ingest_rate -- --check BENCH_ingest_loop.json
 cargo test -q
 cargo clippy --workspace -- -D warnings

@@ -100,11 +100,11 @@ proptest! {
                 // Ticks from the maximum arrival so far keep the watermark
                 // monotone while arrivals stay out of order.
                 let hi = raw[..=i].iter().map(|r| r.1).max().unwrap_or(0);
-                events.push(TelemetryEvent::Metrics(MetricsSample {
+                events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
                     second: hi.max(0),
                     active_session: 1.0,
                     ..Default::default()
-                }));
+                })));
             }
         }
 
@@ -170,8 +170,8 @@ fn stores_agree_on_perturbed_telemetry() {
                 qps: metrics.qps[s],
                 probes: Vec::new(),
             };
-            dense.ingest(TelemetryEvent::Metrics(sample.clone()));
-            hashed.ingest(TelemetryEvent::Metrics(sample));
+            dense.ingest(TelemetryEvent::Metrics(Box::new(sample.clone())));
+            hashed.ingest(TelemetryEvent::Metrics(Box::new(sample)));
         }
         assert_aggs_agree(&mut dense, &mut hashed, 0, scenario.cfg.window_s);
     }

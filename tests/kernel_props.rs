@@ -1,0 +1,259 @@
+//! Property equivalence of the fast stats kernels against their scalar
+//! reference formulations.
+//!
+//! The kernel layer (`pinsql_timeseries::kernels`) promises two things:
+//! the selection-based rolling median/MAD is *bit-identical* to the
+//! allocate-and-sort reference, and the running `MomentAccumulator` is an
+//! exact replacement for re-summing a window of integer-valued counts.
+//! This suite drives both through seeded random streams, out-of-order
+//! arrivals, perturbation-degraded streams (dropped, duplicated, and
+//! spiked samples — the shapes the chaos layer produces), constant
+//! series, and ±inf / NaN edge cases, comparing `KernelKind::Fast`
+//! against `KernelKind::Reference` bitwise at every step.
+
+use pinsql_timeseries::rolling::RollingWindow;
+use pinsql_timeseries::{kernels, KernelKind, MomentAccumulator};
+
+/// Deterministic LCG so every failure reproduces from a printed seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Asserts Fast and Reference median/MAD agree bitwise after every push.
+fn assert_window_equivalence(capacity: usize, stream: &[f64], ctx: &str) {
+    let mut w = RollingWindow::new(capacity);
+    for (i, &x) in stream.iter().enumerate() {
+        w.push(x);
+        let fast = w.median_mad(KernelKind::Fast).expect("non-empty window");
+        let reference = w.median_mad(KernelKind::Reference).expect("non-empty window");
+        assert_eq!(
+            (fast.0.to_bits(), fast.1.to_bits()),
+            (reference.0.to_bits(), reference.1.to_bits()),
+            "{ctx}: kernel divergence at step {i} (cap {capacity}, fast {fast:?}, reference {reference:?})"
+        );
+    }
+}
+
+#[test]
+fn rolling_median_mad_matches_reference_on_random_streams() {
+    for seed in 0..32u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+        let capacity = 1 + rng.below(64);
+        let stream: Vec<f64> =
+            (0..200).map(|_| (rng.next_f64() - 0.5) * 1e3).collect();
+        assert_window_equivalence(capacity, &stream, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn rolling_median_mad_matches_reference_on_out_of_order_streams() {
+    // The window is arrival-ordered, so "out of order" means the sorted
+    // buffer sees inserts at arbitrary positions: feed ascending, then
+    // descending, then block-shuffled versions of the same values.
+    let mut rng = Lcg(0xD15EA5E);
+    let mut values: Vec<f64> = (0..150).map(|_| rng.next_f64() * 100.0).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for capacity in [1, 2, 5, 32] {
+        assert_window_equivalence(capacity, &values, "ascending");
+        let descending: Vec<f64> = values.iter().rev().copied().collect();
+        assert_window_equivalence(capacity, &descending, "descending");
+        let mut shuffled = values.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.below(i + 1));
+        }
+        assert_window_equivalence(capacity, &shuffled, "shuffled");
+    }
+}
+
+#[test]
+fn rolling_median_mad_matches_reference_on_degraded_streams() {
+    // Perturbation-shaped degradation: a smooth baseline with samples
+    // dropped (gaps change the window's phase), duplicated (heavy ties),
+    // and spiked (outliers push the median off-center).
+    for seed in 0..16u64 {
+        let mut rng = Lcg(0xBAD0 + seed);
+        let mut stream = Vec::new();
+        let mut last = 10.0;
+        for t in 0..300 {
+            let base = 10.0 + (t as f64 / 20.0).sin() * 2.0 + rng.next_f64();
+            match rng.below(10) {
+                0 => continue,                      // dropped sample
+                1 => {
+                    stream.push(last);              // duplicated sample
+                    stream.push(last);
+                }
+                2 => stream.push(base * 50.0),      // spike
+                _ => stream.push(base),
+            }
+            last = base;
+        }
+        let capacity = 1 + rng.below(48);
+        assert_window_equivalence(capacity, &stream, &format!("degraded seed {seed}"));
+    }
+}
+
+#[test]
+fn rolling_median_mad_matches_reference_on_constant_series() {
+    for value in [0.0, -0.0, 1.0, -273.15, 1e300] {
+        let stream = vec![value; 40];
+        for capacity in [1, 2, 7, 40] {
+            assert_window_equivalence(capacity, &stream, "constant");
+        }
+        let mut w = RollingWindow::new(8);
+        for _ in 0..8 {
+            w.push(value);
+        }
+        let (med, mad) = w.median_mad(KernelKind::Fast).unwrap();
+        assert_eq!(med.to_bits(), value.to_bits(), "median of a constant series is the value");
+        assert_eq!(mad, 0.0, "MAD of a constant series is zero");
+    }
+}
+
+#[test]
+fn rolling_median_mad_matches_reference_with_infinities() {
+    // ±inf sorts and subtracts deterministically as long as the median
+    // itself stays finite; both formulations must agree bit-for-bit.
+    let mut stream: Vec<f64> = (0..30).map(|i| i as f64).collect();
+    stream[7] = f64::INFINITY;
+    stream[19] = f64::NEG_INFINITY;
+    for capacity in [5, 9, 30] {
+        assert_window_equivalence(capacity, &stream, "infinities");
+    }
+}
+
+/// Scalar reference for the moment accumulator: re-sum the live window.
+fn serial_moments(window: &[f64]) -> (u64, f64, f64) {
+    (
+        window.len() as u64,
+        window.iter().sum(),
+        window.iter().map(|x| x * x).sum(),
+    )
+}
+
+#[test]
+fn moments_match_serial_resum_on_integer_sliding_windows() {
+    // The collector feeds the accumulator per-second execution counts —
+    // integer-valued f64s — and evicts them as the retention window
+    // slides. Push/evict must be an exact inverse there: equality is
+    // bitwise, not approximate.
+    for seed in 0..16u64 {
+        let mut rng = Lcg(0xC0DE + seed);
+        let mut acc = MomentAccumulator::default();
+        let mut window: Vec<f64> = Vec::new();
+        for step in 0..500 {
+            let x = rng.below(1000) as f64;
+            acc.push(x);
+            window.push(x);
+            while window.len() > 60 {
+                acc.evict(window.remove(0));
+            }
+            let (n, sum, sumsq) = serial_moments(&window);
+            assert_eq!(acc.count(), n, "seed {seed} step {step}");
+            assert_eq!(acc.sum().to_bits(), sum.to_bits(), "seed {seed} step {step}");
+            assert_eq!(acc.sum_sq().to_bits(), sumsq.to_bits(), "seed {seed} step {step}");
+        }
+    }
+}
+
+#[test]
+fn moments_merge_matches_sequential_on_integer_streams() {
+    let mut rng = Lcg(0x5EED);
+    let stream: Vec<f64> = (0..256).map(|_| rng.below(10_000) as f64).collect();
+    for split in [0, 1, 100, 255, 256] {
+        let mut left = MomentAccumulator::default();
+        let mut right = MomentAccumulator::default();
+        for &x in &stream[..split] {
+            left.push(x);
+        }
+        for &x in &stream[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        let mut sequential = MomentAccumulator::default();
+        for &x in &stream {
+            sequential.push(x);
+        }
+        assert_eq!(left.count(), sequential.count());
+        assert_eq!(left.sum().to_bits(), sequential.sum().to_bits(), "split {split}");
+        assert_eq!(left.sum_sq().to_bits(), sequential.sum_sq().to_bits(), "split {split}");
+    }
+}
+
+#[test]
+fn moments_track_serial_resum_within_ulps_on_real_valued_streams() {
+    // For non-integer data push/evict is no longer exactly invertible;
+    // the contract is closeness, and degenerate windows must still yield
+    // a non-negative variance (the cancellation floor).
+    let mut rng = Lcg(0xF00D);
+    let mut acc = MomentAccumulator::default();
+    let mut window: Vec<f64> = Vec::new();
+    for _ in 0..2000 {
+        let x = rng.next_f64() * 20.0 - 5.0;
+        acc.push(x);
+        window.push(x);
+        if window.len() > 120 {
+            acc.evict(window.remove(0));
+        }
+        let (_, sum, _) = serial_moments(&window);
+        assert!((acc.sum() - sum).abs() <= 1e-9 * (1.0 + sum.abs()));
+        assert!(acc.variance().unwrap() >= 0.0, "variance floor");
+    }
+    let mut constant = MomentAccumulator::default();
+    for _ in 0..50 {
+        constant.push(1e8 + 0.5);
+    }
+    assert_eq!(constant.variance(), Some(0.0), "constant series variance floors at zero");
+}
+
+#[test]
+fn moments_propagate_non_finite_values_like_the_serial_loop() {
+    let mut acc = MomentAccumulator::default();
+    for x in [1.0, f64::NAN, 2.0] {
+        acc.push(x);
+    }
+    assert!(acc.sum().is_nan() && acc.mean().unwrap().is_nan());
+    let mut inf = MomentAccumulator::default();
+    for x in [1.0, f64::INFINITY, 2.0] {
+        inf.push(x);
+    }
+    assert_eq!(inf.sum(), f64::INFINITY);
+    assert_eq!(inf.sum_sq(), f64::INFINITY);
+}
+
+#[test]
+fn slice_kernels_agree_with_serial_loops() {
+    // The lane-split sum/sumsq/dot promise ~ulp agreement with the serial
+    // loop in general and bitwise equality on integer-valued data.
+    let mut rng = Lcg(0xAB5);
+    for n in [0usize, 1, 7, 8, 9, 64, 65, 333] {
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 3.0).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 3.0).collect();
+        let serial_sum: f64 = xs.iter().sum();
+        let serial_dot: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        assert!((kernels::sum(&xs) - serial_sum).abs() <= 1e-9 * (1.0 + serial_sum.abs()));
+        assert!((kernels::dot(&xs, &ys) - serial_dot).abs() <= 1e-9 * (1.0 + serial_dot.abs()));
+
+        let counts: Vec<f64> = (0..n).map(|_| rng.below(100_000) as f64).collect();
+        let serial: f64 = counts.iter().sum();
+        if n > 0 {
+            assert_eq!(kernels::sum(&counts).to_bits(), serial.to_bits(), "integer sums are exact");
+        }
+    }
+    // std's `Iterator::sum` folds from a -0.0 identity, so the *serial*
+    // empty sum is -0.0; the kernel's is +0.0. Numerically equal — and the
+    // kernel's sign is the stable one across input lengths.
+    assert_eq!(kernels::sum(&[]).to_bits(), 0.0f64.to_bits());
+    assert!(kernels::sum(&[1.0, f64::NAN]).is_nan(), "NaN propagates");
+    assert!(kernels::sumsq(&[f64::INFINITY]).is_infinite());
+}

@@ -168,6 +168,7 @@ fn fleet_health_rollup_matches_instance_truth() {
         pinsql: PinSqlConfig::default(),
         fanout: 2,
         shards: 2,
+        ..pinsql_engine::FleetConfig::default()
     });
     let run = engine.run_full(&scenarios);
     let h = &run.health;

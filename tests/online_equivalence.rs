@@ -4,17 +4,19 @@
 //! Every manifest entry's scenario is replayed event-by-event through
 //! `pinsql_engine::replay_diagnose` — the incremental collector, the
 //! online detector bank, and the case-close snapshot — at diagnosis
-//! parallelism 1 and 4, and the resulting `Snapshot` JSON is compared
-//! **byte-for-byte** against the batch pipeline's output (and against the
-//! stored `tests/golden/<name>.json` when one exists). Scores are
-//! serialized as `f64` bit patterns, so a single ULP of drift anywhere in
-//! the online path fails this suite.
+//! parallelism {1, 4} × detector kernel {fast, reference}, and the
+//! resulting `Snapshot` JSON is compared **byte-for-byte** against the
+//! batch pipeline's output (and against the stored
+//! `tests/golden/<name>.json` when one exists). Scores are serialized as
+//! `f64` bit patterns, so a single ULP of drift anywhere in the online
+//! path fails this suite.
 
 mod common;
 
 use common::{batch_snapshot, golden_dir, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
 use pinsql::PinSqlConfig;
-use pinsql_engine::replay_diagnose;
+use pinsql_detect::KernelKind;
+use pinsql_engine::{replay_diagnose, replay_diagnose_with_kernel};
 
 #[test]
 fn online_replay_matches_batch_on_every_golden_case() {
@@ -36,6 +38,21 @@ fn online_replay_matches_batch_on_every_golden_case() {
                 "{}: online replay (parallelism {parallelism}) diverged from batch",
                 entry.name
             );
+
+            for kernel in [KernelKind::Fast, KernelKind::Reference] {
+                let (lc, d) =
+                    replay_diagnose_with_kernel(&scenario, GOLDEN_DELTA_S, &cfg, kernel);
+                let kernel_json = serde_json::to_string_pretty(&snapshot_of(entry, &lc, &d))
+                    .expect("serialize snapshot");
+                assert_eq!(
+                    kernel_json,
+                    batch_json,
+                    "{}: online replay (parallelism {parallelism}, kernel {}) \
+                     diverged from batch",
+                    entry.name,
+                    kernel.label()
+                );
+            }
         }
 
         // When a golden file is already pinned, the online path must match
