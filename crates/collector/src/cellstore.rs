@@ -183,6 +183,48 @@ impl CellStore {
         Self { n_slots, rows }
     }
 
+    /// The row representation this store was built with.
+    pub fn kind(&self) -> CellStoreKind {
+        match &self.rows {
+            Rows::Dense { .. } => CellStoreKind::Dense,
+            Rows::Hashed(_) => CellStoreKind::Hashed,
+        }
+    }
+
+    /// The dense template-slot count this store was sized for.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Appends a row at the back with *exact* cell values, in iteration
+    /// order — the checkpoint-restore path. Unlike [`add`](Self::add),
+    /// which accumulates, the cells are installed verbatim, so a restored
+    /// row is bit-identical to the one that was serialized (dense rows
+    /// additionally keep first-touch order, which `cells` arrives in).
+    ///
+    /// Callers must have validated `slot < n_slots` for every pair; the
+    /// shared write table is sized for the catalog and an out-of-range
+    /// slot would corrupt it on the next write.
+    pub fn push_back_row(&mut self, cells: impl IntoIterator<Item = (u32, Cell)>) {
+        match &mut self.rows {
+            Rows::Dense { rows, free, .. } => {
+                let mut data = free.pop().unwrap_or_default();
+                data.clear();
+                data.extend(cells);
+                debug_assert!(data.iter().all(|&(s, _)| (s as usize) < self.n_slots));
+                rows.push_back(data);
+            }
+            Rows::Hashed(rows) => {
+                let mut map = FxHashMap::default();
+                for (slot, cell) in cells {
+                    debug_assert!((slot as usize) < self.n_slots);
+                    map.insert(slot, cell);
+                }
+                rows.push_back(map);
+            }
+        }
+    }
+
     /// Number of second-rows currently held.
     pub fn len(&self) -> usize {
         match &self.rows {

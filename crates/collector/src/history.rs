@@ -127,6 +127,14 @@ impl HistoryStore {
         out
     }
 
+    /// All series in entry-index (creation) order — the checkpoint
+    /// serialization order: re-[`insert`](Self::insert)ing them into an
+    /// empty store in this order reproduces both the dense vector and
+    /// every cached [`entry_index`](Self::entry_index) value.
+    pub fn iter(&self) -> impl Iterator<Item = &HistorySeries> {
+        self.series.iter()
+    }
+
     /// Number of templates with history.
     pub fn len(&self) -> usize {
         self.series.len()

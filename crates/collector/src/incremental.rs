@@ -61,13 +61,13 @@
 
 use crate::aggregate::{CaseData, TemplateData, TemplateSeries};
 use crate::catalog::TemplateCatalog;
-use crate::cellstore::{CellStore, CellStoreKind, RowMut};
+use crate::cellstore::{Cell, CellStore, CellStoreKind, RowMut};
 use crate::history::HistoryStore;
 use pinsql_dbsim::probe::ProbeLog;
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::{InstanceMetrics, MetricsSample, QueryRecord, TelemetryEvent};
 use pinsql_sqlkit::SqlId;
-use pinsql_timeseries::MomentAccumulator;
+use pinsql_timeseries::{MomentAccumulator, WireError, WireReader, WireWriter};
 use pinsql_workload::TemplateSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -846,6 +846,268 @@ impl IncrementalAggregator {
         }
     }
 
+    /// Serializes the aggregator's complete online state into `w` (the
+    /// checkpoint body — the engine wraps it in a magic/version envelope).
+    ///
+    /// Everything observable is written verbatim: configuration, the
+    /// catalog's slot→id assignment (as a restore-time consistency check —
+    /// the catalog itself is rebuilt deterministically from the workload
+    /// specs), counters, the record/cell/metric rings, the history store,
+    /// and the in-flight minute accumulator. All `f64`s travel as raw bits,
+    /// so restore never re-derives a float. Caches (the slot→history index,
+    /// the snapshot scratch, cell-row free lists, the shared write table)
+    /// are rebuilt lazily after restore and are deliberately absent.
+    pub fn write_snapshot(&self, w: &mut WireWriter) {
+        w.put_i64(self.cfg.retention_s);
+        w.put_i64(self.cfg.history_origin_min);
+        w.put_u8(match self.cfg.cell_store {
+            CellStoreKind::Dense => 0,
+            CellStoreKind::Hashed => 1,
+        });
+        let n_slots = self.catalog.n_slots();
+        w.put_len(n_slots);
+        for slot in 0..n_slots {
+            w.put_u64(self.catalog.id_of_slot(slot as u32).0);
+        }
+        for c in [
+            self.stats.events,
+            self.stats.queries,
+            self.stats.malformed,
+            self.stats.late,
+            self.stats.cells,
+            self.stats.evictions,
+            self.stats.history_minutes,
+        ] {
+            w.put_u64(c);
+        }
+        w.put_i64(self.watermark);
+        w.put_bool(self.records_sorted);
+        w.put_len(self.records.len());
+        for rec in &self.records {
+            w.put_u64(rec.spec.0 as u64);
+            w.put_f64(rec.start_ms);
+            w.put_f64(rec.response_ms);
+            w.put_u64(rec.examined_rows);
+        }
+        w.put_i64(self.cells_start);
+        w.put_len(self.cells.len());
+        for idx in 0..self.cells.len() {
+            let mut row: Vec<(u32, Cell)> = Vec::new();
+            self.cells.for_each(idx, |slot, cell| row.push((slot, cell)));
+            w.put_len(row.len());
+            for (slot, cell) in row {
+                w.put_u32(slot);
+                w.put_f64(cell.0);
+                w.put_f64(cell.1);
+                w.put_f64(cell.2);
+            }
+        }
+        w.put_i64(self.metrics_start);
+        w.put_len(self.metrics.len());
+        for sample in &self.metrics {
+            w.put_i64(sample.second);
+            for v in sample.metric_values() {
+                w.put_f64(v);
+            }
+            w.put_len(sample.probes.len());
+            for p in &sample.probes {
+                w.put_i64(p.second);
+                w.put_u32(p.active_sessions);
+                w.put_f64(p.true_instant_ms);
+            }
+        }
+        w.put_len(self.history.len());
+        for series in self.history.iter() {
+            w.put_u64(series.id.0);
+            w.put_i64(series.start_minute);
+            w.put_len(series.executions.len());
+            for &v in &series.executions {
+                w.put_f64(v);
+            }
+        }
+        w.put_bool(self.history_next_min.is_some());
+        w.put_i64(self.history_next_min.unwrap_or(0));
+        w.put_i64(self.minute_acc.start);
+        w.put_len(self.minute_acc.rows.len());
+        for row in &self.minute_acc.rows {
+            w.put_len(row.len());
+            for &v in row {
+                w.put_f64(v);
+            }
+        }
+    }
+
+    /// Decodes a [`write_snapshot`](Self::write_snapshot) body back into a
+    /// live aggregator over `specs` (the same workload specs the serialized
+    /// instance was built from — checked against the stored slot→id
+    /// assignment, so restoring into the wrong scenario is a typed
+    /// [`WireError::Mismatch`], never silent misattribution).
+    pub fn read_snapshot(specs: &[TemplateSpec], r: &mut WireReader) -> Result<Self, WireError> {
+        let retention_s = r.get_i64()?;
+        let history_origin_min = r.get_i64()?;
+        let cell_store = match r.get_u8()? {
+            0 => CellStoreKind::Dense,
+            1 => CellStoreKind::Hashed,
+            v => return Err(WireError::BadTag { what: "cellstore kind", value: v as u64 }),
+        };
+        if retention_s < 60 {
+            return Err(WireError::Mismatch {
+                what: "retention",
+                detail: format!("{retention_s}s is below the 60s minimum"),
+            });
+        }
+        let catalog = TemplateCatalog::from_specs(specs);
+        let n_slots = r.get_len(8)?;
+        if n_slots != catalog.n_slots() {
+            return Err(WireError::Mismatch {
+                what: "template catalog",
+                detail: format!(
+                    "snapshot has {n_slots} slots, scenario has {}",
+                    catalog.n_slots()
+                ),
+            });
+        }
+        for slot in 0..n_slots {
+            let id = r.get_u64()?;
+            let expected = catalog.id_of_slot(slot as u32).0;
+            if id != expected {
+                return Err(WireError::Mismatch {
+                    what: "template catalog",
+                    detail: format!("slot {slot}: snapshot id {id:#x}, scenario id {expected:#x}"),
+                });
+            }
+        }
+        let mut counters = [0u64; 7];
+        for c in &mut counters {
+            *c = r.get_u64()?;
+        }
+        let stats = IngestStats {
+            events: counters[0],
+            queries: counters[1],
+            malformed: counters[2],
+            late: counters[3],
+            cells: counters[4],
+            evictions: counters[5],
+            history_minutes: counters[6],
+        };
+        let watermark = r.get_i64()?;
+        let records_sorted = r.get_bool()?;
+        let n_records = r.get_len(32)?;
+        let mut records = VecDeque::with_capacity(n_records);
+        for _ in 0..n_records {
+            let spec = r.get_u64()? as usize;
+            if spec >= specs.len() {
+                return Err(WireError::Mismatch {
+                    what: "record spec",
+                    detail: format!("spec index {spec} out of range ({})", specs.len()),
+                });
+            }
+            records.push_back(QueryRecord {
+                spec: pinsql_workload::SpecId(spec),
+                start_ms: r.get_f64()?,
+                response_ms: r.get_f64()?,
+                examined_rows: r.get_u64()?,
+            });
+        }
+        let cells_start = r.get_i64()?;
+        let n_rows = r.get_len(8)?;
+        let mut cells = CellStore::new(cell_store, catalog.n_slots());
+        let mut row: Vec<(u32, Cell)> = Vec::new();
+        for _ in 0..n_rows {
+            let n_cells = r.get_len(28)?;
+            row.clear();
+            for _ in 0..n_cells {
+                let slot = r.get_u32()?;
+                if slot as usize >= n_slots {
+                    return Err(WireError::Mismatch {
+                        what: "cell slot",
+                        detail: format!("slot {slot} out of range ({n_slots})"),
+                    });
+                }
+                row.push((slot, (r.get_f64()?, r.get_f64()?, r.get_f64()?)));
+            }
+            cells.push_back_row(row.iter().copied());
+        }
+        let metrics_start = r.get_i64()?;
+        let n_metrics = r.get_len(64)?;
+        let mut metrics = VecDeque::with_capacity(n_metrics);
+        for _ in 0..n_metrics {
+            let second = r.get_i64()?;
+            let mut vals = [0.0f64; 6];
+            for v in &mut vals {
+                *v = r.get_f64()?;
+            }
+            let n_probes = r.get_len(20)?;
+            let mut probes = Vec::with_capacity(n_probes);
+            for _ in 0..n_probes {
+                probes.push(pinsql_dbsim::probe::ProbeSample {
+                    second: r.get_i64()?,
+                    active_sessions: r.get_u32()?,
+                    true_instant_ms: r.get_f64()?,
+                });
+            }
+            metrics.push_back(MetricsSample {
+                second,
+                active_session: vals[0],
+                cpu_usage: vals[1],
+                iops_usage: vals[2],
+                row_lock_waits: vals[3],
+                mdl_waits: vals[4],
+                qps: vals[5],
+                probes,
+            });
+        }
+        let n_series = r.get_len(24)?;
+        let mut history = HistoryStore::new();
+        for _ in 0..n_series {
+            let id = SqlId(r.get_u64()?);
+            let start_minute = r.get_i64()?;
+            let n = r.get_len(8)?;
+            let mut executions = Vec::with_capacity(n);
+            for _ in 0..n {
+                executions.push(r.get_f64()?);
+            }
+            history.insert(crate::history::HistorySeries { id, start_minute, executions });
+        }
+        let has_next = r.get_bool()?;
+        let next_min = r.get_i64()?;
+        let history_next_min = has_next.then_some(next_min);
+        let acc_start = r.get_i64()?;
+        let n_acc_rows = r.get_len(8)?;
+        let mut acc_rows = VecDeque::with_capacity(n_acc_rows);
+        for _ in 0..n_acc_rows {
+            let n = r.get_len(8)?;
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(r.get_f64()?);
+            }
+            acc_rows.push_back(counts);
+        }
+        Ok(Self {
+            catalog,
+            cfg: IncrementalConfig { retention_s, history_origin_min, cell_store },
+            records,
+            records_sorted,
+            cells,
+            cells_start,
+            metrics,
+            metrics_start,
+            watermark,
+            history,
+            history_next_min,
+            stats,
+            minute_acc: MinuteAcc { start: acc_start, rows: acc_rows, free: Vec::new() },
+            slot_hist: Vec::new(),
+            slot_pos: Vec::new(),
+        })
+    }
+
+    /// The aggregator's configuration (the engine's snapshot envelope
+    /// cross-checks its cell-store kind tag against this).
+    pub fn config(&self) -> &IncrementalConfig {
+        &self.cfg
+    }
+
     fn cell_index(&self, second: i64) -> Option<usize> {
         Self::index_of(self.cells_start, self.cells.len(), second)
     }
@@ -1251,6 +1513,95 @@ mod tests {
                 let id = dense.catalog().id_of_spec(SpecId(spec_idx));
                 assert_eq!(dense.executions(id, s), hashed.executions(id, s), "s={s}");
             }
+        }
+    }
+    #[test]
+    fn checkpoint_round_trip_is_behaviorally_exact() {
+        use pinsql_timeseries::{WireReader, WireWriter};
+        let specs = vec![
+            spec("SELECT * FROM a WHERE x = 1"),
+            spec("SELECT * FROM b WHERE x = 1"),
+            spec("UPDATE c SET v = v + 1 WHERE id = 1"),
+        ];
+        for kind in [CellStoreKind::Dense, CellStoreKind::Hashed] {
+            let cfg = IncrementalConfig::default().with_retention(120).with_cell_store(kind);
+            let metrics = flat_metrics(0, 200);
+            let log: Vec<QueryRecord> = (0..600)
+                .map(|i| rec(i % 3, (i as f64 * 311.7) % 200_000.0, 2.0 + (i % 7) as f64, i as u64))
+                .collect();
+            let events = interleave(&log, &metrics);
+            let split = events.len() / 3;
+
+            let mut live = IncrementalAggregator::new(&specs, cfg.clone());
+            let mut pre = IncrementalAggregator::new(&specs, cfg.clone());
+            for ev in &events[..split] {
+                live.ingest(ev.clone());
+                pre.ingest(ev.clone());
+            }
+            let mut w = WireWriter::new();
+            pre.write_snapshot(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let mut restored = IncrementalAggregator::read_snapshot(&specs, &mut r).unwrap();
+            r.finish("aggregator snapshot").unwrap();
+
+            // Immediate re-serialization is byte-identical for the dense
+            // store (hashed map iteration order may legally rotate).
+            if kind == CellStoreKind::Dense {
+                let mut w2 = WireWriter::new();
+                restored.write_snapshot(&mut w2);
+                assert_eq!(w2.into_bytes(), bytes, "re-serialization drifted");
+            }
+
+            for ev in &events[split..] {
+                live.ingest(ev.clone());
+                restored.ingest(ev.clone());
+            }
+            assert_eq!(live.stats(), restored.stats(), "{kind:?}");
+            assert_eq!(live.watermark(), restored.watermark());
+            assert_eq!(live.cell_seconds(), restored.cell_seconds());
+            assert_eq!(live.record_count(), restored.record_count());
+            let (ts, te) = (80, 200);
+            assert_case_eq(&live.snapshot(ts, te), &restored.snapshot(ts, te));
+            let mut wa = WireWriter::new();
+            live.write_snapshot(&mut wa);
+            let mut wb = WireWriter::new();
+            restored.write_snapshot(&mut wb);
+            if kind == CellStoreKind::Dense {
+                assert_eq!(wa.into_bytes(), wb.into_bytes(), "post-drain state drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_scenario_and_corrupt_tags() {
+        use pinsql_timeseries::{WireError, WireReader, WireWriter};
+        let specs = vec![spec("SELECT 1 FROM t WHERE id = 1")];
+        let mut agg = IncrementalAggregator::new(&specs, IncrementalConfig::default());
+        agg.ingest_query(rec(0, 1000.0, 2.0, 1));
+        agg.advance_watermark(5);
+        let mut w = WireWriter::new();
+        agg.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restoring into a different workload is a typed mismatch.
+        let other = vec![spec("SELECT 9 FROM u WHERE id = 9"), spec("SELECT 8 FROM v WHERE id = 8")];
+        let err = IncrementalAggregator::read_snapshot(&other, &mut WireReader::new(&bytes))
+            .expect_err("catalog mismatch must fail");
+        assert!(matches!(err, WireError::Mismatch { what: "template catalog", .. }), "{err}");
+
+        // A corrupt cellstore tag is a typed bad-tag error.
+        let mut corrupt = bytes.clone();
+        corrupt[16] = 9; // the kind byte follows two i64 config fields
+        let err = IncrementalAggregator::read_snapshot(&specs, &mut WireReader::new(&corrupt))
+            .expect_err("bad kind tag must fail");
+        assert!(matches!(err, WireError::BadTag { what: "cellstore kind", .. }), "{err}");
+
+        // Every truncation of the snapshot is an error, never a panic.
+        for cut in 0..bytes.len() {
+            let res =
+                IncrementalAggregator::read_snapshot(&specs, &mut WireReader::new(&bytes[..cut]));
+            assert!(res.is_err(), "cut at {cut} decoded");
         }
     }
 }

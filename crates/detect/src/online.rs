@@ -31,7 +31,7 @@ use crate::features::{Feature, FeatureKind};
 use pinsql_dbsim::metrics::names;
 use pinsql_dbsim::MetricsSample;
 use pinsql_timeseries::rolling::{robust_z, RollingWindow};
-use pinsql_timeseries::KernelKind;
+use pinsql_timeseries::{KernelKind, WireError, WireReader, WireWriter};
 
 /// Detection state for one metric.
 #[derive(Debug, Clone)]
@@ -331,6 +331,155 @@ impl OnlineDetectorBank {
     pub fn feature_count(&self) -> usize {
         self.closed.iter().map(Vec::len).sum()
     }
+
+    /// The statistics kernel every detector in this bank runs.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Serializes the bank's complete streaming state into `w` (the
+    /// checkpoint body — the engine wraps it in a magic/version envelope).
+    ///
+    /// Per detector slot ([`WATCHED_METRICS`] order): sample count, the
+    /// baseline window in arrival order, the state machine (frozen segment
+    /// statistics and the recovery replay buffer included), and the closed
+    /// features. Detector configurations are *not* serialized: the bank
+    /// always derives them as `DetectorConfig::for_metric(m)` with its
+    /// kernel, so restore rebuilds them deterministically — one fewer way
+    /// for a snapshot to disagree with the code that replays it.
+    pub fn write_snapshot(&self, w: &mut WireWriter) {
+        w.put_u8(match self.kernel {
+            KernelKind::Reference => 0,
+            KernelKind::Fast => 1,
+        });
+        w.put_bool(self.finished);
+        w.put_bool(self.start_second.is_some());
+        w.put_i64(self.start_second.unwrap_or(0));
+        if self.start_second.is_none() {
+            return;
+        }
+        debug_assert_eq!(self.detectors.len(), WATCHED_METRICS.len());
+        for (slot, det) in self.detectors.iter().enumerate() {
+            w.put_u64(det.n as u64);
+            let baseline = det.baseline.arrival_values();
+            w.put_len(baseline.len());
+            for &v in &baseline {
+                w.put_f64(v);
+            }
+            match &det.state {
+                State::Baseline => w.put_u8(0),
+                State::Segment { med, mad, up, seg_start, peak_z, run } => {
+                    w.put_u8(1);
+                    w.put_f64(*med);
+                    w.put_f64(*mad);
+                    w.put_bool(*up);
+                    w.put_u64(*seg_start as u64);
+                    w.put_f64(*peak_z);
+                    w.put_len(run.len());
+                    for &(idx, v) in run {
+                        w.put_u64(idx as u64);
+                        w.put_f64(v);
+                    }
+                }
+            }
+            w.put_len(self.closed[slot].len());
+            for f in &self.closed[slot] {
+                w.put_u8(match f.kind {
+                    FeatureKind::SpikeUp => 0,
+                    FeatureKind::SpikeDown => 1,
+                    FeatureKind::LevelShiftUp => 2,
+                    FeatureKind::LevelShiftDown => 3,
+                });
+                w.put_i64(f.start);
+                w.put_i64(f.end);
+                w.put_f64(f.peak_z);
+            }
+        }
+    }
+
+    /// Decodes a [`write_snapshot`](Self::write_snapshot) body back into a
+    /// live bank. The restored bank continues the stream bit-identically:
+    /// baselines are replayed in arrival order into identically-configured
+    /// windows, segment statistics come back as their exact frozen bits,
+    /// and the recovery replay buffer resumes mid-run.
+    pub fn read_snapshot(r: &mut WireReader) -> Result<Self, WireError> {
+        let kernel = match r.get_u8()? {
+            0 => KernelKind::Reference,
+            1 => KernelKind::Fast,
+            v => return Err(WireError::BadTag { what: "kernel kind", value: v as u64 }),
+        };
+        let mut bank = Self::with_kernel(kernel);
+        bank.finished = r.get_bool()?;
+        let has_start = r.get_bool()?;
+        let start = r.get_i64()?;
+        if !has_start {
+            return Ok(bank);
+        }
+        bank.start_second = Some(start);
+        for metric in WATCHED_METRICS {
+            let cfg = DetectorConfig::for_metric(metric).with_kernel(kernel);
+            let mut det = OnlineFeatureDetector::new(metric, start, cfg);
+            det.n = r.get_u64()? as usize;
+            let n_base = r.get_len(8)?;
+            if n_base > det.baseline.capacity() {
+                return Err(WireError::Mismatch {
+                    what: "baseline window",
+                    detail: format!(
+                        "{n_base} samples exceed the {} capacity for {metric}",
+                        det.baseline.capacity()
+                    ),
+                });
+            }
+            for _ in 0..n_base {
+                let v = r.get_f64()?;
+                if v.is_nan() {
+                    return Err(WireError::Mismatch {
+                        what: "baseline sample",
+                        detail: format!("NaN in {metric} baseline"),
+                    });
+                }
+                det.baseline.push(v);
+            }
+            det.state = match r.get_u8()? {
+                0 => State::Baseline,
+                1 => {
+                    let med = r.get_f64()?;
+                    let mad = r.get_f64()?;
+                    let up = r.get_bool()?;
+                    let seg_start = r.get_u64()? as usize;
+                    let peak_z = r.get_f64()?;
+                    let n_run = r.get_len(16)?;
+                    let mut run = Vec::with_capacity(n_run);
+                    for _ in 0..n_run {
+                        run.push((r.get_u64()? as usize, r.get_f64()?));
+                    }
+                    State::Segment { med, mad, up, seg_start, peak_z, run }
+                }
+                v => return Err(WireError::BadTag { what: "detector state", value: v as u64 }),
+            };
+            let n_closed = r.get_len(25)?;
+            let mut closed = Vec::with_capacity(n_closed);
+            for _ in 0..n_closed {
+                let kind = match r.get_u8()? {
+                    0 => FeatureKind::SpikeUp,
+                    1 => FeatureKind::SpikeDown,
+                    2 => FeatureKind::LevelShiftUp,
+                    3 => FeatureKind::LevelShiftDown,
+                    v => return Err(WireError::BadTag { what: "feature kind", value: v as u64 }),
+                };
+                closed.push(Feature {
+                    metric: metric.to_string(),
+                    kind,
+                    start: r.get_i64()?,
+                    end: r.get_i64()?,
+                    peak_z: r.get_f64()?,
+                });
+            }
+            bank.detectors.push(det);
+            bank.closed.push(closed);
+        }
+        Ok(bank)
+    }
 }
 
 #[cfg(test)]
@@ -572,5 +721,93 @@ mod tests {
         bank.finish();
         assert!(!batch.is_empty(), "test scenario should trigger features");
         assert_eq!(bank.features(), batch);
+    }
+    #[test]
+    fn bank_snapshot_round_trip_is_bit_exact() {
+        use pinsql_timeseries::{WireReader, WireWriter};
+        // A stream with a mid-surge split: the snapshot lands inside an
+        // open segment with a partially-filled recovery run.
+        let n = 300usize;
+        let sample_at = |s: i64| {
+            let surge = (120..180).contains(&s);
+            MetricsSample {
+                second: s,
+                active_session: if surge { 300.0 } else { 3.0 + (s % 4) as f64 * 0.3 },
+                cpu_usage: if surge { 0.97 } else { 0.3 + (s % 3) as f64 * 0.01 },
+                iops_usage: 0.2,
+                qps: 40.0 + (s % 5) as f64,
+                ..Default::default()
+            }
+        };
+        for kernel in [KernelKind::Reference, KernelKind::Fast] {
+            for split in [0usize, 1, 60, 130, 150, 182, 299] {
+                let mut live = OnlineDetectorBank::with_kernel(kernel);
+                let mut pre = OnlineDetectorBank::with_kernel(kernel);
+                for s in 0..split as i64 {
+                    live.observe(&sample_at(s));
+                    pre.observe(&sample_at(s));
+                }
+                let mut w = WireWriter::new();
+                pre.write_snapshot(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = WireReader::new(&bytes);
+                let mut restored = OnlineDetectorBank::read_snapshot(&mut r).unwrap();
+                r.finish("bank").unwrap();
+
+                // Re-serialization of the restored bank is byte-identical.
+                let mut w2 = WireWriter::new();
+                restored.write_snapshot(&mut w2);
+                assert_eq!(w2.into_bytes(), bytes, "split {split}");
+
+                for s in split as i64..n as i64 {
+                    live.observe(&sample_at(s));
+                    restored.observe(&sample_at(s));
+                }
+                live.finish();
+                restored.finish();
+                assert_eq!(live.features(), restored.features(), "split {split} {kernel:?}");
+                assert_eq!(live.samples_seen(), restored.samples_seen());
+            }
+        }
+    }
+
+    #[test]
+    fn bank_snapshot_rejects_corrupt_input_with_typed_errors() {
+        use pinsql_timeseries::{WireError, WireReader, WireWriter};
+        let mut bank = OnlineDetectorBank::new();
+        for s in 0..90i64 {
+            bank.observe(&MetricsSample {
+                second: s,
+                active_session: if s >= 80 { 400.0 } else { 2.0 + (s % 3) as f64 * 0.2 },
+                ..Default::default()
+            });
+        }
+        let mut w = WireWriter::new();
+        bank.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut corrupt = bytes.clone();
+        corrupt[0] = 9; // kernel tag
+        assert!(matches!(
+            OnlineDetectorBank::read_snapshot(&mut WireReader::new(&corrupt)),
+            Err(WireError::BadTag { what: "kernel kind", .. })
+        ));
+        for cut in 0..bytes.len() {
+            assert!(
+                OnlineDetectorBank::read_snapshot(&mut WireReader::new(&bytes[..cut])).is_err()
+                    || cut >= bytes.len(),
+                "cut {cut} decoded"
+            );
+        }
+
+        // An un-started bank round-trips too (fresh instance checkpointed
+        // before its first metrics sample).
+        let empty = OnlineDetectorBank::with_kernel(KernelKind::Fast);
+        let mut w = WireWriter::new();
+        empty.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let restored = OnlineDetectorBank::read_snapshot(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(restored.samples_seen(), 0);
+        assert_eq!(restored.kernel(), KernelKind::Fast);
     }
 }

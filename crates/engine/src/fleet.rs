@@ -11,33 +11,51 @@
 //!    real system).
 //! 2. **Multiplex** — ingestion is split across
 //!    [`FleetConfig::shards`] scoped worker threads, each owning a
-//!    contiguous, disjoint slice of instances and running a private
-//!    time-ordered k-way merge over its slice's streams (ties broken by
-//!    instance index; same-second query runs move as one chunk through the
-//!    collector's amortized hot path). This is the sustained-throughput
-//!    section the fleet bench measures; its wall clock is the *slowest
-//!    shard's* merge, the quantity that shrinks as shards scale across
-//!    cores.
+//!    disjoint set of instances and running a private time-ordered k-way
+//!    merge over its instances' streams (same-second query runs move as
+//!    one chunk through the collector's amortized hot path). This is the
+//!    sustained-throughput section the fleet bench measures; its wall
+//!    clock is the *slowest shard's* merge, the quantity that shrinks as
+//!    shards scale across cores.
 //! 3. **Diagnose** — every instance's case closes in its shard, closed
-//!    cases reassemble in instance-id order, and `PinSql::diagnose` fans
+//!    cases reassemble keyed by instance id, and `PinSql::diagnose` fans
 //!    out across them with `par_map`.
+//!
+//! ## Live resharding and crash recovery
+//!
+//! Because every instance's online state is checkpointable
+//! ([`OnlineInstance::snapshot`]), shard ownership is not fixed for the
+//! life of a run. [`run_resharded`](FleetEngine::run_resharded) executes a
+//! [`ReshardPlan`]: at each step's quiesce boundary every instance is
+//! serialized, re-seated on the shard the step assigns it to (possibly a
+//! brand-new shard layout — shard counts can grow, shrink, or permute
+//! arbitrarily), restored, and ingestion resumes with the remaining
+//! events. [`checkpoint_at`](FleetEngine::checkpoint_at) /
+//! [`resume_full`](FleetEngine::resume_full) use the same primitive for
+//! crash recovery: serialize the whole fleet at a boundary, later replay
+//! only the tail.
 //!
 //! **Determinism.** Instances are independent: no event of one instance
 //! can affect another's pipeline, so outcomes depend only on each
 //! instance's *own* event order — which every shard preserves (a merge
 //! only interleaves across streams; each stream is consumed front to
-//! back). Cases and diagnoses are therefore bit-identical for **any**
-//! `shards` and `fanout` values; the workspace's `shard_equivalence` suite
-//! pins this against the golden corpus.
+//! back), and which reshard handoffs preserve too (a snapshot/restore
+//! boundary is behaviorally invisible, and each phase consumes a prefix
+//! of each stream in order). Cases and diagnoses are therefore
+//! bit-identical for **any** `shards` / `fanout` values and **any**
+//! reshard plan; the workspace's `shard_equivalence` and
+//! `reshard_equivalence` suites pin this against the golden corpus.
 
 use crate::instance::OnlineInstance;
+use crate::snapshot::InstanceSnapshot;
 use pinsql::{Diagnosis, PinSql, PinSqlConfig};
-use pinsql_detect::KernelKind;
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
-use pinsql_obs::{FleetHealth, HealthSnapshot, NoopObserver, Observer, Stage};
+use pinsql_detect::KernelKind;
+use pinsql_obs::{Counter, FleetHealth, HealthSnapshot, NoopObserver, Observer, Stage};
 use pinsql_scenario::{materialize_events, LabeledCase, Scenario};
 use pinsql_timeseries::par::par_map;
+use pinsql_timeseries::WireError;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -52,9 +70,9 @@ pub struct FleetConfig {
     /// Worker threads for across-instance stages (materialize, diagnose);
     /// `0` = all cores.
     pub fanout: usize,
-    /// Ingestion worker threads, each owning a disjoint contiguous slice
-    /// of instances. Must be ≥ 1; values above the instance count are
-    /// clamped at run time. Outcomes are identical at every value.
+    /// Ingestion worker threads, each owning a disjoint set of instances.
+    /// Must be ≥ 1; values above the instance count are clamped at run
+    /// time. Outcomes are identical at every value.
     pub shards: usize,
     /// Detector statistics kernel for every instance's bank. Both kinds
     /// are bit-identical; the equivalence suites run the full
@@ -71,6 +89,78 @@ impl Default for FleetConfig {
             shards: 1,
             kernel: KernelKind::default(),
         }
+    }
+}
+
+/// One scheduled handoff inside a [`ReshardPlan`].
+#[derive(Debug, Clone)]
+pub struct ReshardStep {
+    /// Quiesce boundary, in stream seconds. Every event with
+    /// `time_ms() < at_second * 1000` folds *before* the handoff;
+    /// everything at or after it folds on the new shard layout. The
+    /// boundary is evaluated against event time, so it is exact whatever
+    /// the shard count — there is no racey "drain" window.
+    pub at_second: i64,
+    /// `assignment[i]` = shard that owns instance `i` after the handoff.
+    /// Length must equal the fleet size; shard ids may form any layout
+    /// (more shards, fewer shards, permutations — empty shards are
+    /// skipped).
+    pub assignment: Vec<usize>,
+}
+
+/// A sequence of reshard steps with strictly increasing boundaries.
+///
+/// The empty plan is a plain static-sharding run; `run_full` is exactly
+/// `run_resharded` with this default.
+#[derive(Debug, Clone, Default)]
+pub struct ReshardPlan {
+    pub steps: Vec<ReshardStep>,
+}
+
+impl ReshardPlan {
+    /// A one-step plan.
+    pub fn single(at_second: i64, assignment: Vec<usize>) -> Self {
+        Self { steps: vec![ReshardStep { at_second, assignment }] }
+    }
+
+    /// Panics on structurally invalid plans (programmer error, like
+    /// `shards == 0`): boundaries not strictly increasing or an
+    /// assignment whose length differs from the fleet size.
+    fn validate(&self, n_instances: usize) {
+        let mut prev = i64::MIN;
+        for (i, step) in self.steps.iter().enumerate() {
+            assert!(
+                step.at_second > prev,
+                "reshard step {i}: at_second {} not strictly increasing (previous {prev})",
+                step.at_second
+            );
+            assert_eq!(
+                step.assignment.len(),
+                n_instances,
+                "reshard step {i}: assignment covers {} instances, fleet has {n_instances}",
+                step.assignment.len()
+            );
+            prev = step.at_second;
+        }
+    }
+}
+
+/// The whole fleet's online state frozen at one quiesce boundary —
+/// everything needed to resume a run after a crash.
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    /// The boundary the checkpoint was cut at: every event with
+    /// `time_ms() < at_second * 1000` is inside the checkpoint; the tail
+    /// from `at_second` on must be replayed.
+    pub at_second: i64,
+    /// One snapshot per instance, instance-id order.
+    pub snapshots: Vec<InstanceSnapshot>,
+}
+
+impl FleetCheckpoint {
+    /// Total serialized size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.snapshots.iter().map(InstanceSnapshot::len).sum()
     }
 }
 
@@ -102,12 +192,14 @@ pub struct InstanceOutcome {
 #[derive(Debug, Clone, Serialize)]
 pub struct FleetReport {
     pub n_instances: usize,
-    /// Ingestion shards actually used (after clamping to the fleet size).
+    /// Ingestion shards the run *started* with (after clamping to the
+    /// fleet size); reshard steps may change the layout mid-run.
     pub shards: usize,
     /// Events pushed through the multiplexed loop.
     pub events_total: u64,
-    /// Wall-clock seconds of the multiplexed ingest stage — the slowest
-    /// shard's merge loop (shards run concurrently).
+    /// Wall-clock seconds of the multiplexed ingest stage: per phase the
+    /// slowest shard's merge (shards run concurrently), summed across
+    /// phases.
     pub ingest_wall_s: f64,
     /// Sustained ingest throughput (events / ingest_wall_s).
     pub events_per_sec: f64,
@@ -122,7 +214,8 @@ pub struct FleetReport {
 
 /// A fleet run with its full per-instance artifacts, for consumers that
 /// need more than the flattened report (equivalence suites compare the
-/// labelled cases and diagnoses bit-for-bit across shard counts).
+/// labelled cases and diagnoses bit-for-bit across shard counts and
+/// reshard plans).
 #[derive(Debug, Clone)]
 pub struct FleetRun {
     pub report: FleetReport,
@@ -135,16 +228,32 @@ pub struct FleetRun {
     pub health: FleetHealth,
 }
 
-/// One ingestion shard's output: per-instance counters and closed cases
-/// for its contiguous slice, plus the shard's merge wall clock.
-struct ShardResult {
-    merge_s: f64,
+/// Per-instance work moved into one shard worker for one ingest phase:
+/// the instance's identity, how to (re)build its pipeline, and the slice
+/// of its stream this phase consumes.
+struct Work<'a> {
+    idx: usize,
+    scenario: &'a Scenario,
+    /// `None` → fresh pipeline (first phase); `Some` → restore and resume.
+    snap: Option<InstanceSnapshot>,
+    events: Vec<TelemetryEvent>,
+}
+
+/// What one instance contributes to the final report, keyed by id at the
+/// reassembly point.
+struct InstanceArtifacts {
     events: u64,
-    /// `(events_ingested, queries)` per instance, slice order.
-    stats: Vec<(u64, u64)>,
-    cases: Vec<LabeledCase>,
-    /// Health snapshot per instance, slice order (taken at case close).
-    health: Vec<HealthSnapshot>,
+    queries: u64,
+    health: HealthSnapshot,
+    case: LabeledCase,
+}
+
+/// What a shard worker hands back for one instance at a phase boundary.
+enum PhaseOut {
+    /// Intermediate boundary: the instance travels as its checkpoint.
+    Snap(InstanceSnapshot),
+    /// Final boundary: the instance closed its case.
+    Final(Box<InstanceArtifacts>),
 }
 
 /// The fleet orchestrator. See the module docs for the three stages.
@@ -155,7 +264,7 @@ pub struct FleetEngine {
 
 impl FleetEngine {
     /// # Panics
-    /// Panics if `cfg.shards == 0`: every shard owns a disjoint slice of
+    /// Panics if `cfg.shards == 0`: every shard owns a disjoint set of
     /// instances, so zero shards would silently ingest nothing.
     pub fn new(cfg: FleetConfig) -> Self {
         assert!(
@@ -186,53 +295,310 @@ impl FleetEngine {
     /// cross-thread timeline. Cases, diagnoses, and health are
     /// byte-identical whatever `O` is (pinned by `obs_equivalence`).
     pub fn run_full_observed<O: Observer>(&self, scenarios: &[Scenario], obs: &O) -> FleetRun {
+        self.run_resharded_observed(scenarios, &ReshardPlan::default(), obs)
+            .expect("static run crosses no snapshot boundary, so no decode can fail")
+    }
+
+    /// Runs the fleet under a [`ReshardPlan`]: at every step boundary the
+    /// whole fleet quiesces (exactly at event time — see
+    /// [`ReshardStep::at_second`]), each instance serializes its online
+    /// state, moves to the shard the step assigns, restores, and resumes.
+    ///
+    /// Outcomes are **bit-identical** to [`run_full`](Self::run_full) on
+    /// the same scenarios — a reshard handoff is behaviorally invisible —
+    /// pinned by the `reshard_equivalence` matrix at the workspace root.
+    ///
+    /// Errors only if a snapshot fails to decode on its new shard, which
+    /// would mean in-memory corruption; malformed plans (non-monotonic
+    /// boundaries, wrong assignment length) panic as programmer errors.
+    pub fn run_resharded(
+        &self,
+        scenarios: &[Scenario],
+        plan: &ReshardPlan,
+    ) -> Result<FleetRun, WireError> {
+        self.run_resharded_observed(scenarios, plan, &NoopObserver)
+    }
+
+    /// [`run_resharded`](Self::run_resharded) under an explicit observer.
+    /// Phase-0 shard lanes keep the plain `shard{s}` names; later phases
+    /// fork `p{phase}shard{s}` lanes, and every handoff records a
+    /// [`Stage::Reshard`] span plus [`Counter::InstancesResharded`] for
+    /// instances whose shard actually changed.
+    pub fn run_resharded_observed<O: Observer>(
+        &self,
+        scenarios: &[Scenario],
+        plan: &ReshardPlan,
+        obs: &O,
+    ) -> Result<FleetRun, WireError> {
         assert!(!scenarios.is_empty(), "fleet run needs at least one scenario");
         assert!(self.cfg.shards >= 1, "FleetConfig.shards must be >= 1");
         let n = scenarios.len();
-        let shards = self.cfg.shards.min(n);
+        plan.validate(n);
+        let shards0 = self.cfg.shards.min(n);
 
-        let streams: Vec<Vec<TelemetryEvent>> =
+        let mut streams: Vec<Vec<TelemetryEvent>> =
             par_map(n, self.cfg.fanout, |i| materialize_events(&scenarios[i], None));
 
-        // Contiguous near-equal slices: shard s owns instances
-        // [s*n/shards, (s+1)*n/shards). Streams move into their shard;
-        // scenarios are borrowed in place.
-        let bounds: Vec<usize> = (0..=shards).map(|s| s * n / shards).collect();
-        let mut stream_iter = streams.into_iter();
-        let shard_streams: Vec<Vec<Vec<TelemetryEvent>>> = bounds
-            .windows(2)
-            .map(|w| (&mut stream_iter).take(w[1] - w[0]).collect())
-            .collect();
+        let mut assignment = contiguous_assignment(n, shards0);
+        let mut snaps: Vec<Option<InstanceSnapshot>> = (0..n).map(|_| None).collect();
+        let mut artifacts: Vec<Option<InstanceArtifacts>> = (0..n).map(|_| None).collect();
+        let mut ingest_wall_s = 0.0f64;
+
+        let n_phases = plan.steps.len() + 1;
+        for phase in 0..n_phases {
+            let reshard_n0 = if O::ENABLED && phase > 0 { obs.now_ns() } else { 0 };
+            if phase > 0 {
+                let step = &plan.steps[phase - 1];
+                if O::ENABLED {
+                    let moved =
+                        step.assignment.iter().zip(&assignment).filter(|(a, b)| a != b).count();
+                    obs.add(Counter::InstancesResharded, moved as u64);
+                }
+                assignment.clone_from(&step.assignment);
+            }
+            // This phase consumes each stream's prefix strictly before the
+            // *next* boundary (the final phase drains everything).
+            let boundary = plan.steps.get(phase).map(|s| s.at_second);
+            let last = boundary.is_none();
+
+            let n_shards = assignment.iter().copied().max().unwrap_or(0) + 1;
+            let mut groups: Vec<Vec<Work<'_>>> = (0..n_shards).map(|_| Vec::new()).collect();
+            for (i, scenario) in scenarios.iter().enumerate() {
+                groups[assignment[i]].push(Work {
+                    idx: i,
+                    scenario,
+                    snap: snaps[i].take(),
+                    events: split_prefix(&mut streams[i], boundary),
+                });
+            }
+            if O::ENABLED && phase > 0 {
+                obs.span(Stage::Reshard, reshard_n0, obs.now_ns());
+            }
+
+            let delta_s = self.cfg.delta_s;
+            let kernel = self.cfg.kernel;
+            type ShardOut = Result<(f64, Vec<(usize, PhaseOut)>), WireError>;
+            let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, g)| !g.is_empty())
+                    .map(|(s, group)| {
+                        let lane = if phase == 0 {
+                            obs.fork(&format!("shard{s}"))
+                        } else {
+                            obs.fork(&format!("p{phase}shard{s}"))
+                        };
+                        scope.spawn(move || -> ShardOut {
+                            let (merge_s, done) = ingest_phase_shard(group, delta_s, kernel, lane)?;
+                            let out = done
+                                .into_iter()
+                                .map(|(idx, inst)| {
+                                    let po = if last {
+                                        PhaseOut::Final(Box::new(finalize_instance(inst)))
+                                    } else {
+                                        PhaseOut::Snap(inst.snapshot())
+                                    };
+                                    (idx, po)
+                                })
+                                .collect();
+                            Ok((merge_s, out))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("ingest shard panicked")).collect()
+            });
+
+            // Scatter results back keyed by *global instance id* — shard
+            // sets are arbitrary after a handoff (reversed, permuted,
+            // regrouped), so nothing here may rely on contiguity or on
+            // the order shards finished in.
+            let mut phase_wall = 0.0f64;
+            for result in shard_results {
+                let (merge_s, outs) = result?;
+                phase_wall = phase_wall.max(merge_s);
+                for (idx, out) in outs {
+                    match out {
+                        PhaseOut::Snap(s) => snaps[idx] = Some(s),
+                        PhaseOut::Final(a) => artifacts[idx] = Some(*a),
+                    }
+                }
+            }
+            ingest_wall_s += phase_wall;
+        }
+
+        let artifacts: Vec<InstanceArtifacts> =
+            artifacts.into_iter().map(|a| a.expect("every instance finalizes exactly once")).collect();
+        Ok(self.assemble(scenarios, artifacts, shards0, ingest_wall_s, obs))
+    }
+
+    /// Ingests every stream's prefix strictly before `at_second` and
+    /// freezes the whole fleet as a [`FleetCheckpoint`] — the
+    /// crash-recovery primitive: persist the blobs, and after a crash
+    /// [`resume_full`](Self::resume_full) replays only the tail.
+    pub fn checkpoint_at(&self, scenarios: &[Scenario], at_second: i64) -> FleetCheckpoint {
+        self.checkpoint_at_observed(scenarios, at_second, &NoopObserver)
+    }
+
+    /// [`checkpoint_at`](Self::checkpoint_at) under an explicit observer.
+    pub fn checkpoint_at_observed<O: Observer>(
+        &self,
+        scenarios: &[Scenario],
+        at_second: i64,
+        obs: &O,
+    ) -> FleetCheckpoint {
+        assert!(!scenarios.is_empty(), "fleet checkpoint needs at least one scenario");
+        let n = scenarios.len();
+        let shards = self.cfg.shards.min(n);
+        let mut streams: Vec<Vec<TelemetryEvent>> =
+            par_map(n, self.cfg.fanout, |i| materialize_events(&scenarios[i], None));
+
+        let assignment = contiguous_assignment(n, shards);
+        let mut groups: Vec<Vec<Work<'_>>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            groups[assignment[i]].push(Work {
+                idx: i,
+                scenario,
+                snap: None,
+                events: split_prefix(&mut streams[i], Some(at_second)),
+            });
+        }
 
         let delta_s = self.cfg.delta_s;
         let kernel = self.cfg.kernel;
-        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shard_streams
+        let mut snapshots: Vec<Option<InstanceSnapshot>> = (0..n).map(|_| None).collect();
+        let shard_results: Vec<Vec<(usize, InstanceSnapshot)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
                 .into_iter()
                 .enumerate()
-                .map(|(s, local_streams)| {
-                    let shard_scenarios = &scenarios[bounds[s]..bounds[s + 1]];
-                    let shard_obs = obs.fork(&format!("shard{s}"));
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(s, group)| {
+                    let lane = obs.fork(&format!("shard{s}"));
                     scope.spawn(move || {
-                        run_shard(shard_scenarios, local_streams, delta_s, kernel, shard_obs)
+                        let (_, done) = ingest_phase_shard(group, delta_s, kernel, lane)
+                            .expect("fresh instances carry no snapshot to decode");
+                        done.into_iter().map(|(idx, inst)| (idx, inst.snapshot())).collect()
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("ingest shard panicked")).collect()
         });
+        for outs in shard_results {
+            for (idx, snap) in outs {
+                snapshots[idx] = Some(snap);
+            }
+        }
+        FleetCheckpoint {
+            at_second,
+            snapshots: snapshots
+                .into_iter()
+                .map(|s| s.expect("every instance checkpoints exactly once"))
+                .collect(),
+        }
+    }
 
-        // Reassemble in instance-id order (shards own contiguous ranges,
-        // so flattening in shard order is the global order). The ingest
-        // wall clock is the slowest shard: shards run concurrently.
-        let events_total: u64 = shard_results.iter().map(|r| r.events).sum();
-        let ingest_wall_s = shard_results.iter().map(|r| r.merge_s).fold(0.0f64, f64::max);
-        let mut per_instance: Vec<(u64, u64)> = Vec::with_capacity(n);
-        let mut cases: Vec<LabeledCase> = Vec::with_capacity(n);
-        let mut health: Vec<HealthSnapshot> = Vec::with_capacity(n);
-        for r in shard_results {
-            per_instance.extend(r.stats);
-            cases.extend(r.cases);
-            health.extend(r.health);
+    /// Resumes a run from a [`FleetCheckpoint`]: restores every instance,
+    /// replays only the events at or after the checkpoint boundary, closes
+    /// cases, and diagnoses. The resulting [`FleetRun`] is bit-identical
+    /// to an uninterrupted [`run_full`](Self::run_full) — pinned by the
+    /// `crash_recovery` suite.
+    pub fn resume_full(
+        &self,
+        scenarios: &[Scenario],
+        checkpoint: &FleetCheckpoint,
+    ) -> Result<FleetRun, WireError> {
+        self.resume_full_observed(scenarios, checkpoint, &NoopObserver)
+    }
+
+    /// [`resume_full`](Self::resume_full) under an explicit observer.
+    pub fn resume_full_observed<O: Observer>(
+        &self,
+        scenarios: &[Scenario],
+        checkpoint: &FleetCheckpoint,
+        obs: &O,
+    ) -> Result<FleetRun, WireError> {
+        assert!(!scenarios.is_empty(), "fleet resume needs at least one scenario");
+        assert_eq!(
+            checkpoint.snapshots.len(),
+            scenarios.len(),
+            "checkpoint holds {} instances, fleet has {}",
+            checkpoint.snapshots.len(),
+            scenarios.len()
+        );
+        let n = scenarios.len();
+        let shards = self.cfg.shards.min(n);
+        let mut streams: Vec<Vec<TelemetryEvent>> =
+            par_map(n, self.cfg.fanout, |i| materialize_events(&scenarios[i], None));
+
+        let assignment = contiguous_assignment(n, shards);
+        let mut groups: Vec<Vec<Work<'_>>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            // Drop the prefix the checkpoint already covers; replay the tail.
+            let _covered = split_prefix(&mut streams[i], Some(checkpoint.at_second));
+            groups[assignment[i]].push(Work {
+                idx: i,
+                scenario,
+                snap: Some(checkpoint.snapshots[i].clone()),
+                events: std::mem::take(&mut streams[i]),
+            });
+        }
+
+        let delta_s = self.cfg.delta_s;
+        let kernel = self.cfg.kernel;
+        let mut artifacts: Vec<Option<InstanceArtifacts>> = (0..n).map(|_| None).collect();
+        type ShardOut = Result<(f64, Vec<(usize, InstanceArtifacts)>), WireError>;
+        let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(s, group)| {
+                    let lane = obs.fork(&format!("shard{s}"));
+                    scope.spawn(move || -> ShardOut {
+                        let (merge_s, done) = ingest_phase_shard(group, delta_s, kernel, lane)?;
+                        Ok((
+                            merge_s,
+                            done.into_iter()
+                                .map(|(idx, inst)| (idx, finalize_instance(inst)))
+                                .collect(),
+                        ))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ingest shard panicked")).collect()
+        });
+        let mut ingest_wall_s = 0.0f64;
+        for result in shard_results {
+            let (merge_s, outs) = result?;
+            ingest_wall_s = ingest_wall_s.max(merge_s);
+            for (idx, a) in outs {
+                artifacts[idx] = Some(a);
+            }
+        }
+        let artifacts: Vec<InstanceArtifacts> =
+            artifacts.into_iter().map(|a| a.expect("every instance finalizes exactly once")).collect();
+        Ok(self.assemble(scenarios, artifacts, shards, ingest_wall_s, obs))
+    }
+
+    /// The shared back half of every run shape: fan diagnosis out across
+    /// the closed cases (one `diag{i}` lane each) and fold everything into
+    /// the report. `artifacts` is in instance-id order.
+    fn assemble<O: Observer>(
+        &self,
+        scenarios: &[Scenario],
+        artifacts: Vec<InstanceArtifacts>,
+        shards: usize,
+        ingest_wall_s: f64,
+        obs: &O,
+    ) -> FleetRun {
+        let events_total: u64 = artifacts.iter().map(|a| a.events).sum();
+        let mut per_instance: Vec<(u64, u64)> = Vec::with_capacity(artifacts.len());
+        let mut cases: Vec<LabeledCase> = Vec::with_capacity(artifacts.len());
+        let mut health: Vec<HealthSnapshot> = Vec::with_capacity(artifacts.len());
+        for a in artifacts {
+            per_instance.push((a.events, a.queries));
+            cases.push(a.case);
+            health.push(a.health);
         }
 
         let t1 = Instant::now();
@@ -308,29 +674,83 @@ impl FleetEngine {
     }
 }
 
-/// One shard's ingest stage: a private k-way merge over its slice's
-/// streams at chunk granularity, then in-shard case closing.
-fn run_shard<'a, O: Observer>(
-    scenarios: &'a [Scenario],
-    mut streams: Vec<Vec<TelemetryEvent>>,
+/// `assignment[i]` = shard for instance `i` under the static contiguous
+/// layout: shard `s` owns `[s*n/shards, (s+1)*n/shards)`.
+fn contiguous_assignment(n: usize, shards: usize) -> Vec<usize> {
+    let mut assignment = vec![0usize; n];
+    for s in 0..shards {
+        for a in assignment.iter_mut().take((s + 1) * n / shards).skip(s * n / shards) {
+            *a = s;
+        }
+    }
+    assignment
+}
+
+/// Splits off and returns the stream's prefix strictly before
+/// `boundary_s` (in event time); `None` takes the whole stream. The
+/// remainder stays in `stream`. Streams are time-ordered, so this is a
+/// binary search, and the same boundary yields the same split whatever
+/// the shard layout.
+fn split_prefix(stream: &mut Vec<TelemetryEvent>, boundary_s: Option<i64>) -> Vec<TelemetryEvent> {
+    match boundary_s {
+        None => std::mem::take(stream),
+        Some(b) => {
+            let boundary_ms = (b * 1000) as f64;
+            let cut = stream.partition_point(|ev| ev.time_ms() < boundary_ms);
+            let rest = stream.split_off(cut);
+            std::mem::replace(stream, rest)
+        }
+    }
+}
+
+/// Builds one shard's instances for one phase — fresh pipelines or
+/// restores from checkpoints — and runs the k-way merge over their
+/// streams. Returns the merge wall clock and the live instances paired
+/// with their global ids.
+fn ingest_phase_shard<'a, O: Observer>(
+    work: Vec<Work<'a>>,
     delta_s: i64,
     kernel: KernelKind,
     obs: O,
-) -> ShardResult {
-    debug_assert_eq!(scenarios.len(), streams.len());
-    let mut instances: Vec<OnlineInstance<'a, O>> = scenarios
-        .iter()
-        .map(|s| OnlineInstance::with_observer(s, delta_s, obs.clone()).with_kernel(kernel))
-        .collect();
+) -> Result<(f64, Vec<(usize, OnlineInstance<'a, O>)>), WireError> {
+    let mut indices = Vec::with_capacity(work.len());
+    let mut instances: Vec<OnlineInstance<'a, O>> = Vec::with_capacity(work.len());
+    let mut streams = Vec::with_capacity(work.len());
+    for w in work {
+        indices.push(w.idx);
+        instances.push(match &w.snap {
+            Some(snap) => OnlineInstance::restore_with_observer(w.scenario, snap, obs.clone())?,
+            None => {
+                OnlineInstance::with_observer(w.scenario, delta_s, obs.clone()).with_kernel(kernel)
+            }
+        });
+        streams.push(w.events);
+    }
 
     let merge_n0 = if O::ENABLED { obs.now_ns() } else { 0 };
     let t0 = Instant::now();
+    merge_streams(&mut instances, streams);
+    let merge_s = t0.elapsed().as_secs_f64();
+    if O::ENABLED {
+        obs.span(Stage::IngestMerge, merge_n0, obs.now_ns());
+    }
+    Ok((merge_s, indices.into_iter().zip(instances).collect()))
+}
+
+/// The k-way merge loop: earliest next event time wins, ties to the
+/// lowest position (instances arrive in increasing global id, so ties
+/// break by id); same-second query runs move as one chunk through the
+/// collector's amortized hot path. Per-instance event order is untouched,
+/// so outcomes match the event-level merge exactly.
+fn merge_streams<'a, O: Observer>(
+    instances: &mut [OnlineInstance<'a, O>],
+    mut streams: Vec<Vec<TelemetryEvent>>,
+) {
+    debug_assert_eq!(instances.len(), streams.len());
     let mut cursors = vec![0usize; streams.len()];
-    let mut events = 0u64;
     loop {
-        // K-way merge head: earliest next event time, ties to the lowest
-        // instance index. K is small (a fleet slice), so a linear scan
-        // beats a heap's allocation churn.
+        // K is small (a fleet slice), so a linear scan beats a heap's
+        // allocation churn.
         let mut head: Option<(f64, usize)> = None;
         for (j, stream) in streams.iter().enumerate() {
             if let Some(ev) = stream.get(cursors[j]) {
@@ -343,30 +763,25 @@ fn run_shard<'a, O: Observer>(
         let Some((_, j)) = head else { break };
         let stream = &mut streams[j];
         let c = cursors[j];
-        // Merge at chunk granularity: a same-second query run moves as one
-        // unit through the amortized ingest path. Per-instance event order
-        // is untouched, so outcomes match the event-level merge exactly.
         if let Some((second, len)) = query_run(stream, c) {
             instances[j].ingest_queries(second, &stream[c..c + len]);
             cursors[j] = c + len;
-            events += len as u64;
         } else {
             let ev = std::mem::replace(&mut stream[c], TelemetryEvent::Tick { second: i64::MIN });
             instances[j].ingest(ev);
             cursors[j] = c + 1;
-            events += 1;
         }
     }
-    let merge_s = t0.elapsed().as_secs_f64();
-    if O::ENABLED {
-        obs.span(Stage::IngestMerge, merge_n0, obs.now_ns());
-    }
+}
 
-    let stats =
-        instances.iter().map(|inst| (inst.events_ingested(), inst.ingest_stats().queries)).collect();
-    let health = instances.iter().map(OnlineInstance::health_snapshot).collect();
-    let cases = instances.into_iter().map(|inst| inst.close_case()).collect();
-    ShardResult { merge_s, events, stats, cases, health }
+/// Closes one instance into its report contribution.
+fn finalize_instance<O: Observer>(inst: OnlineInstance<'_, O>) -> InstanceArtifacts {
+    InstanceArtifacts {
+        events: inst.events_ingested(),
+        queries: inst.ingest_stats().queries,
+        health: inst.health_snapshot(),
+        case: inst.close_case(),
+    }
 }
 
 #[cfg(test)]
@@ -399,17 +814,36 @@ mod tests {
             .collect()
     }
 
+    fn engine(fanout: usize, shards: usize) -> FleetEngine {
+        FleetEngine::new(FleetConfig {
+            delta_s: 180,
+            pinsql: PinSqlConfig::default(),
+            fanout,
+            shards,
+            ..FleetConfig::default()
+        })
+    }
+
+    fn assert_run_eq(a: &FleetRun, b: &FleetRun, what: &str) {
+        assert_eq!(a.cases.len(), b.cases.len(), "{what}");
+        for (i, (x, y)) in a.cases.iter().zip(&b.cases).enumerate() {
+            assert_eq!(x.window, y.window, "{what}: instance {i}");
+            assert_eq!(x.case.records, y.case.records, "{what}: instance {i}");
+            assert_eq!(x.truth.rsqls, y.truth.rsqls, "{what}: instance {i}");
+        }
+        for (i, (x, y)) in a.diagnoses.iter().zip(&b.diagnoses).enumerate() {
+            assert_eq!(x.rsqls, y.rsqls, "{what}: instance {i}");
+            assert_eq!(x.hsqls, y.hsqls, "{what}: instance {i}");
+            assert_eq!(x.reported_rsqls, y.reported_rsqls, "{what}: instance {i}");
+        }
+        assert_eq!(a.health, b.health, "{what}");
+        assert_eq!(a.report.events_total, b.report.events_total, "{what}");
+    }
+
     #[test]
     fn fleet_smoke() {
         let scenarios = small_fleet(4);
-        let engine = FleetEngine::new(FleetConfig {
-            delta_s: 180,
-            pinsql: PinSqlConfig::default(),
-            fanout: 2,
-            shards: 2,
-            ..FleetConfig::default()
-        });
-        let report = engine.run(&scenarios);
+        let report = engine(2, 2).run(&scenarios);
 
         assert_eq!(report.n_instances, 4);
         assert_eq!(report.shards, 2);
@@ -434,19 +868,9 @@ mod tests {
     #[test]
     fn outcomes_are_independent_of_fanout_and_shards() {
         let scenarios = small_fleet(3);
-        let run = |fanout, shards| {
-            FleetEngine::new(FleetConfig {
-                delta_s: 180,
-                pinsql: PinSqlConfig::default(),
-                fanout,
-                shards,
-                ..FleetConfig::default()
-            })
-            .run(&scenarios)
-        };
-        let a = run(1, 1);
+        let a = engine(1, 1).run(&scenarios);
         for (fanout, shards) in [(4, 1), (1, 2), (4, 3)] {
-            let b = run(fanout, shards);
+            let b = engine(fanout, shards).run(&scenarios);
             assert_eq!(a.events_total, b.events_total);
             for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
                 assert_eq!(x.detected, y.detected);
@@ -468,34 +892,51 @@ mod tests {
     #[test]
     fn scaling_smoke() {
         let scenarios = small_fleet(4);
-        let run = |shards| {
-            FleetEngine::new(FleetConfig {
-                delta_s: 180,
-                pinsql: PinSqlConfig::default(),
-                fanout: 1,
-                shards,
-                ..FleetConfig::default()
-            })
-            .run_full(&scenarios)
-        };
-        let base = run(1);
+        let base = engine(1, 1).run_full(&scenarios);
         for shards in [2usize, 4] {
-            let sharded = run(shards);
+            let sharded = engine(1, shards).run_full(&scenarios);
             assert_eq!(sharded.report.shards, shards);
-            assert_eq!(sharded.cases.len(), base.cases.len());
-            for (i, (x, y)) in base.cases.iter().zip(&sharded.cases).enumerate() {
-                assert_eq!(x.window, y.window, "instance {i}");
-                assert_eq!(x.case.records, y.case.records, "instance {i}");
-                assert_eq!(x.truth.rsqls, y.truth.rsqls, "instance {i}");
-            }
-            for (i, (x, y)) in base.diagnoses.iter().zip(&sharded.diagnoses).enumerate() {
-                assert_eq!(x.rsqls, y.rsqls, "instance {i}");
-                assert_eq!(x.hsqls, y.hsqls, "instance {i}");
-                assert_eq!(x.reported_rsqls, y.reported_rsqls, "instance {i}");
-            }
+            assert_run_eq(&base, &sharded, &format!("shards {shards}"));
         }
         let json = serde_json::to_string(&base.report).unwrap();
         assert!(!json.is_empty() && json.contains("\"shards\":1"));
+    }
+
+    /// A mid-stream reshard — including one that *reverses* the shard
+    /// assignment — must be behaviorally invisible. This is the in-crate
+    /// smoke; the full matrix runs against the golden corpus at the
+    /// workspace root.
+    #[test]
+    fn reshard_smoke() {
+        let scenarios = small_fleet(4);
+        let baseline = engine(1, 2).run_full(&scenarios);
+
+        // Reverse the contiguous {0,0,1,1} layout mid-run.
+        let reversed = ReshardPlan::single(200, vec![1, 1, 0, 0]);
+        let run = engine(1, 2).run_resharded(&scenarios, &reversed).unwrap();
+        assert_run_eq(&baseline, &run, "reversed assignment");
+
+        // Degenerate 1 → 4 → 1 churn.
+        let churn = ReshardPlan {
+            steps: vec![
+                ReshardStep { at_second: 150, assignment: vec![0, 1, 2, 3] },
+                ReshardStep { at_second: 300, assignment: vec![0, 0, 0, 0] },
+            ],
+        };
+        let run = engine(1, 1).run_resharded(&scenarios, &churn).unwrap();
+        assert_run_eq(&baseline, &run, "1→4→1 churn");
+    }
+
+    /// Checkpoint mid-stream, resume, and match the uninterrupted run.
+    #[test]
+    fn checkpoint_resume_smoke() {
+        let scenarios = small_fleet(3);
+        let baseline = engine(1, 2).run_full(&scenarios);
+        let ckpt = engine(1, 2).checkpoint_at(&scenarios, 250);
+        assert_eq!(ckpt.snapshots.len(), 3);
+        assert!(ckpt.total_bytes() > 0);
+        let resumed = engine(1, 2).resume_full(&scenarios, &ckpt).unwrap();
+        assert_run_eq(&baseline, &resumed, "checkpoint/resume at 250");
     }
 
     #[test]
@@ -511,16 +952,30 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn non_monotonic_plan_is_rejected() {
+        let scenarios = small_fleet(2);
+        let plan = ReshardPlan {
+            steps: vec![
+                ReshardStep { at_second: 200, assignment: vec![0, 1] },
+                ReshardStep { at_second: 100, assignment: vec![1, 0] },
+            ],
+        };
+        let _ = engine(1, 1).run_resharded(&scenarios, &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment covers")]
+    fn wrong_assignment_length_is_rejected() {
+        let scenarios = small_fleet(2);
+        let plan = ReshardPlan::single(100, vec![0]);
+        let _ = engine(1, 1).run_resharded(&scenarios, &plan);
+    }
+
+    #[test]
     fn oversized_shard_count_is_clamped() {
         let scenarios = small_fleet(2);
-        let report = FleetEngine::new(FleetConfig {
-            delta_s: 180,
-            pinsql: PinSqlConfig::default(),
-            fanout: 1,
-            shards: 16,
-            ..FleetConfig::default()
-        })
-        .run(&scenarios);
+        let report = engine(1, 16).run(&scenarios);
         assert_eq!(report.shards, 2, "shards clamp to the fleet size");
         assert_eq!(report.n_instances, 2);
     }

@@ -14,10 +14,15 @@
 //!   and the case is labelled.
 //! * [`fleet`] — [`FleetEngine`]: shards N instances' event streams across
 //!   scoped ingestion workers (each a private time-ordered k-way merge over
-//!   a disjoint slice of instances) and fans diagnosis out across instances
+//!   a disjoint set of instances) and fans diagnosis out across instances
 //!   with the deterministic `par_map` primitive, reporting sustained
 //!   ingest throughput and per-case diagnosis latency. Outcomes are
-//!   bit-identical at every shard/fan-out count.
+//!   bit-identical at every shard/fan-out count, under any [`ReshardPlan`]
+//!   mid-run, and across a checkpoint/resume cycle.
+//! * [`snapshot`] — [`InstanceSnapshot`]: the versioned binary checkpoint
+//!   of one instance's entire online state (aggregator rings, history,
+//!   detector segments), the primitive behind live resharding and crash
+//!   recovery. Malformed blobs fail with typed errors, never panics.
 //!
 //! ## Replay equivalence (the non-negotiable invariant)
 //!
@@ -28,8 +33,13 @@
 
 pub mod fleet;
 pub mod instance;
+pub mod snapshot;
 
-pub use fleet::{FleetConfig, FleetEngine, FleetReport, FleetRun, InstanceOutcome};
+pub use fleet::{
+    FleetCheckpoint, FleetConfig, FleetEngine, FleetReport, FleetRun, InstanceOutcome,
+    ReshardPlan, ReshardStep,
+};
 pub use instance::{
     replay_diagnose, replay_diagnose_observed, replay_diagnose_with_kernel, OnlineInstance,
 };
+pub use snapshot::{InstanceSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,300 @@
+//! Serializable checkpoints of an [`OnlineInstance`]'s online state.
+//!
+//! A production fleet engine must survive process restarts and move
+//! instances between ingestion shards without replaying days of telemetry.
+//! Both needs reduce to the same primitive: serialize *all* of an
+//! instance's mutable online state — the incremental aggregator's rings,
+//! history feed, and counters plus the detector bank's rolling baselines
+//! and open segments — restore it elsewhere, and continue **bit-identical**
+//! to an instance that never stopped. Every `f64` travels as raw IEEE-754
+//! bits (`to_bits`/`from_bits`); nothing is re-derived on restore, so
+//! there is no float drift for the equivalence suites to forgive.
+//!
+//! ## Wire format
+//!
+//! A snapshot is a self-describing binary blob:
+//!
+//! ```text
+//! magic   "PSNP"            4 bytes
+//! version u16               currently 1 (future versions are rejected
+//!                           with a typed `FutureVersion`, never a panic)
+//! kernel  u8                detector kernel kind tag
+//! cells   u8                cell-store kind tag
+//! section instance meta     length-prefixed: delta_s, events ingested,
+//!                           segment-open flag, case open/close counters
+//! section aggregator        `IncrementalAggregator::write_snapshot` body
+//! section detector bank     `OnlineDetectorBank::write_snapshot` body
+//! ```
+//!
+//! The header kind tags duplicate tags inside the sections on purpose:
+//! a reader can route a blob (e.g. group checkpoints by kernel) without
+//! decoding megabytes of body, and restore cross-checks header against
+//! body so a spliced blob fails with a typed [`WireError::Mismatch`].
+//!
+//! Malformed input of every shape — truncation at any byte, wrong magic,
+//! future version, bad kind tags, trailing garbage, a blob from a
+//! different scenario — produces a [`WireError`], never a panic and never
+//! a silently wrong instance. The `snapshot_wire` suite walks every
+//! truncation point of a golden blob to pin this.
+
+use pinsql_collector::CellStoreKind;
+use pinsql_detect::KernelKind;
+use pinsql_timeseries::{WireError, WireReader, WireWriter};
+
+/// The four magic bytes opening every instance snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PSNP";
+/// Newest snapshot wire version this build writes and reads.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Header length: magic + version + kernel tag + cell-store tag.
+const HEADER_LEN: usize = 8;
+
+/// One instance's serialized online state.
+///
+/// Construction always validates the header ([`from_bytes`]
+/// (Self::from_bytes) for untrusted bytes; `OnlineInstance::snapshot` for
+/// live state), so [`kernel`](Self::kernel) and
+/// [`cellstore_kind`](Self::cellstore_kind) never fail. Body sections are
+/// validated on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl InstanceSnapshot {
+    /// Wraps untrusted bytes, validating magic, version, and kind tags.
+    ///
+    /// Body sections are *not* decoded here — a snapshot can be routed
+    /// (shipped to its new shard, grouped by kernel) without paying for a
+    /// full decode. Restore validates everything else.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, WireError> {
+        let mut r = WireReader::new(&bytes);
+        r.expect_magic(SNAPSHOT_MAGIC)?;
+        let version = r.get_u16()?;
+        if version > SNAPSHOT_VERSION {
+            return Err(WireError::FutureVersion { found: version, supported: SNAPSHOT_VERSION });
+        }
+        decode_kernel(r.get_u8()?)?;
+        decode_cellstore(r.get_u8()?)?;
+        Ok(Self { bytes })
+    }
+
+    /// Wraps bytes the engine itself just encoded (header known good).
+    pub(crate) fn from_trusted(bytes: Vec<u8>) -> Self {
+        debug_assert!(bytes.len() >= HEADER_LEN && bytes[..4] == SNAPSHOT_MAGIC);
+        Self { bytes }
+    }
+
+    /// The serialized blob.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Unwraps into the serialized blob.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Never true — a valid snapshot always carries at least its header.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The detector kernel the checkpointed instance ran.
+    pub fn kernel(&self) -> KernelKind {
+        decode_kernel(self.bytes[6]).expect("validated at construction")
+    }
+
+    /// The cell-store representation the checkpointed instance ran.
+    pub fn cellstore_kind(&self) -> CellStoreKind {
+        decode_cellstore(self.bytes[7]).expect("validated at construction")
+    }
+}
+
+/// The instance-level scalars carried alongside the aggregator and bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct InstanceMeta {
+    pub delta_s: i64,
+    pub events: u64,
+    pub seg_open: bool,
+    pub cases_opened: u64,
+    pub cases_closed: u64,
+}
+
+pub(crate) fn kernel_tag(kernel: KernelKind) -> u8 {
+    match kernel {
+        KernelKind::Reference => 0,
+        KernelKind::Fast => 1,
+    }
+}
+
+fn decode_kernel(tag: u8) -> Result<KernelKind, WireError> {
+    match tag {
+        0 => Ok(KernelKind::Reference),
+        1 => Ok(KernelKind::Fast),
+        t => Err(WireError::BadTag { what: "kernel kind", value: t as u64 }),
+    }
+}
+
+pub(crate) fn cellstore_tag(kind: CellStoreKind) -> u8 {
+    match kind {
+        CellStoreKind::Dense => 0,
+        CellStoreKind::Hashed => 1,
+    }
+}
+
+fn decode_cellstore(tag: u8) -> Result<CellStoreKind, WireError> {
+    match tag {
+        0 => Ok(CellStoreKind::Dense),
+        1 => Ok(CellStoreKind::Hashed),
+        t => Err(WireError::BadTag { what: "cellstore kind", value: t as u64 }),
+    }
+}
+
+/// Writes the envelope header plus the instance-meta section; the caller
+/// (instance.rs) appends the aggregator and bank sections.
+pub(crate) fn write_header(
+    w: &mut WireWriter,
+    kernel: KernelKind,
+    cells: CellStoreKind,
+    meta: InstanceMeta,
+) {
+    w.put_bytes_raw(&SNAPSHOT_MAGIC);
+    w.put_u16(SNAPSHOT_VERSION);
+    w.put_u8(kernel_tag(kernel));
+    w.put_u8(cellstore_tag(cells));
+    w.put_section(|w| {
+        w.put_i64(meta.delta_s);
+        w.put_u64(meta.events);
+        w.put_bool(meta.seg_open);
+        w.put_u64(meta.cases_opened);
+        w.put_u64(meta.cases_closed);
+    });
+}
+
+/// Reads the envelope header plus the instance-meta section, returning the
+/// declared kind tags for the caller to cross-check against the decoded
+/// body sections.
+pub(crate) fn read_header(
+    r: &mut WireReader<'_>,
+) -> Result<(KernelKind, CellStoreKind, InstanceMeta), WireError> {
+    r.expect_magic(SNAPSHOT_MAGIC)?;
+    let version = r.get_u16()?;
+    if version > SNAPSHOT_VERSION {
+        return Err(WireError::FutureVersion { found: version, supported: SNAPSHOT_VERSION });
+    }
+    let kernel = decode_kernel(r.get_u8()?)?;
+    let cells = decode_cellstore(r.get_u8()?)?;
+    let mut meta_r = r.get_section()?;
+    let meta = InstanceMeta {
+        delta_s: meta_r.get_i64()?,
+        events: meta_r.get_u64()?,
+        seg_open: meta_r.get_bool()?,
+        cases_opened: meta_r.get_u64()?,
+        cases_closed: meta_r.get_u64()?,
+    };
+    meta_r.finish("instance meta")?;
+    Ok((kernel, cells, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden_header() -> Vec<u8> {
+        let mut w = WireWriter::new();
+        write_header(
+            &mut w,
+            KernelKind::Fast,
+            CellStoreKind::Dense,
+            InstanceMeta {
+                delta_s: 600,
+                events: 12345,
+                seg_open: true,
+                cases_opened: 2,
+                cases_closed: 1,
+            },
+        );
+        w.into_bytes()
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let bytes = golden_header();
+        let mut r = WireReader::new(&bytes);
+        let (kernel, cells, meta) = read_header(&mut r).unwrap();
+        r.finish("header").unwrap();
+        assert_eq!(kernel, KernelKind::Fast);
+        assert_eq!(cells, CellStoreKind::Dense);
+        assert_eq!(
+            meta,
+            InstanceMeta {
+                delta_s: 600,
+                events: 12345,
+                seg_open: true,
+                cases_opened: 2,
+                cases_closed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn header_rejects_wrong_magic_and_future_version() {
+        let bytes = golden_header();
+
+        let mut wrong = bytes.clone();
+        wrong[0] = b'Q';
+        assert!(matches!(
+            read_header(&mut WireReader::new(&wrong)),
+            Err(WireError::BadMagic { expected: SNAPSHOT_MAGIC, .. })
+        ));
+
+        let mut future = bytes.clone();
+        future[4] = 0xFF; // version little-endian low byte
+        assert!(matches!(
+            read_header(&mut WireReader::new(&future)),
+            Err(WireError::FutureVersion { supported: SNAPSHOT_VERSION, .. })
+        ));
+
+        let mut bad_kernel = bytes.clone();
+        bad_kernel[6] = 7;
+        assert!(matches!(
+            read_header(&mut WireReader::new(&bad_kernel)),
+            Err(WireError::BadTag { what: "kernel kind", value: 7 })
+        ));
+
+        let mut bad_cells = bytes;
+        bad_cells[7] = 9;
+        assert!(matches!(
+            read_header(&mut WireReader::new(&bad_cells)),
+            Err(WireError::BadTag { what: "cellstore kind", value: 9 })
+        ));
+    }
+
+    #[test]
+    fn header_rejects_every_truncation() {
+        let bytes = golden_header();
+        for cut in 0..bytes.len() {
+            assert!(
+                read_header(&mut WireReader::new(&bytes[..cut])).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn from_bytes_validates_eagerly() {
+        assert!(InstanceSnapshot::from_bytes(vec![]).is_err());
+        assert!(InstanceSnapshot::from_bytes(b"JUNKJUNK".to_vec()).is_err());
+        let snap = InstanceSnapshot::from_bytes(golden_header()).unwrap();
+        assert_eq!(snap.kernel(), KernelKind::Fast);
+        assert_eq!(snap.cellstore_kind(), CellStoreKind::Dense);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.len(), snap.as_bytes().len());
+    }
+}

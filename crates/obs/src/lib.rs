@@ -63,11 +63,18 @@ pub enum Stage {
     Rsql,
     /// Repairing-module action suggestion.
     Repair,
+    /// Serializing one instance's online state into a checkpoint blob.
+    SnapshotWrite,
+    /// Rebuilding one instance's online state from a checkpoint blob.
+    SnapshotRestore,
+    /// One reshard handoff: quiesce, snapshot the fleet, re-seat every
+    /// instance on its new shard.
+    Reshard,
 }
 
 impl Stage {
     /// All stages, pipeline order (index = discriminant).
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 11] = [
         Stage::IngestMerge,
         Stage::CellFold,
         Stage::DetectorStep,
@@ -76,6 +83,9 @@ impl Stage {
         Stage::Hsql,
         Stage::Rsql,
         Stage::Repair,
+        Stage::SnapshotWrite,
+        Stage::SnapshotRestore,
+        Stage::Reshard,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -90,6 +100,9 @@ impl Stage {
             Stage::Hsql => "hsql_rank",
             Stage::Rsql => "rsql_identify",
             Stage::Repair => "repair_suggest",
+            Stage::SnapshotWrite => "snapshot_write",
+            Stage::SnapshotRestore => "snapshot_restore",
+            Stage::Reshard => "reshard",
         }
     }
 
@@ -121,10 +134,19 @@ pub enum Counter {
     CasesClosed,
     /// Features closed by the detector bank.
     FeaturesClosed,
+    /// Instance checkpoints serialized.
+    SnapshotsWritten,
+    /// Instances rebuilt from a checkpoint.
+    SnapshotsRestored,
+    /// Total serialized checkpoint bytes.
+    SnapshotBytes,
+    /// Instance handoffs performed by reshard steps (instances moved to a
+    /// *different* shard; an instance that keeps its shard is not counted).
+    InstancesResharded,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 14] = [
         Counter::EventsIngested,
         Counter::QueriesIngested,
         Counter::MalformedDropped,
@@ -135,6 +157,10 @@ impl Counter {
         Counter::CasesOpened,
         Counter::CasesClosed,
         Counter::FeaturesClosed,
+        Counter::SnapshotsWritten,
+        Counter::SnapshotsRestored,
+        Counter::SnapshotBytes,
+        Counter::InstancesResharded,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -151,6 +177,10 @@ impl Counter {
             Counter::CasesOpened => "cases_opened",
             Counter::CasesClosed => "cases_closed",
             Counter::FeaturesClosed => "features_closed",
+            Counter::SnapshotsWritten => "snapshots_written",
+            Counter::SnapshotsRestored => "snapshots_restored",
+            Counter::SnapshotBytes => "snapshot_bytes",
+            Counter::InstancesResharded => "instances_resharded",
         }
     }
 

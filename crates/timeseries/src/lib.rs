@@ -52,6 +52,7 @@ pub mod rolling;
 pub mod series;
 pub mod stats;
 pub mod weights;
+pub mod wire;
 
 pub use changepoint::{has_change_point, pettitt, Pettitt};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
@@ -68,3 +69,4 @@ pub use stats::{
     weighted_covariance, weighted_mean, weighted_pearson,
 };
 pub use weights::{sigmoid, sigmoid_window_weights};
+pub use wire::{WireError, WireReader, WireWriter};

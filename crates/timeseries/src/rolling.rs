@@ -144,6 +144,33 @@ impl RollingWindow {
     pub fn sorted_values(&self) -> &[f64] {
         &self.sorted
     }
+
+    /// The configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current contents in *arrival* order, oldest first.
+    ///
+    /// This is the checkpoint serialization order: a fresh window of the
+    /// same capacity replaying these values through [`push`](Self::push)
+    /// holds the same values in the same logical (eviction) order and the
+    /// same sorted buffer — the ring may sit at a different rotation, which
+    /// no observable operation can distinguish — so snapshot → restore is
+    /// behaviorally exact and re-serialization is idempotent.
+    pub fn arrival_values(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        if self.len < self.capacity {
+            // Never wrapped: entries live in ring[0..len] with head == len.
+            out.extend_from_slice(&self.ring[..self.len]);
+        } else {
+            // Full ring: oldest at head, wrapping around.
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+        }
+        out
+    }
 }
 
 /// Robust z-score of `x` against a (median, mad) baseline with a MAD floor.
@@ -249,6 +276,34 @@ mod tests {
                 assert_eq!(fd.to_bits(), rd.to_bits(), "mad, capacity {capacity}");
                 assert_eq!(rm.to_bits(), w.median().unwrap().to_bits());
                 assert_eq!(rd.to_bits(), w.mad().unwrap().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_values_round_trip_is_behaviorally_exact() {
+        for capacity in [1usize, 2, 3, 5, 8] {
+            for n_pushes in 0..(capacity * 3 + 2) {
+                let mut w = RollingWindow::new(capacity);
+                for i in 0..n_pushes {
+                    // Duplicates on purpose: eviction must stay stable.
+                    w.push(((i * 7) % 5) as f64);
+                }
+                let arrival = w.arrival_values();
+                assert_eq!(arrival.len(), w.len());
+                let mut restored = RollingWindow::new(capacity);
+                for &v in &arrival {
+                    restored.push(v);
+                }
+                assert_eq!(restored.sorted_values(), w.sorted_values());
+                assert_eq!(restored.arrival_values(), arrival);
+                // Continue both in lockstep: eviction order must agree.
+                for i in 0..capacity * 2 {
+                    w.push(i as f64 * 0.5);
+                    restored.push(i as f64 * 0.5);
+                    assert_eq!(restored.sorted_values(), w.sorted_values());
+                    assert_eq!(restored.arrival_values(), w.arrival_values());
+                }
             }
         }
     }

@@ -1,0 +1,397 @@
+//! Compact self-describing binary codec for checkpoint/restore.
+//!
+//! The fleet engine snapshots live per-instance state (aggregator rings,
+//! detector segments) so instances can be handed between shards or revived
+//! after a crash with *bit-identical* behavior. `serde_json` cannot carry
+//! that contract — resident state legitimately holds non-finite `f64`s and
+//! JSON round-trips floats through decimal — so snapshots use this
+//! hand-rolled little-endian format instead: every `f64` travels as its raw
+//! IEEE-754 bits, every sequence is length-prefixed, and malformed input
+//! surfaces as a typed [`WireError`], never a panic.
+//!
+//! The codec lives in `pinsql-timeseries` because it is the one crate both
+//! `pinsql-collector` and `pinsql-detect` already depend on; the engine
+//! layers an outer envelope (magic, version, kind tags, sections) on top of
+//! these primitives in `pinsql_engine::snapshot`.
+
+use std::fmt;
+
+/// Typed decode failure. Encoding is infallible; every variant here is a
+/// property of the *input buffer*, so callers can distinguish truncation
+/// from version skew from corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a fixed-width read or a declared length.
+    Truncated {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes remaining in the buffer.
+        have: usize,
+    },
+    /// The leading magic bytes did not match the expected format marker.
+    BadMagic { expected: [u8; 4], found: [u8; 4] },
+    /// The buffer declares a format version newer than this build supports.
+    FutureVersion { found: u16, supported: u16 },
+    /// An enum tag byte (kernel kind, cellstore kind, section id, state
+    /// tag...) held a value outside the known range.
+    BadTag { what: &'static str, value: u64 },
+    /// A declared length or invariant is inconsistent with the decoder's
+    /// environment (e.g. a snapshot's template catalog does not match the
+    /// scenario it is being restored into).
+    Mismatch { what: &'static str, detail: String },
+    /// A section or buffer decoded cleanly but left unread bytes behind.
+    TrailingBytes { what: &'static str, extra: usize },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated buffer: need {need} bytes, have {have}")
+            }
+            WireError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:02x?}, found {found:02x?}")
+            }
+            WireError::FutureVersion { found, supported } => {
+                write!(f, "future format version {found} (this build supports <= {supported})")
+            }
+            WireError::BadTag { what, value } => write!(f, "bad {what} tag: {value}"),
+            WireError::Mismatch { what, detail } => write!(f, "{what} mismatch: {detail}"),
+            WireError::TrailingBytes { what, extra } => {
+                write!(f, "{what} left {extra} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encodes the raw IEEE-754 bits — exact for every value including
+    /// NaN payloads, infinities, and signed zeros.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// `usize` sequence length as `u64` (portable across word sizes).
+    #[inline]
+    pub fn put_len(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    pub fn put_bytes_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_len(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed section: the closure fills the body, then
+    /// the byte length is back-patched in front of it. Sections let a
+    /// decoder verify framing (and skip or bound sub-decoders) without the
+    /// encoder computing sizes up front.
+    pub fn put_section(&mut self, f: impl FnOnce(&mut Self)) {
+        let at = self.buf.len();
+        self.put_u64(0);
+        f(self);
+        let len = (self.buf.len() - at - 8) as u64;
+        self.buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Little-endian cursor-based decoder over a borrowed byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { need: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    #[inline]
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
+    }
+
+    #[inline]
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+    }
+
+    #[inline]
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    #[inline]
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    #[inline]
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(WireError::BadTag { what: "bool", value: v as u64 }),
+        }
+    }
+
+    /// Sequence length; rejects lengths that could not possibly fit in the
+    /// remaining buffer so corrupt prefixes fail fast instead of driving a
+    /// huge loop of `Truncated` reads (or an OOM `Vec::with_capacity`).
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.get_u64()?;
+        let need = (n as u128) * (min_elem_bytes.max(1) as u128);
+        if need > self.remaining() as u128 {
+            return Err(WireError::Truncated {
+                need: need.min(usize::MAX as u128) as usize,
+                have: self.remaining(),
+            });
+        }
+        Ok(n as usize)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_len(1)?;
+        self.take(n)
+    }
+
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        let bytes = self.get_bytes()?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| WireError::Mismatch { what: "utf-8 string", detail: "invalid encoding".into() })
+    }
+
+    /// Fixed-width magic marker.
+    pub fn expect_magic(&mut self, expected: [u8; 4]) -> Result<(), WireError> {
+        let found: [u8; 4] = self.take(4)?.try_into().expect("len checked");
+        if found != expected {
+            return Err(WireError::BadMagic { expected, found });
+        }
+        Ok(())
+    }
+
+    /// Reads a length-prefixed section and returns a sub-reader bounded to
+    /// exactly that section's bytes; the parent cursor skips past it.
+    pub fn get_section(&mut self) -> Result<WireReader<'a>, WireError> {
+        let n = self.get_len(1)?;
+        Ok(WireReader::new(self.take(n)?))
+    }
+
+    /// Asserts the reader consumed everything (call at end of a section or
+    /// buffer to catch over-long input).
+    pub fn finish(&self, what: &'static str) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes { what, extra: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives_exactly() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u16(65535);
+        w.put_u32(123456789);
+        w.put_u64(u64::MAX);
+        w.put_i64(i64::MIN);
+        w.put_f64(f64::NEG_INFINITY);
+        w.put_f64(-0.0);
+        w.put_f64(f64::from_bits(0x7ff8_dead_beef_0001)); // NaN with payload
+        w.put_bool(true);
+        w.put_str("snapshot");
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 65535);
+        assert_eq!(r.get_u32().unwrap(), 123456789);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), i64::MIN);
+        assert_eq!(r.get_f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), 0x7ff8_dead_beef_0001);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "snapshot");
+        r.finish("test buffer").unwrap();
+    }
+
+    #[test]
+    fn sections_backpatch_and_bound() {
+        let mut w = WireWriter::new();
+        w.put_section(|w| {
+            w.put_u32(42);
+            w.put_str("inner");
+        });
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        let mut sec = r.get_section().unwrap();
+        assert_eq!(sec.get_u32().unwrap(), 42);
+        assert_eq!(sec.get_str().unwrap(), "inner");
+        sec.finish("section").unwrap();
+        assert_eq!(r.get_u8().unwrap(), 9);
+        r.finish("outer").unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut w = WireWriter::new();
+        w.put_section(|w| {
+            w.put_f64(1.5);
+            w.put_str("abc");
+        });
+        w.put_i64(-3);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            let res = (|| {
+                let mut sec = r.get_section()?;
+                sec.get_f64()?;
+                sec.get_str()?;
+                sec.finish("sec")?;
+                r.get_i64()?;
+                r.finish("buf")
+            })();
+            assert!(
+                matches!(res, Err(WireError::Truncated { .. })),
+                "cut at {cut} gave {res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_tags_are_typed() {
+        let mut r = WireReader::new(b"XNOPrest");
+        assert_eq!(
+            r.expect_magic(*b"PSNP"),
+            Err(WireError::BadMagic { expected: *b"PSNP", found: *b"XNOP" })
+        );
+        let mut r = WireReader::new(&[3u8]);
+        assert_eq!(r.get_bool(), Err(WireError::BadTag { what: "bool", value: 3 }));
+    }
+
+    #[test]
+    fn absurd_length_prefix_fails_fast() {
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX); // declared length far beyond the buffer
+        w.put_u8(1);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported() {
+        let mut w = WireWriter::new();
+        w.put_u32(1);
+        w.put_u8(0xEE);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.get_u32().unwrap();
+        assert_eq!(r.finish("blob"), Err(WireError::TrailingBytes { what: "blob", extra: 1 }));
+    }
+}

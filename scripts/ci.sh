@@ -1,8 +1,42 @@
 #!/usr/bin/env bash
 # Full local gate: release build, the whole test suite, and clippy with
 # warnings promoted to errors. Run from the repo root.
+#
+# Usage: scripts/ci.sh [target]
+#   (no target)      the full gate, snapshot_smoke included
+#   snapshot_smoke   only the checkpoint/reshard suites plus the
+#                    snapshot-size / restore-latency sanity gate — the
+#                    fast loop when touching the snapshot or fleet layer
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+target="${1:-all}"
+
+# Checkpoint/restore + live resharding: engine-crate unit tests, the
+# wire-hardening and property suites, the reshard-equivalence matrix and
+# crash recovery, then the bench-bin gate that keeps snapshot
+# bytes/instance and restore latency inside sane bounds.
+snapshot_smoke() {
+  cargo test -q -p pinsql-engine snapshot
+  cargo test -q --test snapshot_wire
+  cargo test -q --test snapshot_props
+  cargo test -q --test reshard_equivalence
+  cargo test -q --test crash_recovery
+  cargo run --release -q -p pinsql-bench --bin reshard -- --gate
+}
+
+case "$target" in
+  snapshot_smoke)
+    cargo build --release
+    snapshot_smoke
+    exit 0
+    ;;
+  all) ;;
+  *)
+    echo "unknown target: $target (expected nothing or snapshot_smoke)" >&2
+    exit 2
+    ;;
+esac
 
 cargo build --release
 # Fast fail on the robustness sweep before the full suite: a tiny
@@ -25,5 +59,8 @@ cargo test -q --test obs_smoke
 # ratio, so it holds on slow CI hosts too.
 cargo test -q --test kernel_props
 cargo run --release -q -p pinsql-bench --bin ingest_rate -- --check BENCH_ingest_loop.json
+# Checkpoint/restore + live resharding layer: snapshots must round-trip
+# exactly and a mid-stream reshard must be invisible in the output.
+snapshot_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,110 @@
+//! Crash recovery: kill ingestion at an arbitrary point, restore every
+//! instance from the last fleet checkpoint, replay only the tail — the
+//! final cases and diagnoses are byte-identical to a run that never
+//! crashed.
+//!
+//! The checkpoint and the resume deliberately run under *different*
+//! shard/fanout layouts (a recovered fleet rarely comes back on the same
+//! machine shape), so this also pins that checkpoints are portable
+//! across layouts.
+
+mod common;
+
+use common::{batch_snapshot, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
+use pinsql::PinSqlConfig;
+use pinsql_detect::KernelKind;
+use pinsql_engine::{FleetConfig, FleetEngine};
+
+fn engine(shards: usize, fanout: usize) -> FleetEngine {
+    FleetEngine::new(FleetConfig {
+        delta_s: GOLDEN_DELTA_S,
+        pinsql: PinSqlConfig::default(),
+        fanout,
+        shards,
+        kernel: KernelKind::Fast,
+    })
+}
+
+#[test]
+fn resume_from_checkpoint_matches_uninterrupted_run() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+
+    let batch_jsons: Vec<String> = manifest
+        .iter()
+        .map(|entry| {
+            let (snap, _) = batch_snapshot(entry, 1);
+            serde_json::to_string_pretty(&snap).expect("serialize snapshot")
+        })
+        .collect();
+
+    // Before the anomaly, mid-anomaly (open segments, half-folded
+    // minutes), and after it — the three qualitatively different crash
+    // moments.
+    for at_second in [300i64, 800, 1100] {
+        let ckpt = engine(2, 4).checkpoint_at(&scenarios, at_second);
+        assert_eq!(ckpt.at_second, at_second);
+        assert_eq!(ckpt.snapshots.len(), scenarios.len());
+        assert!(ckpt.total_bytes() > 0);
+
+        let resumed = engine(3, 1).resume_full(&scenarios, &ckpt).expect("checkpoint decodes");
+        for (i, entry) in manifest.iter().enumerate() {
+            let snap = snapshot_of(entry, &resumed.cases[i], &resumed.diagnoses[i]);
+            let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+            assert_eq!(
+                json, batch_jsons[i],
+                "{}: resume from checkpoint at t={at_second}s diverged from batch",
+                entry.name
+            );
+        }
+    }
+}
+
+/// Checkpointing is deterministic: two checkpoints of the same fleet at
+/// the same boundary are byte-identical, whatever layout cut them (the
+/// default dense cell store serializes in slot order).
+#[test]
+fn checkpoints_are_deterministic_and_layout_independent() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(4).map(scenario_for).collect();
+
+    let a = engine(1, 1).checkpoint_at(&scenarios, 800);
+    let b = engine(4, 2).checkpoint_at(&scenarios, 800);
+    assert_eq!(a.snapshots.len(), b.snapshots.len());
+    for (i, (sa, sb)) in a.snapshots.iter().zip(&b.snapshots).enumerate() {
+        assert_eq!(sa.as_bytes(), sb.as_bytes(), "instance {i}: checkpoint bytes differ");
+        assert_eq!(sa.kernel(), KernelKind::Fast);
+    }
+}
+
+/// A checkpoint survives the serialize → ship → revalidate cycle: wrapped
+/// back through `from_bytes`, every snapshot still resumes exactly.
+#[test]
+fn shipped_checkpoint_bytes_resume_exactly() {
+    use pinsql_engine::{FleetCheckpoint, InstanceSnapshot};
+
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(4).map(scenario_for).collect();
+
+    let baseline = engine(1, 1).run_full(&scenarios);
+    let ckpt = engine(2, 2).checkpoint_at(&scenarios, 800);
+    let shipped = FleetCheckpoint {
+        at_second: ckpt.at_second,
+        snapshots: ckpt
+            .snapshots
+            .iter()
+            .map(|s| InstanceSnapshot::from_bytes(s.as_bytes().to_vec()).expect("revalidates"))
+            .collect(),
+    };
+    let resumed = engine(2, 2).resume_full(&scenarios, &shipped).expect("checkpoint decodes");
+    for (i, entry) in manifest.iter().take(4).enumerate() {
+        let a = snapshot_of(entry, &baseline.cases[i], &baseline.diagnoses[i]);
+        let b = snapshot_of(entry, &resumed.cases[i], &resumed.diagnoses[i]);
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap(),
+            "{}: shipped checkpoint diverged",
+            entry.name
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Reshard equivalence: a live mid-stream reshard is behaviorally
+//! invisible.
+//!
+//! All 16 manifest scenarios run as one fleet under a [`ReshardPlan`]
+//! that quiesces mid-anomaly, snapshots every instance, moves it to a
+//! different shard, restores, and resumes — at shards ∈ {1, 2, 4} ×
+//! fanout ∈ {1, 4} × kernel ∈ {fast, reference} — and every case's
+//! `Snapshot` JSON must match the uninterrupted batch pipeline
+//! **byte-for-byte**. Scores travel as `f64` bit patterns, so a single
+//! ULP of drift introduced anywhere in the serialize → hand off →
+//! restore path fails the matrix.
+
+mod common;
+
+use common::{batch_snapshot, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
+use pinsql::PinSqlConfig;
+use pinsql_detect::KernelKind;
+use pinsql_engine::{FleetConfig, FleetEngine, ReshardPlan, ReshardStep};
+
+fn engine(shards: usize, fanout: usize, kernel: KernelKind) -> FleetEngine {
+    FleetEngine::new(FleetConfig {
+        delta_s: GOLDEN_DELTA_S,
+        pinsql: PinSqlConfig::default(),
+        fanout,
+        shards,
+        kernel,
+    })
+}
+
+/// `assignment[i]` under the engine's static contiguous layout.
+fn contiguous(n: usize, shards: usize) -> Vec<usize> {
+    (0..n).map(|i| i * shards / n.max(1)).map(|s| s.min(shards - 1)).collect()
+}
+
+/// The adversarial handoff: every instance moves to the mirror shard, so
+/// shard-local orderings all change and any reassembly that leans on
+/// within-shard contiguity or finish order breaks loudly.
+fn reversed(n: usize, shards: usize) -> Vec<usize> {
+    contiguous(n, shards).into_iter().map(|s| shards - 1 - s).collect()
+}
+
+#[test]
+fn resharded_fleet_matches_batch_on_every_golden_case() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let n = scenarios.len();
+
+    let batch_jsons: Vec<String> = manifest
+        .iter()
+        .map(|entry| {
+            let (snap, _) = batch_snapshot(entry, 1);
+            serde_json::to_string_pretty(&snap).expect("serialize snapshot")
+        })
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        for fanout in [1usize, 4] {
+            for kernel in [KernelKind::Fast, KernelKind::Reference] {
+                // Quiesce mid-anomaly (the hardest moment: open detector
+                // segments, partially folded minutes) and reverse the
+                // shard assignment.
+                let plan = ReshardPlan::single(800, reversed(n, shards.min(n)));
+                let run = engine(shards, fanout, kernel)
+                    .run_resharded(&scenarios, &plan)
+                    .expect("snapshot handoff decodes");
+                assert_eq!(run.cases.len(), n);
+
+                for (i, entry) in manifest.iter().enumerate() {
+                    let snap = snapshot_of(entry, &run.cases[i], &run.diagnoses[i]);
+                    let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+                    assert_eq!(
+                        json,
+                        batch_jsons[i],
+                        "{}: resharded run (shards {shards}, fanout {fanout}, kernel {}) \
+                         diverged from batch",
+                        entry.name,
+                        kernel.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The degenerate 1 → N → 1 plan: the whole fleet collapses onto one
+/// shard, explodes to one-instance-per-shard mid-anomaly, then collapses
+/// back — still byte-identical to never resharding at all.
+#[test]
+fn degenerate_one_to_many_to_one_plan_is_invisible() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let n = scenarios.len();
+
+    let baseline = engine(1, 1, KernelKind::Fast).run_full(&scenarios);
+    let plan = ReshardPlan {
+        steps: vec![
+            ReshardStep { at_second: 400, assignment: (0..n).collect() },
+            ReshardStep { at_second: 900, assignment: vec![0; n] },
+        ],
+    };
+    for fanout in [1usize, 4] {
+        let run = engine(1, fanout, KernelKind::Fast)
+            .run_resharded(&scenarios, &plan)
+            .expect("snapshot handoff decodes");
+        for (i, entry) in manifest.iter().enumerate() {
+            let a = snapshot_of(entry, &baseline.cases[i], &baseline.diagnoses[i]);
+            let b = snapshot_of(entry, &run.cases[i], &run.diagnoses[i]);
+            assert_eq!(
+                serde_json::to_string_pretty(&a).unwrap(),
+                serde_json::to_string_pretty(&b).unwrap(),
+                "{}: 1->N->1 churn diverged (fanout {fanout})",
+                entry.name
+            );
+        }
+    }
+}
+
+/// Regression for the mid-stream ordering assumption: after an
+/// assignment-reversing handoff, cases must still come back in global
+/// instance-id order — outcome `i` belongs to scenario `i`, not to
+/// whatever shard finished first.
+#[test]
+fn reversing_handoff_preserves_instance_id_order() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let n = scenarios.len();
+
+    let plan = ReshardPlan::single(800, reversed(n, 4));
+    let run =
+        engine(4, 2, KernelKind::Fast).run_resharded(&scenarios, &plan).expect("handoff decodes");
+    for (i, entry) in manifest.iter().enumerate() {
+        assert_eq!(run.report.outcomes[i].instance, i);
+        assert_eq!(
+            run.report.outcomes[i].seed, entry.seed,
+            "{}: outcome {i} carries the wrong scenario's seed after the reversing handoff",
+            entry.name
+        );
+        assert_eq!(run.report.outcomes[i].kind, entry.kind);
+    }
+}
+
+#[test]
+#[should_panic(expected = "not strictly increasing")]
+fn non_monotonic_plan_is_rejected() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(2).map(scenario_for).collect();
+    let plan = ReshardPlan {
+        steps: vec![
+            ReshardStep { at_second: 500, assignment: vec![0, 1] },
+            ReshardStep { at_second: 500, assignment: vec![1, 0] },
+        ],
+    };
+    let _ = engine(2, 1, KernelKind::Fast).run_resharded(&scenarios, &plan);
+}
+
+#[test]
+#[should_panic(expected = "assignment covers")]
+fn wrong_assignment_length_is_rejected() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(2).map(scenario_for).collect();
+    let plan = ReshardPlan::single(500, vec![0, 1, 0]);
+    let _ = engine(2, 1, KernelKind::Fast).run_resharded(&scenarios, &plan);
+}

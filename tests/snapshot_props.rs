@@ -1,0 +1,242 @@
+//! Property tests for instance snapshot/restore.
+//!
+//! The contract under test: for any stream prefix `s`,
+//! `restore(snapshot(s))` then draining the tail is indistinguishable —
+//! health, counters, and the closed labelled case all bit-identical —
+//! from an instance that never snapshotted. Streams come from three
+//! generators: seeded random events (out-of-order arrivals, corrupt
+//! records, interleaved metrics), chaos-perturbed real scenario
+//! telemetry, and a deterministic short stream snapshotted at **every**
+//! position.
+
+use pinsql_collector::{CaseData, CellStoreKind};
+use pinsql_dbsim::{MetricsSample, QueryRecord, TelemetryEvent};
+use pinsql_detect::KernelKind;
+use pinsql_engine::{InstanceSnapshot, OnlineInstance};
+use pinsql_scenario::{
+    generate_base, inject, materialize_events, AnomalyKind, LabeledCase, PerturbConfig, Scenario,
+    ScenarioConfig,
+};
+use pinsql_workload::SpecId;
+use proptest::prelude::*;
+
+const DELTA_S: i64 = 60;
+
+/// A small positive scenario: big enough for real detector activity,
+/// small enough for hundreds of proptest round-trips.
+fn small_scenario(seed: u64) -> Scenario {
+    let cfg = ScenarioConfig {
+        seed,
+        n_business: 4,
+        n_giants: 1,
+        root_rate: (1.0, 3.0),
+        giant_rate: (6.0, 10.0),
+        window_s: 240,
+        anomaly_start: 120,
+        anomaly_end: 180,
+        cores: 2.0,
+        io_channels: 4.0,
+    };
+    let base = generate_base(&cfg);
+    inject(&base, &cfg, AnomalyKind::BusinessSpike)
+}
+
+fn assert_case_eq(a: &CaseData, b: &CaseData, what: &str) {
+    assert_eq!(a.ts, b.ts, "{what}: ts");
+    assert_eq!(a.te, b.te, "{what}: te");
+    assert_eq!(a.records, b.records, "{what}: records");
+    assert_eq!(a.templates.len(), b.templates.len(), "{what}: template count");
+    for (x, y) in a.templates.iter().zip(&b.templates) {
+        assert_eq!(x.id, y.id, "{what}: template id");
+        assert_eq!(x.record_idx, y.record_idx, "{what}: record_idx of {:?}", x.id);
+        assert_eq!(x.series.start, y.series.start, "{what}: series start of {:?}", x.id);
+        assert_eq!(x.series.execution_count, y.series.execution_count, "{what}: {:?}", x.id);
+        assert_eq!(x.series.total_rt_ms, y.series.total_rt_ms, "{what}: {:?}", x.id);
+        assert_eq!(x.series.examined_rows, y.series.examined_rows, "{what}: {:?}", x.id);
+    }
+    assert_eq!(a.metrics.active_session, b.metrics.active_session, "{what}: active_session");
+    assert_eq!(a.metrics.qps, b.metrics.qps, "{what}: qps");
+}
+
+fn assert_lc_eq(a: &LabeledCase, b: &LabeledCase, what: &str) {
+    assert_eq!(a.window, b.window, "{what}: window");
+    assert_eq!(a.detected, b.detected, "{what}: detected");
+    assert_eq!(a.anomaly_type, b.anomaly_type, "{what}: anomaly_type");
+    assert_eq!(a.truth.rsqls, b.truth.rsqls, "{what}: truth rsqls");
+    assert_eq!(a.truth.hsqls, b.truth.hsqls, "{what}: truth hsqls");
+    assert_eq!(a.minutes_origin, b.minutes_origin, "{what}: minutes_origin");
+    assert_case_eq(&a.case, &b.case, what);
+}
+
+/// Ingest `events[..split]`, snapshot, restore (through the untrusted
+/// `from_bytes` path), drain the tail on both the snapshotted-and-
+/// continued instance and the restored one, and compare everything —
+/// including against a baseline that never snapshotted.
+fn round_trip_at(
+    scenario: &Scenario,
+    events: &[TelemetryEvent],
+    split: usize,
+    kernel: KernelKind,
+    cells: CellStoreKind,
+) {
+    let mk = || OnlineInstance::new(scenario, DELTA_S).with_kernel(kernel).with_cell_store(cells);
+
+    let mut baseline = mk();
+    baseline.ingest_stream(events.to_vec());
+
+    let mut live = mk();
+    live.ingest_stream(events[..split].to_vec());
+    let snap = live.snapshot();
+    assert_eq!(snap.kernel(), kernel);
+    assert_eq!(snap.cellstore_kind(), cells);
+    let wrapped = InstanceSnapshot::from_bytes(snap.into_bytes()).expect("own bytes revalidate");
+    let mut restored = OnlineInstance::restore(scenario, &wrapped).expect("own snapshot restores");
+
+    assert_eq!(restored.events_ingested(), live.events_ingested());
+    assert_eq!(restored.health_snapshot(), live.health_snapshot(), "health after restore");
+    if cells == CellStoreKind::Dense {
+        // The dense store serializes in slot order, so re-serializing the
+        // restored state is byte-idempotent. (The hashed store is
+        // behaviorally exact but not byte-stable across map iteration.)
+        assert_eq!(restored.snapshot().as_bytes(), wrapped.as_bytes(), "byte idempotence");
+    }
+
+    live.ingest_stream(events[split..].to_vec());
+    restored.ingest_stream(events[split..].to_vec());
+    assert_eq!(restored.health_snapshot(), live.health_snapshot(), "health after drain");
+    assert_eq!(baseline.health_snapshot(), live.health_snapshot(), "health vs baseline");
+
+    let lc_base = baseline.close_case();
+    let lc_live = live.close_case();
+    let lc_restored = restored.close_case();
+    assert_lc_eq(&lc_live, &lc_base, "snapshotted-and-continued vs never-snapshotted");
+    assert_lc_eq(&lc_restored, &lc_base, "restored vs never-snapshotted");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Seeded random streams: arrivals in any order (including before the
+    /// ring start), a sprinkle of non-finite records, interleaved metric
+    /// samples and ticks — snapshot at a random position always
+    /// round-trips exactly.
+    #[test]
+    fn random_streams_round_trip(
+        raw in prop::collection::vec(
+            // (spec, second, sub-ms, response, rows, corrupt)
+            (0usize..6, -3i64..90, 0.0f64..1000.0, 0.1f64..500.0, 0u64..100, 0u8..20),
+            1..200,
+        ),
+        tick_every in 1usize..30,
+        split_bias in 0.0f64..1.0,
+        fast_kernel in any::<bool>(),
+        dense in any::<bool>(),
+    ) {
+        let scenario = small_scenario(7);
+        let mut events: Vec<TelemetryEvent> = Vec::new();
+        for (i, &(spec, sec, sub_ms, rt, rows, corrupt)) in raw.iter().enumerate() {
+            let (start_ms, response_ms) = match corrupt {
+                0 => (f64::NAN, rt),
+                1 => (sec as f64 * 1000.0 + sub_ms, f64::INFINITY),
+                _ => (sec as f64 * 1000.0 + sub_ms, rt),
+            };
+            events.push(TelemetryEvent::Query(QueryRecord {
+                spec: SpecId(spec % scenario.workload.specs.len()),
+                start_ms,
+                response_ms,
+                examined_rows: rows,
+            }));
+            if i % tick_every == tick_every - 1 {
+                let hi = raw[..=i].iter().map(|r| r.1).max().unwrap_or(0).max(0);
+                events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
+                    second: hi,
+                    active_session: 2.0 + (i % 7) as f64,
+                    ..Default::default()
+                })));
+                events.push(TelemetryEvent::Tick { second: hi + 1 });
+            }
+        }
+        let split = ((events.len() as f64) * split_bias) as usize;
+        let kernel = if fast_kernel { KernelKind::Fast } else { KernelKind::Reference };
+        let cells = if dense { CellStoreKind::Dense } else { CellStoreKind::Hashed };
+        round_trip_at(&scenario, &events, split.min(events.len()), kernel, cells);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Chaos-perturbed real telemetry: dropped/duplicated/jittered/
+    /// reordered records and blanked metric seconds. Whatever the
+    /// degradation, a mid-stream snapshot round-trips exactly.
+    #[test]
+    fn perturbed_streams_round_trip(
+        pseed in 0u64..1_000,
+        skew in -50.0f64..50.0,
+        reorder in any::<bool>(),
+        split_bias in 0.0f64..1.0,
+        dense in any::<bool>(),
+    ) {
+        let scenario = small_scenario(11);
+        let perturb = PerturbConfig {
+            seed: pseed,
+            drop_prob: 0.05,
+            duplicate_prob: 0.05,
+            jitter_ms: 30.0,
+            clock_skew_ms: skew,
+            reorder,
+            metric_blank_prob: 0.05,
+        };
+        let events = materialize_events(&scenario, Some(&perturb));
+        let split = ((events.len() as f64) * split_bias) as usize;
+        let cells = if dense { CellStoreKind::Dense } else { CellStoreKind::Hashed };
+        round_trip_at(&scenario, &events, split.min(events.len()), KernelKind::Fast, cells);
+    }
+}
+
+/// Exhaustive positions: a deterministic 60-second stream (warm-up,
+/// surge, recovery) snapshotted at **every** event index, 0 through len —
+/// each restore drains the tail and must close the same case as a
+/// baseline that never snapshotted.
+#[test]
+fn every_split_position_round_trips() {
+    let scenario = small_scenario(3);
+    let n_specs = scenario.workload.specs.len();
+    let mut events: Vec<TelemetryEvent> = Vec::new();
+    for s in 0..60i64 {
+        for q in 0..3 {
+            events.push(TelemetryEvent::Query(QueryRecord {
+                spec: SpecId(((s as usize) * 3 + q) % n_specs),
+                start_ms: s as f64 * 1000.0 + q as f64 * 250.0,
+                response_ms: 2.0 + q as f64,
+                examined_rows: 10,
+            }));
+        }
+        let surge = (40..55).contains(&s);
+        events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
+            second: s,
+            active_session: if surge { 90.0 } else { 4.0 },
+            cpu_usage: if surge { 0.9 } else { 0.3 },
+            ..Default::default()
+        })));
+        events.push(TelemetryEvent::Tick { second: s + 1 });
+    }
+
+    let mk = || OnlineInstance::new(&scenario, DELTA_S);
+    let mut baseline = mk();
+    baseline.ingest_stream(events.clone());
+    let base_health = baseline.health_snapshot();
+    let lc_base = baseline.close_case();
+
+    for split in 0..=events.len() {
+        let mut live = mk();
+        live.ingest_stream(events[..split].to_vec());
+        let snap = live.snapshot();
+        let mut restored =
+            OnlineInstance::restore(&scenario, &snap).expect("own snapshot restores");
+        assert_eq!(restored.snapshot().as_bytes(), snap.as_bytes(), "split {split}: idempotence");
+        restored.ingest_stream(events[split..].to_vec());
+        assert_eq!(restored.health_snapshot(), base_health, "split {split}: health");
+        assert_lc_eq(&restored.close_case(), &lc_base, &format!("split {split}"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Wire-format hardening for instance snapshots.
+//!
+//! A golden snapshot blob lives at `tests/golden/instance_snapshot.bin`
+//! (self-blessing on first run; `PINSQL_BLESS=1` regenerates after an
+//! intentional format change). Against it this suite pins:
+//!
+//! * byte-stability — today's engine reproduces the committed blob
+//!   exactly, so any accidental wire-format change fails loudly;
+//! * typed failure on *every* malformed shape — truncation at each byte,
+//!   wrong magic, future version, unknown and spliced kind tags, trailing
+//!   garbage, and restore into the wrong scenario — never a panic, never
+//!   a silently wrong instance.
+
+mod common;
+
+use pinsql_engine::{InstanceSnapshot, OnlineInstance, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use pinsql_scenario::{generate_base, inject, materialize_events, AnomalyKind, ScenarioConfig};
+use pinsql_timeseries::WireError;
+
+const DELTA_S: i64 = 60;
+
+fn golden_scenario() -> pinsql_scenario::Scenario {
+    let cfg = ScenarioConfig {
+        seed: 42,
+        n_business: 4,
+        n_giants: 1,
+        root_rate: (1.0, 3.0),
+        giant_rate: (6.0, 10.0),
+        window_s: 240,
+        anomaly_start: 120,
+        anomaly_end: 180,
+        cores: 2.0,
+        io_channels: 4.0,
+    };
+    let base = generate_base(&cfg);
+    inject(&base, &cfg, AnomalyKind::BusinessSpike)
+}
+
+/// The canonical blob: the golden scenario's stream cut mid-anomaly
+/// (open detector segment, half-folded minute) and snapshotted.
+fn build_snapshot(scenario: &pinsql_scenario::Scenario) -> InstanceSnapshot {
+    let events = materialize_events(scenario, None);
+    let cut = events.partition_point(|ev| ev.time_ms() < 150.0 * 1000.0);
+    let mut inst = OnlineInstance::new(scenario, DELTA_S);
+    inst.ingest_stream(events[..cut].to_vec());
+    inst.snapshot()
+}
+
+#[test]
+fn golden_blob_is_byte_stable_and_restores() {
+    let scenario = golden_scenario();
+    let snap = build_snapshot(&scenario);
+    assert_eq!(&snap.as_bytes()[..4], &SNAPSHOT_MAGIC);
+    assert!(!snap.is_empty());
+    assert_eq!(snap.len(), snap.as_bytes().len());
+
+    let path = common::golden_dir().join("instance_snapshot.bin");
+    let bless = std::env::var_os("PINSQL_BLESS").is_some();
+    if bless || !path.exists() {
+        std::fs::write(&path, snap.as_bytes()).expect("write golden snapshot blob");
+    }
+    let committed = std::fs::read(&path).expect("read golden snapshot blob");
+    assert_eq!(
+        committed,
+        snap.as_bytes(),
+        "snapshot wire bytes changed; if intentional, bump SNAPSHOT_VERSION and \
+         regenerate with PINSQL_BLESS=1"
+    );
+
+    // The committed bytes round-trip through the untrusted path and keep
+    // ingesting: drain the tail and close the case without error.
+    let wrapped = InstanceSnapshot::from_bytes(committed).expect("golden blob validates");
+    assert_eq!(wrapped.kernel(), snap.kernel());
+    assert_eq!(wrapped.cellstore_kind(), snap.cellstore_kind());
+    let mut restored = OnlineInstance::restore(&scenario, &wrapped).expect("golden blob restores");
+    let events = materialize_events(&scenario, None);
+    let cut = events.partition_point(|ev| ev.time_ms() < 150.0 * 1000.0);
+    restored.ingest_stream(events[cut..].to_vec());
+    let lc = restored.close_case();
+    assert!(lc.case.n_seconds() > 0);
+}
+
+#[test]
+fn every_truncation_yields_a_typed_error() {
+    let scenario = golden_scenario();
+    let bytes = build_snapshot(&scenario).into_bytes();
+    for cut in 0..bytes.len() {
+        match InstanceSnapshot::from_bytes(bytes[..cut].to_vec()) {
+            // Header survived the cut; the body decode must catch it.
+            Ok(snap) => assert!(
+                OnlineInstance::restore(&scenario, &snap).is_err(),
+                "truncation at {cut}/{} restored",
+                bytes.len()
+            ),
+            Err(e) => assert!(
+                matches!(e, WireError::Truncated { .. } | WireError::BadMagic { .. }),
+                "truncation at {cut}: unexpected error {e:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn corrupt_headers_yield_specific_typed_errors() {
+    let scenario = golden_scenario();
+    let bytes = build_snapshot(&scenario).into_bytes();
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'Q';
+    assert!(matches!(
+        InstanceSnapshot::from_bytes(wrong_magic),
+        Err(WireError::BadMagic { expected: SNAPSHOT_MAGIC, .. })
+    ));
+
+    let mut future = bytes.clone();
+    future[4] = 0xFF; // little-endian low byte: version 0xFF > 1
+    assert!(matches!(
+        InstanceSnapshot::from_bytes(future),
+        Err(WireError::FutureVersion { supported: SNAPSHOT_VERSION, .. })
+    ));
+
+    let mut bad_kernel = bytes.clone();
+    bad_kernel[6] = 9;
+    assert!(matches!(
+        InstanceSnapshot::from_bytes(bad_kernel),
+        Err(WireError::BadTag { what: "kernel kind", value: 9 })
+    ));
+
+    let mut bad_cells = bytes.clone();
+    bad_cells[7] = 9;
+    assert!(matches!(
+        InstanceSnapshot::from_bytes(bad_cells),
+        Err(WireError::BadTag { what: "cellstore kind", value: 9 })
+    ));
+
+    // A *valid-looking* spliced header — kind tags flipped to the other
+    // legal value — passes routing validation but must fail restore's
+    // header-vs-body cross-check.
+    let mut spliced_kernel = bytes.clone();
+    spliced_kernel[6] ^= 1;
+    let snap = InstanceSnapshot::from_bytes(spliced_kernel).expect("tag is legal in isolation");
+    assert!(matches!(
+        OnlineInstance::restore(&scenario, &snap),
+        Err(WireError::Mismatch { what: "kernel tag", .. })
+    ));
+
+    let mut spliced_cells = bytes.clone();
+    spliced_cells[7] ^= 1;
+    let snap = InstanceSnapshot::from_bytes(spliced_cells).expect("tag is legal in isolation");
+    assert!(matches!(
+        OnlineInstance::restore(&scenario, &snap),
+        Err(WireError::Mismatch { what: "cellstore tag", .. })
+    ));
+
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(b"garbage");
+    let snap = InstanceSnapshot::from_bytes(trailing).expect("header is intact");
+    assert!(matches!(
+        OnlineInstance::restore(&scenario, &snap),
+        Err(WireError::TrailingBytes { .. })
+    ));
+}
+
+#[test]
+fn restore_into_wrong_scenario_is_a_typed_error() {
+    let scenario = golden_scenario();
+    let snap = build_snapshot(&scenario);
+
+    let other_cfg = ScenarioConfig { seed: 43, n_business: 7, ..ScenarioConfig::default() };
+    let other = inject(&generate_base(&other_cfg), &other_cfg, AnomalyKind::MdlLock);
+    let err = OnlineInstance::restore(&other, &snap);
+    assert!(err.is_err(), "restoring into a different scenario must fail, got Ok");
+}
