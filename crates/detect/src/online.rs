@@ -337,6 +337,18 @@ impl OnlineDetectorBank {
         self.kernel
     }
 
+    /// Swaps the statistics kernel on a *live* bank — the config-push
+    /// path's kernel hot-swap. Safe mid-stream because baselines hold raw
+    /// samples (median/MAD are computed on demand per push) and both
+    /// kernel kinds are bit-identical, so every subsequent sample folds
+    /// exactly as it would have under a cold start with `kernel`.
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        self.kernel = kernel;
+        for det in &mut self.detectors {
+            det.cfg.kernel = kernel;
+        }
+    }
+
     /// Serializes the bank's complete streaming state into `w` (the
     /// checkpoint body — the engine wraps it in a magic/version envelope).
     ///

@@ -1,0 +1,691 @@
+//! The resident fleet daemon: an agent that *stays up* between batches.
+//!
+//! [`FleetEngine`] runs a fleet to completion in one call. A production
+//! deployment instead keeps the pipelines resident: telemetry arrives
+//! forever, operators retune thresholds, swap kernels, and bounce agents
+//! without losing a second of online state. [`FleetDaemon`] is that
+//! shape over the same machinery:
+//!
+//! - **Agent** ([`FleetDaemon`]) — owns the live [`OnlineInstance`]s and
+//!   the sharded ingestion workers. [`advance_to`](FleetDaemon::advance_to)
+//!   folds each stream's prefix strictly before an event-time watermark
+//!   (the same exact quiesce [`crate::ReshardStep`] boundaries use), so
+//!   every pause point is deterministic whatever the shard layout.
+//! - **Server** ([`FleetServer`]) — the control plane. Every operation
+//!   crosses the typed `PCTL` wire ([`crate::control`]) as encoded
+//!   frames: versioned config pushes, drains, restarts, health queries.
+//!   There is no side channel; the daemon suites exercise the bytes a
+//!   remote deployment would.
+//!
+//! ## Why a live reconfigure is byte-identical to a cold start
+//!
+//! A [`ControlMsg::ConfigPush`] lands at the current watermark, where the
+//! fleet is quiesced. The push re-seats every instance through the full
+//! untrusted snapshot path (serialize → [`InstanceSnapshot::from_bytes`]
+//! → restore — exactly the reshard handoff), then applies the delta:
+//!
+//! - the **kernel** hot-swap is safe because detector baselines hold raw
+//!   samples (median/MAD recompute on demand) and both kernel kinds are
+//!   bit-identical;
+//! - **`δ_s`** and every [`pinsql::PinSqlDelta`] knob are only read when
+//!   a case closes / diagnoses, after the final config is in place;
+//! - **shards / fanout / regions** never touch per-instance state.
+//!
+//! So a daemon that ends at config `F` — however many pushes and
+//! restarts it took — produces the same bytes as
+//! [`FleetEngine::run_full`] under `F`. The `daemon_equivalence` matrix
+//! pins this against the golden corpus, including a mid-stream push and
+//! a graceful restart inside an open anomaly.
+
+use crate::control::{ControlMsg, ControlResp, DaemonState, FleetDelta};
+use crate::fleet::{
+    contiguous_assignment, finalize_instance, merge_streams, split_prefix, FleetConfig,
+    FleetEngine, FleetRun, InstanceArtifacts,
+};
+use crate::instance::OnlineInstance;
+use crate::snapshot::InstanceSnapshot;
+use pinsql::ConfigEpoch;
+use pinsql_dbsim::TelemetryEvent;
+use pinsql_obs::{Counter, FleetRollup, HealthSnapshot, NoopObserver, Observer, Stage};
+use pinsql_scenario::{materialize_events, Scenario};
+use pinsql_timeseries::par::par_map;
+use pinsql_timeseries::WireError;
+use std::time::Instant;
+
+/// The resident agent: live pipelines plus the control-plane handler.
+/// See the module docs for the lifecycle and equivalence contract.
+#[derive(Debug)]
+pub struct FleetDaemon<'a, O: Observer = NoopObserver> {
+    cfg: FleetConfig,
+    epoch: ConfigEpoch,
+    state: DaemonState,
+    scenarios: &'a [Scenario],
+    /// Live pipelines, instance-id order — the daemon's whole point.
+    instances: Vec<OnlineInstance<'a, O>>,
+    /// Unconsumed stream tails, aligned with `instances`.
+    streams: Vec<Vec<TelemetryEvent>>,
+    /// Highest quiesce boundary folded so far (`i64::MIN` before any).
+    watermark: i64,
+    ingest_wall_s: f64,
+    /// Completed ingest rounds, for observer lane naming.
+    rounds: usize,
+    restarts: u64,
+    obs: O,
+}
+
+impl<'a> FleetDaemon<'a> {
+    /// Boots an agent over `scenarios`: materializes every stream and
+    /// builds one live pipeline per instance under `cfg`.
+    ///
+    /// # Panics
+    /// Panics on an empty fleet or `cfg.shards == 0` / `cfg.regions == 0`
+    /// (programmer errors, like [`FleetEngine::new`]).
+    pub fn spawn(cfg: FleetConfig, scenarios: &'a [Scenario]) -> Self {
+        Self::spawn_observed(cfg, scenarios, NoopObserver)
+    }
+}
+
+impl<'a, O: Observer> FleetDaemon<'a, O> {
+    /// [`spawn`](FleetDaemon::spawn) under an explicit observer; each
+    /// instance records on its own `inst{i}` lane.
+    pub fn spawn_observed(cfg: FleetConfig, scenarios: &'a [Scenario], obs: O) -> Self {
+        assert!(!scenarios.is_empty(), "fleet daemon needs at least one scenario");
+        assert!(cfg.shards >= 1, "FleetConfig.shards must be >= 1");
+        assert!(cfg.regions >= 1, "FleetConfig.regions must be >= 1");
+        let n = scenarios.len();
+        // `Starting` covers this whole constructor: materialize the
+        // streams, then build one live pipeline per instance.
+        let streams = par_map(n, cfg.fanout, |i| materialize_events(&scenarios[i], None));
+        let instances = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| {
+                OnlineInstance::with_observer(sc, cfg.delta_s, obs.fork(&format!("inst{i}")))
+                    .with_kernel(cfg.kernel)
+            })
+            .collect();
+        Self {
+            epoch: ConfigEpoch::INITIAL,
+            state: DaemonState::Running,
+            scenarios,
+            instances,
+            streams,
+            watermark: i64::MIN,
+            ingest_wall_s: 0.0,
+            rounds: 0,
+            restarts: 0,
+            obs,
+            cfg,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> DaemonState {
+        self.state
+    }
+
+    /// Config epoch of the last accepted push ([`ConfigEpoch::INITIAL`]
+    /// before any).
+    pub fn epoch(&self) -> ConfigEpoch {
+        self.epoch
+    }
+
+    /// The configuration currently in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Event-time watermark: every event strictly before it has folded.
+    pub fn watermark(&self) -> i64 {
+        self.watermark
+    }
+
+    /// Graceful restarts survived so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Data plane: folds every stream's prefix strictly before
+    /// `boundary_s` (event time) across the sharded workers. Boundaries
+    /// must be non-decreasing; a repeated boundary is a no-op.
+    ///
+    /// # Panics
+    /// Panics when the agent is not `Running` (drain first, or restart),
+    /// or when `boundary_s` moves backwards — both programmer errors.
+    pub fn advance_to(&mut self, boundary_s: i64) {
+        assert_eq!(
+            self.state,
+            DaemonState::Running,
+            "advance_to requires a running agent (state: {})",
+            self.state
+        );
+        assert!(
+            boundary_s >= self.watermark,
+            "advance_to boundary {boundary_s} behind watermark {}",
+            self.watermark
+        );
+        self.ingest_prefix(Some(boundary_s));
+    }
+
+    /// Control plane entry point: one encoded `PCTL` frame in, one out.
+    /// Malformed frames come back as [`ControlResp::Reject`] — decoding
+    /// untrusted bytes never panics and never kills the agent.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Vec<u8> {
+        if O::ENABLED {
+            self.obs.add(Counter::ControlFrames, 1);
+        }
+        let resp = match ControlMsg::from_bytes(frame) {
+            Ok(msg) => self.handle(msg),
+            Err(e) => self.reject(format!("malformed control frame: {e}")),
+        };
+        resp.to_bytes()
+    }
+
+    /// [`handle_frame`](Self::handle_frame) on a decoded message (the
+    /// in-process fast path; the wire suites use the framed form).
+    pub fn handle(&mut self, msg: ControlMsg) -> ControlResp {
+        match msg {
+            ControlMsg::ConfigPush { epoch, delta } => self.config_push(epoch, &delta),
+            ControlMsg::Drain { to_second } => self.drain(to_second),
+            ControlMsg::Restart => self.restart(),
+            ControlMsg::Stop => self.stop(),
+            // Health is answerable in every state, Stopped included.
+            ControlMsg::HealthQuery => {
+                ControlResp::Rollup { epoch: self.epoch, rollup: self.rollup() }
+            }
+        }
+    }
+
+    /// The shard → region → fleet rollup tree over the live pipelines:
+    /// instances map to regions contiguously, each region folds an exact
+    /// [`pinsql_obs::HealthRollup`], the total is their merge.
+    pub fn rollup(&self) -> FleetRollup {
+        let snaps: Vec<HealthSnapshot> =
+            self.instances.iter().map(OnlineInstance::health_snapshot).collect();
+        let regions = self.cfg.regions.clamp(1, snaps.len().max(1));
+        let region_of = contiguous_assignment(snaps.len(), regions);
+        FleetRollup::from_assigned(&snaps, |i| region_of[i] as u32)
+    }
+
+    /// Tears the agent down into a full [`FleetRun`]: drains any
+    /// remaining stream tails, closes every case, diagnoses, and rolls
+    /// the report up under the **final** config and epoch. The result is
+    /// byte-identical to [`FleetEngine::run_full`] under that config.
+    pub fn finish(mut self) -> FleetRun {
+        if self.state != DaemonState::Stopped {
+            self.ingest_prefix(None);
+            self.state = DaemonState::Stopped;
+        }
+        let n = self.instances.len();
+        let shards = self.cfg.shards.clamp(1, n);
+        let assignment = contiguous_assignment(n, shards);
+        let mut groups: Vec<Vec<(usize, OnlineInstance<'a, O>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (i, inst) in self.instances.drain(..).enumerate() {
+            groups[assignment[i]].push((i, inst));
+        }
+        let mut artifacts: Vec<Option<InstanceArtifacts>> = (0..n).map(|_| None).collect();
+        let finals: Vec<Vec<(usize, InstanceArtifacts)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .filter(|g| !g.is_empty())
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .into_iter()
+                            .map(|(i, inst)| (i, finalize_instance(inst)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("finalize shard panicked")).collect()
+        });
+        for outs in finals {
+            for (i, a) in outs {
+                artifacts[i] = Some(a);
+            }
+        }
+        let artifacts: Vec<InstanceArtifacts> =
+            artifacts.into_iter().map(|a| a.expect("every instance finalizes once")).collect();
+        let engine = FleetEngine { cfg: self.cfg.clone() };
+        engine.assemble(
+            self.scenarios,
+            artifacts,
+            shards,
+            self.ingest_wall_s,
+            self.epoch,
+            &self.obs,
+        )
+    }
+
+    fn reject(&self, reason: String) -> ControlResp {
+        if O::ENABLED {
+            self.obs.add(Counter::ConfigRejected, 1);
+        }
+        ControlResp::Reject { epoch: self.epoch, reason }
+    }
+
+    fn ack(&self) -> ControlResp {
+        ControlResp::Ack { epoch: self.epoch, state: self.state }
+    }
+
+    /// Applies `delta` under `epoch` at the current watermark. Epochs are
+    /// strictly monotone: stale or replayed pushes are rejected whole, so
+    /// a push either moves the agent or leaves it untouched.
+    fn config_push(&mut self, epoch: ConfigEpoch, delta: &FleetDelta) -> ControlResp {
+        if self.state == DaemonState::Stopped {
+            return self.reject(format!("config push in state {}", self.state));
+        }
+        if epoch <= self.epoch {
+            return self.reject(format!("stale {epoch} (running {})", self.epoch));
+        }
+        if delta.shards == Some(0) || delta.regions == Some(0) {
+            return self.reject("delta shards/regions must be >= 1".into());
+        }
+        let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
+        // Re-seat through the untrusted snapshot path first — the same
+        // handoff a reshard performs — so the new config starts from
+        // revalidated state and a corrupt pipeline surfaces here.
+        if let Err(e) = self.reseat() {
+            return self.reject(format!("snapshot handoff failed: {e}"));
+        }
+        delta.apply(&mut self.cfg);
+        self.epoch = epoch;
+        // Kernel and δ_s live inside each pipeline; hot-swap them at the
+        // quiesce point (bit-identical — see the module docs).
+        for inst in &mut self.instances {
+            inst.set_kernel(self.cfg.kernel);
+            inst.set_delta_s(self.cfg.delta_s);
+        }
+        if O::ENABLED {
+            self.obs.add(Counter::ConfigPushes, 1);
+            self.obs.span(Stage::ConfigApply, n0, self.obs.now_ns());
+        }
+        self.ack()
+    }
+
+    fn drain(&mut self, to_second: i64) -> ControlResp {
+        if !matches!(self.state, DaemonState::Running | DaemonState::Draining) {
+            return self.reject(format!("drain in state {}", self.state));
+        }
+        if to_second < self.watermark {
+            return self
+                .reject(format!("drain boundary {to_second} behind watermark {}", self.watermark));
+        }
+        self.ingest_prefix(Some(to_second));
+        self.state = DaemonState::Draining;
+        self.ack()
+    }
+
+    /// Graceful restart at the current watermark: serialize every
+    /// pipeline, drop the live state, revalidate the blobs as untrusted
+    /// bytes, restore. A crash drill — the daemon suites run it inside an
+    /// open anomaly and the case must close identically.
+    fn restart(&mut self) -> ControlResp {
+        if !matches!(self.state, DaemonState::Running | DaemonState::Draining) {
+            return self.reject(format!("restart in state {}", self.state));
+        }
+        let n0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
+        self.state = DaemonState::Restarting;
+        if let Err(e) = self.reseat() {
+            // Revalidation refused our own snapshot: in-memory corruption.
+            // The old pipelines are still intact; stay quiesced.
+            self.state = DaemonState::Draining;
+            return self.reject(format!("restart handoff failed: {e}"));
+        }
+        self.restarts += 1;
+        self.state = DaemonState::Running;
+        if O::ENABLED {
+            self.obs.add(Counter::DaemonRestarts, 1);
+            self.obs.span(Stage::DaemonRestart, n0, self.obs.now_ns());
+        }
+        self.ack()
+    }
+
+    fn stop(&mut self) -> ControlResp {
+        if self.state == DaemonState::Stopped {
+            return self.ack(); // idempotent
+        }
+        self.ingest_prefix(None);
+        self.state = DaemonState::Stopped;
+        self.ack()
+    }
+
+    /// Serialize → revalidate ([`InstanceSnapshot::from_bytes`], the
+    /// untrusted path) → restore, for every instance. All-or-nothing: on
+    /// any error the live pipelines are left untouched.
+    fn reseat(&mut self) -> Result<(), WireError> {
+        let mut rebuilt = Vec::with_capacity(self.instances.len());
+        for (i, inst) in self.instances.iter().enumerate() {
+            let blob = inst.snapshot().into_bytes();
+            let snap = InstanceSnapshot::from_bytes(blob)?;
+            rebuilt.push(OnlineInstance::restore_with_observer(
+                &self.scenarios[i],
+                &snap,
+                self.obs.fork(&format!("inst{i}")),
+            )?);
+        }
+        self.instances = rebuilt;
+        Ok(())
+    }
+
+    /// Folds each stream's prefix strictly before `boundary_s` (`None`
+    /// drains everything) across `shards` scoped workers, exactly like
+    /// one [`FleetEngine`] phase but over the *live* pipelines.
+    fn ingest_prefix(&mut self, boundary_s: Option<i64>) {
+        let n = self.instances.len();
+        let shards = self.cfg.shards.clamp(1, n);
+        let assignment = contiguous_assignment(n, shards);
+        let round = self.rounds;
+        let mut prefixes: Vec<Vec<TelemetryEvent>> = Vec::with_capacity(n);
+        for stream in &mut self.streams {
+            prefixes.push(split_prefix(stream, boundary_s));
+        }
+        let mut groups: Vec<Vec<(usize, OnlineInstance<'a, O>, Vec<TelemetryEvent>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for ((i, inst), events) in self.instances.drain(..).enumerate().zip(prefixes) {
+            groups[assignment[i]].push((i, inst, events));
+        }
+
+        let obs = &self.obs;
+        type ShardOut<'a, O> = (f64, Vec<(usize, OnlineInstance<'a, O>)>);
+        let results: Vec<ShardOut<'a, O>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(s, group)| {
+                    let lane = obs.fork(&format!("r{round}shard{s}"));
+                    scope.spawn(move || {
+                        let mut ids = Vec::with_capacity(group.len());
+                        let mut insts = Vec::with_capacity(group.len());
+                        let mut streams = Vec::with_capacity(group.len());
+                        for (i, inst, events) in group {
+                            ids.push(i);
+                            insts.push(inst);
+                            streams.push(events);
+                        }
+                        let merge_n0 = if O::ENABLED { lane.now_ns() } else { 0 };
+                        let t0 = Instant::now();
+                        merge_streams(&mut insts, streams);
+                        let merge_s = t0.elapsed().as_secs_f64();
+                        if O::ENABLED {
+                            lane.span(Stage::IngestMerge, merge_n0, lane.now_ns());
+                        }
+                        (merge_s, ids.into_iter().zip(insts).collect())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("daemon shard panicked")).collect()
+        });
+
+        let mut slots: Vec<Option<OnlineInstance<'a, O>>> = (0..n).map(|_| None).collect();
+        let mut wall = 0.0f64;
+        for (merge_s, outs) in results {
+            wall = wall.max(merge_s);
+            for (i, inst) in outs {
+                slots[i] = Some(inst);
+            }
+        }
+        self.instances =
+            slots.into_iter().map(|s| s.expect("every instance returns from its shard")).collect();
+        self.ingest_wall_s += wall;
+        self.rounds += 1;
+        self.watermark = boundary_s.unwrap_or(i64::MAX).max(self.watermark);
+    }
+}
+
+/// A typed failure at the server control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// A frame failed to decode.
+    Wire(WireError),
+    /// The agent refused the message.
+    Rejected {
+        /// The epoch the agent still runs.
+        epoch: ConfigEpoch,
+        reason: String,
+    },
+    /// The agent answered with a response the message cannot produce.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::Wire(e) => write!(f, "control wire: {e}"),
+            ControlError::Rejected { epoch, reason } => {
+                write!(f, "rejected (agent at {epoch}): {reason}")
+            }
+            ControlError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<WireError> for ControlError {
+    fn from(e: WireError) -> Self {
+        ControlError::Wire(e)
+    }
+}
+
+/// The control plane: owns an agent and steers it **only** through
+/// encoded `PCTL` frames — encode, hand to the agent, decode the reply —
+/// so every server call exercises the exact bytes a remote deployment
+/// would. Tracks the epoch sequence; each push mints the next one.
+#[derive(Debug)]
+pub struct FleetServer<'a, O: Observer = NoopObserver> {
+    agent: FleetDaemon<'a, O>,
+    epoch: ConfigEpoch,
+}
+
+impl<'a> FleetServer<'a> {
+    /// Boots an agent under `cfg` and attaches the control plane.
+    pub fn start(cfg: FleetConfig, scenarios: &'a [Scenario]) -> Self {
+        Self::with_agent(FleetDaemon::spawn(cfg, scenarios))
+    }
+}
+
+impl<'a, O: Observer> FleetServer<'a, O> {
+    /// Attaches the control plane to an existing agent.
+    pub fn with_agent(agent: FleetDaemon<'a, O>) -> Self {
+        let epoch = agent.epoch();
+        Self { agent, epoch }
+    }
+
+    /// The steered agent (read-only; all mutation rides the wire).
+    pub fn agent(&self) -> &FleetDaemon<'a, O> {
+        &self.agent
+    }
+
+    /// Data-plane passthrough: see [`FleetDaemon::advance_to`].
+    pub fn advance_to(&mut self, boundary_s: i64) {
+        self.agent.advance_to(boundary_s);
+    }
+
+    /// Pushes `delta` under the next epoch; returns the epoch the fleet
+    /// now runs.
+    pub fn push_config(&mut self, delta: FleetDelta) -> Result<ConfigEpoch, ControlError> {
+        let epoch = self.epoch.next();
+        match self.roundtrip(&ControlMsg::ConfigPush { epoch, delta })? {
+            ControlResp::Ack { epoch, .. } => {
+                self.epoch = epoch;
+                Ok(epoch)
+            }
+            ControlResp::Reject { epoch, reason } => {
+                Err(ControlError::Rejected { epoch, reason })
+            }
+            ControlResp::Rollup { .. } => Err(ControlError::Protocol("rollup for config push")),
+        }
+    }
+
+    /// Quiesces the agent at `to_second` (event time).
+    pub fn drain(&mut self, to_second: i64) -> Result<DaemonState, ControlError> {
+        self.expect_ack(&ControlMsg::Drain { to_second })
+    }
+
+    /// Bounces the agent through a serialize/revalidate/restore cycle.
+    pub fn restart(&mut self) -> Result<DaemonState, ControlError> {
+        self.expect_ack(&ControlMsg::Restart)
+    }
+
+    /// Queries the shard → region → fleet health rollup tree.
+    pub fn rollup(&mut self) -> Result<FleetRollup, ControlError> {
+        match self.roundtrip(&ControlMsg::HealthQuery)? {
+            ControlResp::Rollup { rollup, .. } => Ok(rollup),
+            ControlResp::Reject { epoch, reason } => {
+                Err(ControlError::Rejected { epoch, reason })
+            }
+            ControlResp::Ack { .. } => Err(ControlError::Protocol("ack for health query")),
+        }
+    }
+
+    /// Stops the agent (drains everything remaining) and collects the
+    /// final [`FleetRun`] — byte-identical to a cold
+    /// [`FleetEngine::run_full`] under the final config.
+    pub fn stop(mut self) -> Result<FleetRun, ControlError> {
+        self.expect_ack(&ControlMsg::Stop)?;
+        Ok(self.agent.finish())
+    }
+
+    fn expect_ack(&mut self, msg: &ControlMsg) -> Result<DaemonState, ControlError> {
+        match self.roundtrip(msg)? {
+            ControlResp::Ack { state, .. } => Ok(state),
+            ControlResp::Reject { epoch, reason } => {
+                Err(ControlError::Rejected { epoch, reason })
+            }
+            ControlResp::Rollup { .. } => Err(ControlError::Protocol("rollup for ack message")),
+        }
+    }
+
+    fn roundtrip(&mut self, msg: &ControlMsg) -> Result<ControlResp, ControlError> {
+        let frame = msg.to_bytes();
+        let reply = self.agent.handle_frame(&frame);
+        Ok(ControlResp::from_bytes(&reply)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinsql::PinSqlConfig;
+    use pinsql_detect::KernelKind;
+    use pinsql_scenario::{generate_base, inject, inject_none, AnomalyKind, ScenarioConfig};
+
+    fn small_fleet(n: usize) -> Vec<Scenario> {
+        let kinds = [Some(AnomalyKind::BusinessSpike), Some(AnomalyKind::PoorSql), None];
+        (0..n)
+            .map(|i| {
+                let cfg = ScenarioConfig::default()
+                    .with_seed(140 + i as u64)
+                    .with_businesses(6)
+                    .with_window(420, 240, 330);
+                let base = generate_base(&cfg);
+                match kinds[i % kinds.len()] {
+                    Some(kind) => inject(&base, &cfg, kind),
+                    None => inject_none(&base, &cfg),
+                }
+            })
+            .collect()
+    }
+
+    fn cfg(shards: usize) -> FleetConfig {
+        FleetConfig {
+            delta_s: 180,
+            pinsql: PinSqlConfig::default(),
+            fanout: 1,
+            shards,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn daemon_smoke_matches_batch_run() {
+        let scenarios = small_fleet(3);
+        let batch = FleetEngine::new(cfg(1)).run_full(&scenarios);
+
+        let mut server = FleetServer::start(cfg(2), &scenarios);
+        assert_eq!(server.agent().state(), DaemonState::Running);
+        server.advance_to(120);
+        server.advance_to(300);
+        assert_eq!(server.agent().watermark(), 300);
+        let run = server.stop().unwrap();
+
+        assert_eq!(run.report.config_epoch, 0);
+        assert_eq!(run.cases.len(), batch.cases.len());
+        for (a, b) in run.cases.iter().zip(&batch.cases) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.case.records, b.case.records);
+        }
+        for (a, b) in run.diagnoses.iter().zip(&batch.diagnoses) {
+            assert_eq!(a.rsqls, b.rsqls);
+        }
+        assert_eq!(run.health, batch.health);
+    }
+
+    #[test]
+    fn stale_and_replayed_epochs_are_rejected_whole() {
+        let scenarios = small_fleet(2);
+        let mut agent = FleetDaemon::spawn(cfg(1), &scenarios);
+        agent.advance_to(60);
+
+        let delta = FleetDelta { delta_s: Some(240), ..FleetDelta::default() };
+        let push = ControlMsg::ConfigPush { epoch: ConfigEpoch(1), delta: delta.clone() };
+        assert!(matches!(agent.handle(push.clone()), ControlResp::Ack { .. }));
+        assert_eq!(agent.epoch(), ConfigEpoch(1));
+        assert_eq!(agent.config().delta_s, 240);
+
+        // Replay of the same epoch, and an older one: both refused, config
+        // untouched.
+        assert!(matches!(agent.handle(push), ControlResp::Reject { .. }));
+        let stale = ControlMsg::ConfigPush {
+            epoch: ConfigEpoch(0),
+            delta: FleetDelta { delta_s: Some(9), ..FleetDelta::default() },
+        };
+        assert!(matches!(agent.handle(stale), ControlResp::Reject { .. }));
+        assert_eq!(agent.config().delta_s, 240);
+        assert_eq!(agent.epoch(), ConfigEpoch(1));
+    }
+
+    #[test]
+    fn lifecycle_states_gate_messages() {
+        let scenarios = small_fleet(2);
+        let mut server = FleetServer::start(cfg(1), &scenarios);
+        server.advance_to(100);
+
+        assert_eq!(server.drain(200).unwrap(), DaemonState::Draining);
+        assert_eq!(server.agent().watermark(), 200);
+        // Draining pauses the data plane; a restart resumes it.
+        assert_eq!(server.restart().unwrap(), DaemonState::Running);
+        assert_eq!(server.agent().restarts(), 1);
+        server.advance_to(250);
+
+        // A malformed frame never kills the agent.
+        let reply = {
+            let agent_reply = {
+                let a = &mut server.agent;
+                a.handle_frame(b"PCTLgarbage")
+            };
+            ControlResp::from_bytes(&agent_reply).unwrap()
+        };
+        assert!(matches!(reply, ControlResp::Reject { .. }));
+        assert_eq!(server.agent().state(), DaemonState::Running);
+
+        let run = server.stop().unwrap();
+        assert_eq!(run.report.n_instances, 2);
+    }
+
+    #[test]
+    fn rollup_tree_tracks_live_state() {
+        let scenarios = small_fleet(3);
+        let mut server =
+            FleetServer::start(FleetConfig { regions: 2, ..cfg(2) }, &scenarios);
+        server.advance_to(200);
+        let tree = server.rollup().unwrap();
+        assert_eq!(tree.instances(), 3);
+        assert!(tree.is_consistent());
+        assert_eq!(tree.regions.len(), 2);
+        assert!(tree.total.events_total > 0);
+    }
+}

@@ -48,15 +48,17 @@
 
 use crate::instance::OnlineInstance;
 use crate::snapshot::InstanceSnapshot;
-use pinsql::{Diagnosis, PinSql, PinSqlConfig};
+use pinsql::{ConfigEpoch, Diagnosis, PinSql, PinSqlConfig};
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
 use pinsql_detect::KernelKind;
-use pinsql_obs::{Counter, FleetHealth, HealthSnapshot, NoopObserver, Observer, Stage};
+use pinsql_obs::{
+    Counter, FleetHealth, FleetRollup, HealthSnapshot, NoopObserver, Observer, Stage,
+};
 use pinsql_scenario::{materialize_events, LabeledCase, Scenario};
 use pinsql_timeseries::par::par_map;
 use pinsql_timeseries::WireError;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Knobs for a fleet run.
@@ -78,6 +80,13 @@ pub struct FleetConfig {
     /// are bit-identical; the equivalence suites run the full
     /// kernel × shards × fanout matrix against the golden corpus.
     pub kernel: KernelKind,
+    /// Aggregation regions for the health rollup tree: instances map to
+    /// regions by the same contiguous layout sharding uses, each region
+    /// folds its own [`pinsql_obs::HealthRollup`], and the fleet total is
+    /// the exact merge of the region rollups — `O(regions)` state at the
+    /// control plane. Purely observational: outcomes never depend on it.
+    /// Must be ≥ 1; values above the instance count are clamped.
+    pub regions: usize,
 }
 
 impl Default for FleetConfig {
@@ -88,6 +97,7 @@ impl Default for FleetConfig {
             fanout: 0,
             shards: 1,
             kernel: KernelKind::default(),
+            regions: 1,
         }
     }
 }
@@ -165,7 +175,7 @@ impl FleetCheckpoint {
 }
 
 /// What happened on one instance, flattened for `results/fleet.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InstanceOutcome {
     pub instance: usize,
     /// Injected anomaly kind label ("none" for negative scenarios).
@@ -189,9 +199,12 @@ pub struct InstanceOutcome {
 }
 
 /// Aggregate report of one fleet run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
     pub n_instances: usize,
+    /// Configuration epoch the run finished under: [`ConfigEpoch::INITIAL`]
+    /// for cold-start runs, the last accepted push for a daemon run.
+    pub config_epoch: u64,
     /// Ingestion shards the run *started* with (after clamping to the
     /// fleet size); reshard steps may change the layout mid-run.
     pub shards: usize,
@@ -209,6 +222,9 @@ pub struct FleetReport {
     pub diagnose_mean_s: f64,
     /// Worst per-case diagnosis latency.
     pub diagnose_max_s: f64,
+    /// Shard → region → fleet health rollup tree (exact-merge counts per
+    /// region plus the fleet total), under [`FleetConfig::regions`].
+    pub rollup: FleetRollup,
     pub outcomes: Vec<InstanceOutcome>,
 }
 
@@ -241,11 +257,11 @@ struct Work<'a> {
 
 /// What one instance contributes to the final report, keyed by id at the
 /// reassembly point.
-struct InstanceArtifacts {
-    events: u64,
-    queries: u64,
-    health: HealthSnapshot,
-    case: LabeledCase,
+pub(crate) struct InstanceArtifacts {
+    pub(crate) events: u64,
+    pub(crate) queries: u64,
+    pub(crate) health: HealthSnapshot,
+    pub(crate) case: LabeledCase,
 }
 
 /// What a shard worker hands back for one instance at a phase boundary.
@@ -429,7 +445,7 @@ impl FleetEngine {
 
         let artifacts: Vec<InstanceArtifacts> =
             artifacts.into_iter().map(|a| a.expect("every instance finalizes exactly once")).collect();
-        Ok(self.assemble(scenarios, artifacts, shards0, ingest_wall_s, obs))
+        Ok(self.assemble(scenarios, artifacts, shards0, ingest_wall_s, ConfigEpoch::INITIAL, obs))
     }
 
     /// Ingests every stream's prefix strictly before `at_second` and
@@ -577,18 +593,21 @@ impl FleetEngine {
         }
         let artifacts: Vec<InstanceArtifacts> =
             artifacts.into_iter().map(|a| a.expect("every instance finalizes exactly once")).collect();
-        Ok(self.assemble(scenarios, artifacts, shards, ingest_wall_s, obs))
+        Ok(self.assemble(scenarios, artifacts, shards, ingest_wall_s, ConfigEpoch::INITIAL, obs))
     }
 
     /// The shared back half of every run shape: fan diagnosis out across
     /// the closed cases (one `diag{i}` lane each) and fold everything into
-    /// the report. `artifacts` is in instance-id order.
-    fn assemble<O: Observer>(
+    /// the report. `artifacts` is in instance-id order; `epoch` is the
+    /// config epoch the run finished under (the daemon threads its last
+    /// accepted push through here).
+    pub(crate) fn assemble<O: Observer>(
         &self,
         scenarios: &[Scenario],
         artifacts: Vec<InstanceArtifacts>,
         shards: usize,
         ingest_wall_s: f64,
+        epoch: ConfigEpoch,
         obs: &O,
     ) -> FleetRun {
         let events_total: u64 = artifacts.iter().map(|a| a.events).sum();
@@ -655,8 +674,12 @@ impl FleetEngine {
 
         let lat_sum: f64 = outcomes.iter().map(|o| o.diagnose_s).sum();
         let lat_max = outcomes.iter().map(|o| o.diagnose_s).fold(0.0f64, f64::max);
+        let regions = self.cfg.regions.clamp(1, health.len().max(1));
+        let region_of = contiguous_assignment(health.len(), regions);
+        let rollup = FleetRollup::from_assigned(&health, |i| region_of[i] as u32);
         let report = FleetReport {
             n_instances: outcomes.len(),
+            config_epoch: epoch.0,
             shards,
             events_total,
             ingest_wall_s,
@@ -668,6 +691,7 @@ impl FleetEngine {
             diagnose_wall_s,
             diagnose_mean_s: lat_sum / outcomes.len() as f64,
             diagnose_max_s: lat_max,
+            rollup,
             outcomes,
         };
         FleetRun { report, cases, diagnoses, health: FleetHealth::from_instances(health) }
@@ -676,7 +700,7 @@ impl FleetEngine {
 
 /// `assignment[i]` = shard for instance `i` under the static contiguous
 /// layout: shard `s` owns `[s*n/shards, (s+1)*n/shards)`.
-fn contiguous_assignment(n: usize, shards: usize) -> Vec<usize> {
+pub(crate) fn contiguous_assignment(n: usize, shards: usize) -> Vec<usize> {
     let mut assignment = vec![0usize; n];
     for s in 0..shards {
         for a in assignment.iter_mut().take((s + 1) * n / shards).skip(s * n / shards) {
@@ -691,7 +715,10 @@ fn contiguous_assignment(n: usize, shards: usize) -> Vec<usize> {
 /// remainder stays in `stream`. Streams are time-ordered, so this is a
 /// binary search, and the same boundary yields the same split whatever
 /// the shard layout.
-fn split_prefix(stream: &mut Vec<TelemetryEvent>, boundary_s: Option<i64>) -> Vec<TelemetryEvent> {
+pub(crate) fn split_prefix(
+    stream: &mut Vec<TelemetryEvent>,
+    boundary_s: Option<i64>,
+) -> Vec<TelemetryEvent> {
     match boundary_s {
         None => std::mem::take(stream),
         Some(b) => {
@@ -742,7 +769,7 @@ fn ingest_phase_shard<'a, O: Observer>(
 /// break by id); same-second query runs move as one chunk through the
 /// collector's amortized hot path. Per-instance event order is untouched,
 /// so outcomes match the event-level merge exactly.
-fn merge_streams<'a, O: Observer>(
+pub(crate) fn merge_streams<'a, O: Observer>(
     instances: &mut [OnlineInstance<'a, O>],
     mut streams: Vec<Vec<TelemetryEvent>>,
 ) {
@@ -775,7 +802,7 @@ fn merge_streams<'a, O: Observer>(
 }
 
 /// Closes one instance into its report contribution.
-fn finalize_instance<O: Observer>(inst: OnlineInstance<'_, O>) -> InstanceArtifacts {
+pub(crate) fn finalize_instance<O: Observer>(inst: OnlineInstance<'_, O>) -> InstanceArtifacts {
     InstanceArtifacts {
         events: inst.events_ingested(),
         queries: inst.ingest_stats().queries,

@@ -104,6 +104,25 @@ impl<'a, O: Observer> OnlineInstance<'a, O> {
         self
     }
 
+    /// Hot-swaps the detector statistics kernel on a **live** pipeline —
+    /// the daemon's config-push path. Unlike [`with_kernel`]
+    /// (Self::with_kernel) this keeps all streaming state: detector
+    /// baselines store raw samples (median/MAD are recomputed per push)
+    /// and the two kernels are bit-identical, so the remainder of the
+    /// stream folds exactly as it would under a cold start with `kernel`
+    /// (pinned by the `daemon_equivalence` matrix).
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        self.bank.set_kernel(kernel);
+    }
+
+    /// Retunes the collection look-back `δ_s` on a live pipeline. The
+    /// knob is only read when the case closes ([`close_case`]
+    /// (Self::close_case) passes it to window selection), so a live
+    /// change is exactly a cold start under the new value.
+    pub fn set_delta_s(&mut self, delta_s: i64) {
+        self.delta_s = delta_s;
+    }
+
     /// Replaces the aggregator's cell-store representation (bit-identical
     /// either way; snapshots record the kind and restore rebuilds it).
     /// Call before the first event — the aggregator is rebuilt empty.

@@ -23,6 +23,13 @@
 //!   of one instance's entire online state (aggregator rings, history,
 //!   detector segments), the primitive behind live resharding and crash
 //!   recovery. Malformed blobs fail with typed errors, never panics.
+//! * [`daemon`] — [`FleetDaemon`] / [`FleetServer`]: the resident form of
+//!   the engine. The agent keeps the pipelines live between event-time
+//!   watermarks; the server control plane steers it exclusively through
+//!   the typed `PCTL` wire ([`control`]) — versioned config pushes
+//!   ([`FleetDelta`] under a [`pinsql::ConfigEpoch`]), drains, graceful
+//!   restarts, and O(regions) health rollups. A daemon that finishes at
+//!   config `F` is byte-identical to [`FleetEngine::run_full`] under `F`.
 //!
 //! ## Replay equivalence (the non-negotiable invariant)
 //!
@@ -31,10 +38,17 @@
 //! same golden corpus, any parallelism. See `replay_diagnose` and the
 //! `online_equivalence` suite at the workspace root.
 
+pub mod control;
+pub mod daemon;
 pub mod fleet;
 pub mod instance;
 pub mod snapshot;
 
+pub use control::{
+    ControlMsg, ControlResp, DaemonState, FleetDelta, CONTROL_HEADER_LEN, CONTROL_MAGIC,
+    CONTROL_VERSION,
+};
+pub use daemon::{ControlError, FleetDaemon, FleetServer};
 pub use fleet::{
     FleetCheckpoint, FleetConfig, FleetEngine, FleetReport, FleetRun, InstanceOutcome,
     ReshardPlan, ReshardStep,

@@ -133,7 +133,7 @@ pub(crate) fn kernel_tag(kernel: KernelKind) -> u8 {
     }
 }
 
-fn decode_kernel(tag: u8) -> Result<KernelKind, WireError> {
+pub(crate) fn decode_kernel(tag: u8) -> Result<KernelKind, WireError> {
     match tag {
         0 => Ok(KernelKind::Reference),
         1 => Ok(KernelKind::Fast),

@@ -38,7 +38,7 @@ mod hist;
 mod observer;
 mod registry;
 
-pub use health::{FleetHealth, HealthSnapshot};
+pub use health::{FleetHealth, FleetRollup, HealthRollup, HealthSnapshot, RegionRollup};
 pub use hist::LatencyHistogram;
 pub use observer::{NoopObserver, Observer, RecordingObserver};
 pub use registry::{Registry, TraceEvent};
@@ -70,11 +70,17 @@ pub enum Stage {
     /// One reshard handoff: quiesce, snapshot the fleet, re-seat every
     /// instance on its new shard.
     Reshard,
+    /// One daemon config push: quiesce at the watermark, snapshot, apply
+    /// the delta, restore under the new configuration.
+    ConfigApply,
+    /// One graceful daemon restart: drain, serialize, rebuild the fleet
+    /// from bytes.
+    DaemonRestart,
 }
 
 impl Stage {
     /// All stages, pipeline order (index = discriminant).
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 13] = [
         Stage::IngestMerge,
         Stage::CellFold,
         Stage::DetectorStep,
@@ -86,6 +92,8 @@ impl Stage {
         Stage::SnapshotWrite,
         Stage::SnapshotRestore,
         Stage::Reshard,
+        Stage::ConfigApply,
+        Stage::DaemonRestart,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -103,6 +111,8 @@ impl Stage {
             Stage::SnapshotWrite => "snapshot_write",
             Stage::SnapshotRestore => "snapshot_restore",
             Stage::Reshard => "reshard",
+            Stage::ConfigApply => "config_apply",
+            Stage::DaemonRestart => "daemon_restart",
         }
     }
 
@@ -143,10 +153,18 @@ pub enum Counter {
     /// Instance handoffs performed by reshard steps (instances moved to a
     /// *different* shard; an instance that keeps its shard is not counted).
     InstancesResharded,
+    /// Config pushes accepted and applied by the daemon.
+    ConfigPushes,
+    /// Config pushes rejected (stale epoch, invalid delta, wrong state).
+    ConfigRejected,
+    /// Graceful daemon restarts completed.
+    DaemonRestarts,
+    /// Control-wire frames decoded by the agent.
+    ControlFrames,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::EventsIngested,
         Counter::QueriesIngested,
         Counter::MalformedDropped,
@@ -161,6 +179,10 @@ impl Counter {
         Counter::SnapshotsRestored,
         Counter::SnapshotBytes,
         Counter::InstancesResharded,
+        Counter::ConfigPushes,
+        Counter::ConfigRejected,
+        Counter::DaemonRestarts,
+        Counter::ControlFrames,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -181,6 +203,10 @@ impl Counter {
             Counter::SnapshotsRestored => "snapshots_restored",
             Counter::SnapshotBytes => "snapshot_bytes",
             Counter::InstancesResharded => "instances_resharded",
+            Counter::ConfigPushes => "config_pushes",
+            Counter::ConfigRejected => "config_rejected",
+            Counter::DaemonRestarts => "daemon_restarts",
+            Counter::ControlFrames => "control_frames",
         }
     }
 

@@ -1,7 +1,90 @@
 //! PinSQL configuration: the paper's hyper-parameters and the ablation
-//! switchboard used by the Fig. 6 study.
+//! switchboard used by the Fig. 6 study — plus the versioned-delta types
+//! the resident fleet daemon pushes at runtime ([`ConfigEpoch`],
+//! [`PinSqlDelta`]).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Monotone version of a pushed configuration.
+///
+/// The fleet control plane tags every config push with an epoch; agents
+/// accept a push only if its epoch is *strictly greater* than the epoch
+/// they are running, so a delayed or replayed frame can never roll a
+/// fleet back to stale settings. Epoch 0 is the cold-start configuration
+/// (nothing has been pushed yet).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ConfigEpoch(pub u64);
+
+impl ConfigEpoch {
+    /// The cold-start epoch (no push applied).
+    pub const INITIAL: ConfigEpoch = ConfigEpoch(0);
+
+    /// The next epoch in sequence.
+    pub fn next(self) -> Self {
+        ConfigEpoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ConfigEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// A sparse override of [`PinSqlConfig`] — what a config push carries.
+///
+/// Every field is optional; `None` keeps the running value. Deltas cover
+/// the knobs that make sense to retune on a live fleet (detector and
+/// reporting thresholds, cluster budgets, diagnosis parallelism); the
+/// structural switches (estimator variant, ablations) stay cold-start
+/// settings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PinSqlDelta {
+    /// Clustering correlation threshold `τ`.
+    pub tau: Option<f64>,
+    /// Max clusters examined by the cumulative threshold, `K_c`.
+    pub kc: Option<usize>,
+    /// Cumulative correlation threshold `τ_c`.
+    pub tau_c: Option<f64>,
+    /// Tukey fence multiplier for history verification.
+    pub tukey_k: Option<f64>,
+    /// Minimum final R-SQL score for the reported set.
+    pub rsql_score_min: Option<f64>,
+    /// Worker threads for the parallel diagnosis hot paths.
+    pub parallelism: Option<usize>,
+}
+
+impl PinSqlDelta {
+    /// True when the delta overrides nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Applies every present override onto `cfg` in place.
+    pub fn apply(&self, cfg: &mut PinSqlConfig) {
+        if let Some(v) = self.tau {
+            cfg.tau = v;
+        }
+        if let Some(v) = self.kc {
+            cfg.kc = v;
+        }
+        if let Some(v) = self.tau_c {
+            cfg.tau_c = v;
+        }
+        if let Some(v) = self.tukey_k {
+            cfg.tukey_k = v;
+        }
+        if let Some(v) = self.rsql_score_min {
+            cfg.rsql_score_min = v;
+        }
+        if let Some(v) = self.parallelism {
+            cfg.parallelism = v;
+        }
+    }
+}
 
 /// Which individual-active-session estimator to use (the Table III
 /// variants).
@@ -175,6 +258,50 @@ mod tests {
             PinSqlConfig::default().with_parallelism(1).effective_parallelism(),
             1
         );
+    }
+
+    #[test]
+    fn epochs_are_ordered_and_display() {
+        let e0 = ConfigEpoch::INITIAL;
+        let e1 = e0.next();
+        assert!(e1 > e0);
+        assert_eq!(e1, ConfigEpoch(1));
+        assert_eq!(e1.to_string(), "epoch 1");
+        assert_eq!(ConfigEpoch::default(), e0);
+        let json = serde_json::to_string(&e1).unwrap();
+        assert_eq!(serde_json::from_str::<ConfigEpoch>(&json).unwrap(), e1);
+    }
+
+    #[test]
+    fn delta_applies_only_present_fields() {
+        let base = PinSqlConfig::default();
+
+        let empty = PinSqlDelta::default();
+        assert!(empty.is_empty());
+        let mut cfg = base.clone();
+        empty.apply(&mut cfg);
+        assert_eq!(cfg, base, "empty delta is a no-op");
+
+        let delta = PinSqlDelta {
+            tau: Some(0.9),
+            rsql_score_min: Some(0.5),
+            parallelism: Some(2),
+            ..PinSqlDelta::default()
+        };
+        assert!(!delta.is_empty());
+        let mut cfg = base.clone();
+        delta.apply(&mut cfg);
+        assert_eq!(cfg.tau, 0.9);
+        assert_eq!(cfg.rsql_score_min, 0.5);
+        assert_eq!(cfg.parallelism, 2);
+        // Untouched knobs keep the base values.
+        assert_eq!(cfg.kc, base.kc);
+        assert_eq!(cfg.tau_c, base.tau_c);
+        assert_eq!(cfg.tukey_k, base.tukey_k);
+        assert_eq!(cfg.estimator, base.estimator);
+
+        let json = serde_json::to_string(&delta).unwrap();
+        assert_eq!(serde_json::from_str::<PinSqlDelta>(&json).unwrap(), delta);
     }
 
     #[test]

@@ -3,14 +3,60 @@
 # warnings promoted to errors. Run from the repo root.
 #
 # Usage: scripts/ci.sh [target]
-#   (no target)      the full gate, snapshot_smoke included
-#   snapshot_smoke   only the checkpoint/reshard suites plus the
-#                    snapshot-size / restore-latency sanity gate — the
-#                    fast loop when touching the snapshot or fleet layer
+#
+# Targets (each is a fast loop for one layer; no target runs the full
+# gate, which includes every smoke below plus `cargo test` and clippy):
+#   robustness_smoke  end-to-end chaos run: perturbation + diagnosis
+#   fleet_smoke       4-instance multiplexed ingest + diagnosis round-trip
+#   scaling_smoke     shards 1/2/4 close bit-identical cases
+#   obs_smoke         chrome-trace export + zero-cost disabled observer
+#   kernel_smoke      fast kernels vs scalar reference + dense-store
+#                     throughput-ratio regression gate
+#   snapshot_smoke    checkpoint/reshard suites + snapshot-size /
+#                     restore-latency sanity gate
+#   daemon_smoke      resident daemon: control-wire hardening, daemon
+#                     equivalence matrix, push-pause / restart gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-target="${1:-all}"
+usage() {
+  sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//' >&2
+}
+
+# End-to-end chaos: a tiny run that exercises perturbation + diagnosis
+# together.
+robustness_smoke() {
+  cargo test -q -p pinsql-eval robustness_smoke
+}
+
+# Fleet engine: a 4-instance multiplexed ingest + diagnosis round-trip
+# through the online path.
+fleet_smoke() {
+  cargo test -q -p pinsql-engine fleet_smoke
+}
+
+# Sharded ingestion: shards 1/2/4 over the same small fleet must close
+# bit-identical cases and diagnoses.
+scaling_smoke() {
+  cargo test -q -p pinsql-engine scaling_smoke
+}
+
+# Observability: a recorded golden case must export a valid chrome-trace
+# document, and the disabled observer must add no measurable cost to the
+# ingest hot path.
+obs_smoke() {
+  cargo test -q --test obs_smoke
+}
+
+# Kernels: the fast kernels must stay bit-identical to the scalar
+# reference (property suite), and the dense store's ingest advantage over
+# the hashed reference store must not regress >20% against the committed
+# summary. The gate compares the machine-neutral dense/hashed throughput
+# ratio, so it holds on slow CI hosts too.
+kernel_smoke() {
+  cargo test -q --test kernel_props
+  cargo run --release -q -p pinsql-bench --bin ingest_rate -- --check BENCH_ingest_loop.json
+}
 
 # Checkpoint/restore + live resharding: engine-crate unit tests, the
 # wire-hardening and property suites, the reshard-equivalence matrix and
@@ -25,42 +71,47 @@ snapshot_smoke() {
   cargo run --release -q -p pinsql-bench --bin reshard -- --gate
 }
 
+# Resident fleet daemon: control/daemon unit tests, PCTL wire hardening,
+# the daemon-equivalence matrix (mid-stream config push + graceful
+# restart, byte-identical to a cold start), then the bench-bin gate that
+# keeps the config-push pause and restart recovery inside sane bounds.
+daemon_smoke() {
+  cargo test -q -p pinsql-engine control
+  cargo test -q -p pinsql-engine daemon
+  cargo test -q --test control_wire
+  cargo test -q --test daemon_equivalence
+  cargo run --release -q -p pinsql-bench --bin daemon -- --gate
+}
+
+target="${1:-all}"
+
 case "$target" in
-  snapshot_smoke)
+  robustness_smoke|fleet_smoke|scaling_smoke|obs_smoke|kernel_smoke|snapshot_smoke|daemon_smoke)
     cargo build --release
-    snapshot_smoke
+    "$target"
     exit 0
     ;;
   all) ;;
+  -h|--help|help)
+    usage
+    exit 0
+    ;;
   *)
-    echo "unknown target: $target (expected nothing or snapshot_smoke)" >&2
+    echo "unknown target: $target" >&2
+    echo >&2
+    usage
     exit 2
     ;;
 esac
 
 cargo build --release
-# Fast fail on the robustness sweep before the full suite: a tiny
-# end-to-end chaos run that exercises perturbation + diagnosis together.
-cargo test -q -p pinsql-eval robustness_smoke
-# Fast fail on the fleet engine: a 4-instance multiplexed ingest +
-# diagnosis round-trip through the online path.
-cargo test -q -p pinsql-engine fleet_smoke
-# Fast fail on sharded ingestion: shards 1/2/4 over the same small fleet
-# must close bit-identical cases and diagnoses.
-cargo test -q -p pinsql-engine scaling_smoke
-# Fast fail on observability: a recorded golden case must export a valid
-# chrome-trace document, and the disabled observer must add no measurable
-# cost to the ingest hot path.
-cargo test -q --test obs_smoke
-# kernel_smoke: the fast kernels must stay bit-identical to the scalar
-# reference (property suite), and the dense store's ingest advantage over
-# the hashed reference store must not regress >20% against the committed
-# summary. The gate compares the machine-neutral dense/hashed throughput
-# ratio, so it holds on slow CI hosts too.
-cargo test -q --test kernel_props
-cargo run --release -q -p pinsql-bench --bin ingest_rate -- --check BENCH_ingest_loop.json
-# Checkpoint/restore + live resharding layer: snapshots must round-trip
-# exactly and a mid-stream reshard must be invisible in the output.
+# Fast-fail smokes first, cheapest layers before the heavy matrices.
+robustness_smoke
+fleet_smoke
+scaling_smoke
+obs_smoke
+kernel_smoke
 snapshot_smoke
+daemon_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

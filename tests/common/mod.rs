@@ -1,12 +1,16 @@
 //! Shared fixtures for the golden-corpus suites: the manifest, the
-//! rank-relevant `Snapshot` view of a diagnosis, and the batch pipeline
-//! that produces it. `golden_corpus.rs` pins snapshots to disk;
-//! `online_equivalence.rs` replays the same cases through the online
-//! engine and byte-compares against the batch snapshots.
+//! rank-relevant `Snapshot` view of a diagnosis, the batch pipeline that
+//! produces it, and the parametrized shard × fanout × kernel equivalence
+//! harness. `golden_corpus.rs` pins snapshots to disk; the
+//! `online/shard/reshard/daemon_equivalence` suites replay the same cases
+//! through their respective engines and byte-compare against the batch
+//! snapshots via [`assert_fleet_matches_batch`].
 
 #![allow(dead_code)]
 
 use pinsql::{Diagnosis, PinSql, PinSqlConfig};
+use pinsql_detect::KernelKind;
+use pinsql_engine::{FleetConfig, FleetRun};
 use pinsql_scenario::{
     generate_base, inject, materialize, AnomalyKind, LabeledCase, Scenario, ScenarioConfig,
 };
@@ -122,4 +126,107 @@ pub fn batch_snapshot(entry: &ManifestEntry, parallelism: usize) -> (Snapshot, D
     );
     let snap = snapshot_of(entry, &lc, &d);
     (snap, d)
+}
+
+/// The batch reference, serialized once per manifest entry — what every
+/// fleet-shaped suite byte-compares against. (The batch path's own
+/// parallelism invariance is pinned separately by `golden_corpus.rs`.)
+pub fn batch_reference_jsons(manifest: &[ManifestEntry]) -> Vec<String> {
+    manifest
+        .iter()
+        .map(|entry| {
+            let (snap, _) = batch_snapshot(entry, 1);
+            serde_json::to_string_pretty(&snap).expect("serialize snapshot")
+        })
+        .collect()
+}
+
+/// One cell of the fleet equivalence matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixPoint {
+    pub shards: usize,
+    pub fanout: usize,
+    pub kernel: KernelKind,
+}
+
+impl MatrixPoint {
+    /// Failure-message label: `shards 2, fanout 4, kernel fast`.
+    pub fn label(&self) -> String {
+        format!("shards {}, fanout {}, kernel {}", self.shards, self.fanout, self.kernel.label())
+    }
+}
+
+/// The full matrix every fleet-shaped equivalence suite runs:
+/// shards {1, 2, 4} × fanout {1, 4} × both detector kernels.
+pub fn matrix_points() -> Vec<MatrixPoint> {
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for fanout in [1usize, 4] {
+            for kernel in [KernelKind::Fast, KernelKind::Reference] {
+                points.push(MatrixPoint { shards, fanout, kernel });
+            }
+        }
+    }
+    points
+}
+
+/// The golden-corpus [`FleetConfig`] at one matrix point.
+pub fn golden_fleet_config(p: MatrixPoint) -> FleetConfig {
+    FleetConfig {
+        delta_s: GOLDEN_DELTA_S,
+        fanout: p.fanout,
+        shards: p.shards,
+        kernel: p.kernel,
+        ..FleetConfig::default()
+    }
+}
+
+/// Byte-compares one golden case against its batch reference.
+pub fn assert_case_matches_batch(
+    entry: &ManifestEntry,
+    batch_json: &str,
+    lc: &LabeledCase,
+    d: &Diagnosis,
+    what: &str,
+) {
+    let json = serde_json::to_string_pretty(&snapshot_of(entry, lc, d)).expect("serialize");
+    assert_eq!(json, batch_json, "{}: {what} diverged from batch", entry.name);
+}
+
+/// The shared equivalence matrix: calls `run` at every [`MatrixPoint`]
+/// and byte-compares every golden case of the resulting [`FleetRun`]
+/// against the batch reference. `what` names the run shape in failures
+/// (e.g. "fleet run", "resharded run", "daemon run").
+pub fn assert_fleet_matches_batch(
+    manifest: &[ManifestEntry],
+    scenarios: &[Scenario],
+    batch_jsons: &[String],
+    what: &str,
+    mut run: impl FnMut(MatrixPoint, &[Scenario]) -> FleetRun,
+) {
+    for p in matrix_points() {
+        let out = run(p, scenarios);
+        assert_eq!(out.cases.len(), manifest.len(), "{what} ({}): case count", p.label());
+        for (i, entry) in manifest.iter().enumerate() {
+            assert_case_matches_batch(
+                entry,
+                &batch_jsons[i],
+                &out.cases[i],
+                &out.diagnoses[i],
+                &format!("{what} ({})", p.label()),
+            );
+        }
+    }
+}
+
+/// `assignment[i]` under the engine's static contiguous layout.
+pub fn contiguous(n: usize, shards: usize) -> Vec<usize> {
+    (0..n).map(|i| i * shards / n.max(1)).map(|s| s.min(shards - 1)).collect()
+}
+
+/// The adversarial handoff: every instance moves to the mirror shard, so
+/// shard-local orderings all change and any reassembly that leans on
+/// within-shard contiguity or finish order breaks loudly.
+pub fn reversed(n: usize, shards: usize) -> Vec<usize> {
+    contiguous(n, shards).into_iter().map(|s| shards - 1 - s).collect()
 }

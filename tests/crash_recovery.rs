@@ -22,6 +22,7 @@ fn engine(shards: usize, fanout: usize) -> FleetEngine {
         fanout,
         shards,
         kernel: KernelKind::Fast,
+        ..FleetConfig::default()
     })
 }
 

@@ -1,0 +1,178 @@
+//! Daemon equivalence: a resident fleet daemon that is reconfigured and
+//! restarted mid-stream is behaviorally invisible.
+//!
+//! All 16 manifest scenarios run through a [`FleetServer`]-steered
+//! [`FleetDaemon`] that starts under a deliberately *wrong* config
+//! (perturbed look-back, thresholds, kernel, shard count), ingests to an
+//! event-time watermark, receives a versioned config push restoring the
+//! golden config, keeps ingesting, survives a graceful restart
+//! mid-anomaly, and is then stopped — across the shared matrix (shards
+//! {1, 2, 4} × fanout {1, 4} × both kernels). Every case's `Snapshot`
+//! JSON must match the uninterrupted batch pipeline **byte-for-byte**:
+//! the daemon's history under the final config is indistinguishable from
+//! a cold start that never saw the perturbed config at all.
+//!
+//! The suite also pins the [`FleetReport`] wire contract (config epoch,
+//! per-region rollup counts, serde round-trip) and the epoch algebra
+//! (stale or replayed pushes are rejected whole, over real PCTL frames).
+
+mod common;
+
+use common::{
+    assert_fleet_matches_batch, batch_reference_jsons, golden_fleet_config, load_manifest,
+    scenario_for, GOLDEN_DELTA_S,
+};
+use pinsql::{ConfigEpoch, PinSqlConfig, PinSqlDelta};
+use pinsql_detect::KernelKind;
+use pinsql_engine::{
+    ControlMsg, ControlResp, FleetConfig, FleetDaemon, FleetDelta, FleetReport, FleetServer,
+};
+
+/// A spawn config that disagrees with the golden config on every knob a
+/// [`FleetDelta`] can touch — the push must erase all of it.
+fn perturbed_config(golden: &FleetConfig) -> FleetConfig {
+    let other_kernel = match golden.kernel {
+        KernelKind::Fast => KernelKind::Reference,
+        KernelKind::Reference => KernelKind::Fast,
+    };
+    FleetConfig {
+        delta_s: 120,
+        pinsql: PinSqlConfig { tau: 0.5, rsql_score_min: 0.9, ..PinSqlConfig::default() },
+        fanout: golden.fanout % 2 + 1,
+        shards: 3,
+        kernel: other_kernel,
+        regions: 1,
+    }
+}
+
+/// The delta that turns [`perturbed_config`] back into `golden` (plus a
+/// three-region rollup map, which is purely observational).
+fn restoring_delta(golden: &FleetConfig) -> FleetDelta {
+    let defaults = PinSqlConfig::default();
+    FleetDelta {
+        shards: Some(golden.shards),
+        fanout: Some(golden.fanout),
+        kernel: Some(golden.kernel),
+        delta_s: Some(golden.delta_s),
+        regions: Some(3),
+        pinsql: PinSqlDelta {
+            tau: Some(defaults.tau),
+            rsql_score_min: Some(defaults.rsql_score_min),
+            ..PinSqlDelta::default()
+        },
+    }
+}
+
+#[test]
+fn reconfigured_restarted_daemon_matches_batch_on_every_golden_case() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let batch_jsons = batch_reference_jsons(&manifest);
+
+    assert_fleet_matches_batch(&manifest, &scenarios, &batch_jsons, "daemon run", |p, sc| {
+        let golden = golden_fleet_config(p);
+        let mut server = FleetServer::start(perturbed_config(&golden), sc);
+
+        // Ingest under the wrong config, then push the correction: the
+        // quiesce-at-watermark + snapshot handoff must leave no trace of
+        // the perturbed thresholds, look-back, kernel, or shard layout.
+        server.advance_to(600);
+        let epoch = server.push_config(restoring_delta(&golden)).expect("config push acked");
+        assert_eq!(epoch, ConfigEpoch(1), "{}: first push mints epoch 1", p.label());
+
+        // Keep ingesting into the anomaly window, then restart with
+        // detector segments open — the crash drill mid-anomaly.
+        server.advance_to(800);
+        server.restart().expect("graceful restart acked");
+
+        let run = server.stop().expect("drains and stops");
+        assert_eq!(run.report.config_epoch, 1, "{}: report carries the epoch", p.label());
+        assert_eq!(run.report.shards, p.shards, "{}: final shard layout", p.label());
+        run
+    });
+}
+
+/// The report's rollup tree is exact: region counts partition the fleet
+/// and re-aggregate to the fleet totals, and the whole report survives a
+/// serde round-trip byte-for-byte.
+#[test]
+fn fleet_report_rollup_counts_and_serde_round_trip() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(5).map(scenario_for).collect();
+
+    let cfg = FleetConfig {
+        delta_s: GOLDEN_DELTA_S,
+        shards: 2,
+        fanout: 1,
+        regions: 3,
+        ..FleetConfig::default()
+    };
+    let run = FleetServer::start(cfg, &scenarios).stop().expect("drains and stops");
+    let report = &run.report;
+
+    assert_eq!(report.config_epoch, 0, "no pushes: still the initial epoch");
+    assert_eq!(report.rollup.regions.len(), 3, "one rollup per region");
+    assert_eq!(report.rollup.instances(), 5, "rollup covers the whole fleet");
+    assert!(report.rollup.is_consistent(), "region rollups re-aggregate to the fleet total");
+    let per_region: u64 = report.rollup.regions.iter().map(|r| r.rollup.instances).sum();
+    assert_eq!(per_region, report.rollup.total.instances, "regions partition the fleet");
+    assert_eq!(report.rollup.total.events_total, report.events_total);
+
+    let json = serde_json::to_string_pretty(report).expect("serialize report");
+    let back: FleetReport = serde_json::from_str(&json).expect("deserialize report");
+    let json2 = serde_json::to_string_pretty(&back).expect("re-serialize report");
+    assert_eq!(json, json2, "FleetReport serde round-trip is byte-stable");
+}
+
+/// Epoch algebra over real PCTL frames: a push is accepted only under a
+/// strictly greater epoch; stale and replayed pushes are rejected whole,
+/// leaving the running config untouched.
+#[test]
+fn stale_and_replayed_pushes_are_rejected_over_the_wire() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(2).map(scenario_for).collect();
+    let mut agent = FleetDaemon::spawn(
+        FleetConfig { delta_s: GOLDEN_DELTA_S, shards: 2, ..FleetConfig::default() },
+        &scenarios,
+    );
+
+    let push = |epoch: u64| {
+        ControlMsg::ConfigPush {
+            epoch: ConfigEpoch(epoch),
+            delta: FleetDelta { kernel: Some(KernelKind::Reference), ..FleetDelta::default() },
+        }
+        .to_bytes()
+    };
+    let send = |agent: &mut FleetDaemon, frame: Vec<u8>| {
+        ControlResp::from_bytes(&agent.handle_frame(&frame)).expect("well-formed response frame")
+    };
+
+    // Epoch 2 from the initial epoch 0: accepted.
+    match send(&mut agent, push(2)) {
+        ControlResp::Ack { epoch, .. } => assert_eq!(epoch, ConfigEpoch(2)),
+        other => panic!("fresh epoch must ack, got {other:?}"),
+    }
+    assert_eq!(agent.config().kernel, KernelKind::Reference);
+
+    // A replay of epoch 2 and a stale epoch 1: both rejected whole.
+    for stale in [2u64, 1] {
+        let frame = ControlMsg::ConfigPush {
+            epoch: ConfigEpoch(stale),
+            delta: FleetDelta { kernel: Some(KernelKind::Fast), ..FleetDelta::default() },
+        }
+        .to_bytes();
+        match send(&mut agent, frame) {
+            ControlResp::Reject { epoch, reason } => {
+                assert_eq!(epoch, ConfigEpoch(2), "reject reports the running epoch");
+                assert!(reason.contains("stale"), "reason names the failure: {reason}");
+            }
+            other => panic!("epoch {stale} must be rejected, got {other:?}"),
+        }
+        assert_eq!(
+            agent.config().kernel,
+            KernelKind::Reference,
+            "a rejected push must not leak any part of its delta"
+        );
+        assert_eq!(agent.epoch(), ConfigEpoch(2));
+    }
+}

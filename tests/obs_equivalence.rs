@@ -26,6 +26,7 @@ fn engine(shards: usize, fanout: usize) -> FleetEngine {
         pinsql: PinSqlConfig::default(),
         fanout,
         shards,
+        ..FleetConfig::default()
     })
 }
 

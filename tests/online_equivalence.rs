@@ -13,7 +13,10 @@
 
 mod common;
 
-use common::{batch_snapshot, golden_dir, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
+use common::{
+    assert_case_matches_batch, batch_reference_jsons, golden_dir, load_manifest, scenario_for,
+    GOLDEN_DELTA_S,
+};
 use pinsql::PinSqlConfig;
 use pinsql_detect::KernelKind;
 use pinsql_engine::{replay_diagnose, replay_diagnose_with_kernel};
@@ -21,36 +24,33 @@ use pinsql_engine::{replay_diagnose, replay_diagnose_with_kernel};
 #[test]
 fn online_replay_matches_batch_on_every_golden_case() {
     let manifest = load_manifest();
-    for entry in &manifest {
-        let scenario = scenario_for(entry);
-        // Batch reference once; the batch path's own parallelism
-        // invariance (1 vs 4) is pinned by golden_corpus.rs.
-        let (batch, _) = batch_snapshot(entry, 1);
-        let batch_json = serde_json::to_string_pretty(&batch).expect("serialize snapshot");
+    let batch_jsons = batch_reference_jsons(&manifest);
 
+    for (entry, batch_json) in manifest.iter().zip(&batch_jsons) {
+        let scenario = scenario_for(entry);
         for parallelism in [1usize, 4] {
             let cfg = PinSqlConfig::default().with_parallelism(parallelism);
             let (lc, d) = replay_diagnose(&scenario, GOLDEN_DELTA_S, &cfg);
-            let online_json = serde_json::to_string_pretty(&snapshot_of(entry, &lc, &d))
-                .expect("serialize snapshot");
-            assert_eq!(
-                online_json, batch_json,
-                "{}: online replay (parallelism {parallelism}) diverged from batch",
-                entry.name
+            assert_case_matches_batch(
+                entry,
+                batch_json,
+                &lc,
+                &d,
+                &format!("online replay (parallelism {parallelism})"),
             );
 
             for kernel in [KernelKind::Fast, KernelKind::Reference] {
                 let (lc, d) =
                     replay_diagnose_with_kernel(&scenario, GOLDEN_DELTA_S, &cfg, kernel);
-                let kernel_json = serde_json::to_string_pretty(&snapshot_of(entry, &lc, &d))
-                    .expect("serialize snapshot");
-                assert_eq!(
-                    kernel_json,
+                assert_case_matches_batch(
+                    entry,
                     batch_json,
-                    "{}: online replay (parallelism {parallelism}, kernel {}) \
-                     diverged from batch",
-                    entry.name,
-                    kernel.label()
+                    &lc,
+                    &d,
+                    &format!(
+                        "online replay (parallelism {parallelism}, kernel {})",
+                        kernel.label()
+                    ),
                 );
             }
         }
@@ -61,7 +61,7 @@ fn online_replay_matches_batch_on_every_golden_case() {
         let path = golden_dir().join(format!("{}.json", entry.name));
         if let Ok(stored) = std::fs::read_to_string(&path) {
             assert_eq!(
-                stored, batch_json,
+                stored, *batch_json,
                 "{}: stored golden snapshot disagrees with this build",
                 entry.name
             );

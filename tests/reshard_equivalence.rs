@@ -3,8 +3,8 @@
 //!
 //! All 16 manifest scenarios run as one fleet under a [`ReshardPlan`]
 //! that quiesces mid-anomaly, snapshots every instance, moves it to a
-//! different shard, restores, and resumes — at shards ∈ {1, 2, 4} ×
-//! fanout ∈ {1, 4} × kernel ∈ {fast, reference} — and every case's
+//! different shard, restores, and resumes — across the shared matrix
+//! (shards {1, 2, 4} × fanout {1, 4} × both kernels) — and every case's
 //! `Snapshot` JSON must match the uninterrupted batch pipeline
 //! **byte-for-byte**. Scores travel as `f64` bit patterns, so a single
 //! ULP of drift introduced anywhere in the serialize → hand off →
@@ -12,31 +12,15 @@
 
 mod common;
 
-use common::{batch_snapshot, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
-use pinsql::PinSqlConfig;
+use common::{
+    assert_fleet_matches_batch, batch_reference_jsons, golden_fleet_config, load_manifest,
+    reversed, scenario_for, snapshot_of, MatrixPoint,
+};
 use pinsql_detect::KernelKind;
-use pinsql_engine::{FleetConfig, FleetEngine, ReshardPlan, ReshardStep};
+use pinsql_engine::{FleetEngine, ReshardPlan, ReshardStep};
 
 fn engine(shards: usize, fanout: usize, kernel: KernelKind) -> FleetEngine {
-    FleetEngine::new(FleetConfig {
-        delta_s: GOLDEN_DELTA_S,
-        pinsql: PinSqlConfig::default(),
-        fanout,
-        shards,
-        kernel,
-    })
-}
-
-/// `assignment[i]` under the engine's static contiguous layout.
-fn contiguous(n: usize, shards: usize) -> Vec<usize> {
-    (0..n).map(|i| i * shards / n.max(1)).map(|s| s.min(shards - 1)).collect()
-}
-
-/// The adversarial handoff: every instance moves to the mirror shard, so
-/// shard-local orderings all change and any reassembly that leans on
-/// within-shard contiguity or finish order breaks loudly.
-fn reversed(n: usize, shards: usize) -> Vec<usize> {
-    contiguous(n, shards).into_iter().map(|s| shards - 1 - s).collect()
+    FleetEngine::new(golden_fleet_config(MatrixPoint { shards, fanout, kernel }))
 }
 
 #[test]
@@ -44,42 +28,17 @@ fn resharded_fleet_matches_batch_on_every_golden_case() {
     let manifest = load_manifest();
     let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
     let n = scenarios.len();
+    let batch_jsons = batch_reference_jsons(&manifest);
 
-    let batch_jsons: Vec<String> = manifest
-        .iter()
-        .map(|entry| {
-            let (snap, _) = batch_snapshot(entry, 1);
-            serde_json::to_string_pretty(&snap).expect("serialize snapshot")
-        })
-        .collect();
-
-    for shards in [1usize, 2, 4] {
-        for fanout in [1usize, 4] {
-            for kernel in [KernelKind::Fast, KernelKind::Reference] {
-                // Quiesce mid-anomaly (the hardest moment: open detector
-                // segments, partially folded minutes) and reverse the
-                // shard assignment.
-                let plan = ReshardPlan::single(800, reversed(n, shards.min(n)));
-                let run = engine(shards, fanout, kernel)
-                    .run_resharded(&scenarios, &plan)
-                    .expect("snapshot handoff decodes");
-                assert_eq!(run.cases.len(), n);
-
-                for (i, entry) in manifest.iter().enumerate() {
-                    let snap = snapshot_of(entry, &run.cases[i], &run.diagnoses[i]);
-                    let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
-                    assert_eq!(
-                        json,
-                        batch_jsons[i],
-                        "{}: resharded run (shards {shards}, fanout {fanout}, kernel {}) \
-                         diverged from batch",
-                        entry.name,
-                        kernel.label()
-                    );
-                }
-            }
-        }
-    }
+    assert_fleet_matches_batch(&manifest, &scenarios, &batch_jsons, "resharded run", |p, sc| {
+        // Quiesce mid-anomaly (the hardest moment: open detector
+        // segments, partially folded minutes) and reverse the shard
+        // assignment.
+        let plan = ReshardPlan::single(800, reversed(n, p.shards.min(n)));
+        FleetEngine::new(golden_fleet_config(p))
+            .run_resharded(sc, &plan)
+            .expect("snapshot handoff decodes")
+    });
 }
 
 /// The degenerate 1 → N → 1 plan: the whole fleet collapses onto one

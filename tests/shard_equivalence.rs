@@ -2,63 +2,32 @@
 //! bit-for-bit on the full golden corpus at every shard count.
 //!
 //! All 16 manifest scenarios run as **one fleet** through
-//! `FleetEngine::run_full` at shards ∈ {1, 2, 4} × fanout ∈ {1, 4} ×
-//! kernel ∈ {fast, reference}, and each instance's `Snapshot` JSON is
-//! compared **byte-for-byte** against the batch pipeline's output for the
-//! same manifest entry. Scores are serialized as `f64` bit patterns, so a
-//! single ULP of drift anywhere in the sharded ingest path — the
-//! per-shard k-way merges, the chunked query-run folding, the compact
-//! cell store, the selection-based detector kernels — fails this suite.
+//! `FleetEngine::run_full` across the shared matrix (shards {1, 2, 4} ×
+//! fanout {1, 4} × both kernels — see `common::matrix_points`), and each
+//! instance's `Snapshot` JSON is compared **byte-for-byte** against the
+//! batch pipeline's output for the same manifest entry. Scores are
+//! serialized as `f64` bit patterns, so a single ULP of drift anywhere in
+//! the sharded ingest path — the per-shard k-way merges, the chunked
+//! query-run folding, the compact cell store, the selection-based
+//! detector kernels — fails this suite.
 
 mod common;
 
-use common::{batch_snapshot, load_manifest, scenario_for, snapshot_of, GOLDEN_DELTA_S};
-use pinsql::PinSqlConfig;
-use pinsql_detect::KernelKind;
-use pinsql_engine::{FleetConfig, FleetEngine};
+use common::{
+    assert_fleet_matches_batch, batch_reference_jsons, golden_fleet_config, load_manifest,
+    scenario_for,
+};
+use pinsql_engine::FleetEngine;
 
 #[test]
 fn sharded_fleet_matches_batch_on_every_golden_case() {
     let manifest = load_manifest();
     let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let batch_jsons = batch_reference_jsons(&manifest);
 
-    // Batch reference once per entry; the batch path's own parallelism
-    // invariance is pinned by golden_corpus.rs.
-    let batch_jsons: Vec<String> = manifest
-        .iter()
-        .map(|entry| {
-            let (snap, _) = batch_snapshot(entry, 1);
-            serde_json::to_string_pretty(&snap).expect("serialize snapshot")
-        })
-        .collect();
-
-    for shards in [1usize, 2, 4] {
-        for fanout in [1usize, 4] {
-            for kernel in [KernelKind::Fast, KernelKind::Reference] {
-                let engine = FleetEngine::new(FleetConfig {
-                    delta_s: GOLDEN_DELTA_S,
-                    pinsql: PinSqlConfig::default(),
-                    fanout,
-                    shards,
-                    kernel,
-                });
-                let run = engine.run_full(&scenarios);
-                assert_eq!(run.report.shards, shards);
-                assert_eq!(run.cases.len(), manifest.len());
-
-                for (i, entry) in manifest.iter().enumerate() {
-                    let snap = snapshot_of(entry, &run.cases[i], &run.diagnoses[i]);
-                    let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
-                    assert_eq!(
-                        json,
-                        batch_jsons[i],
-                        "{}: fleet run (shards {shards}, fanout {fanout}, kernel {}) \
-                         diverged from batch",
-                        entry.name,
-                        kernel.label()
-                    );
-                }
-            }
-        }
-    }
+    assert_fleet_matches_batch(&manifest, &scenarios, &batch_jsons, "fleet run", |p, sc| {
+        let run = FleetEngine::new(golden_fleet_config(p)).run_full(sc);
+        assert_eq!(run.report.shards, p.shards);
+        run
+    });
 }
