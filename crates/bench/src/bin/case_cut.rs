@@ -1,0 +1,300 @@
+//! Window-cut assembly benchmark with a committed-summary gate.
+//!
+//! Replays a [`pinsql_bench::synth`] telemetry stream through the
+//! incremental collector once per [`CutKind`], then measures the
+//! *cut-assembly slice*: the work between "the case closed" and "the
+//! diagnosis has its normalized minute matrix and template↔session
+//! gate". Under [`CutKind::Reference`] that slice re-derives every
+//! template's 1-minute row (`TemplateSeries::per_minute`), normalizes
+//! the matrix, and computes one Pearson per template over the window's
+//! seconds — O(templates × window). Under [`CutKind::Incremental`] the
+//! rows and gate were maintained as running moments at ingest, so the
+//! slice is just the normalization over rows the snapshot already
+//! carries — O(templates) beyond the matrix itself.
+//!
+//! Every sweep point asserts the two paths are **fingerprint-identical**:
+//! the incremental rows' raw f64 bits must equal the reference
+//! derivation's, and both aggregators must fold the identical case, so
+//! the diagnosis downstream of the cut cannot diverge.
+//!
+//! Modes:
+//!
+//! * default — sweep templates × window, print, and write
+//!   `results/case_cut.json` (gitignored; distilled into the committed
+//!   `BENCH_case_cut.json` by `scripts/bench_summary.sh`).
+//!   Args: `[qps] [reps]`.
+//! * `--gate <BENCH_case_cut.json>` — CI case-cut smoke gate: re-runs
+//!   the committed smoke workload and fails (exit 1) if the measured
+//!   reference-over-incremental assembly speedup regresses more than
+//!   20% below the committed one. The ratio is machine-neutral —
+//!   absolute latencies vary with the host, the structural win of
+//!   carrying the rows over re-deriving them should not.
+
+use pinsql_bench::synth::{synthetic_specs, synthetic_stream};
+use pinsql_collector::{CaseData, IncrementalAggregator, IncrementalConfig, WindowCut};
+use pinsql_dbsim::{query_run, TelemetryEvent};
+use pinsql_detect::CutKind;
+use pinsql_timeseries::{pearson, NormalizedMatrix};
+use pinsql_workload::TemplateSpec;
+use std::time::Instant;
+
+/// FNV-1a over a row set's raw f64 bits.
+fn fingerprint_rows(rows: &[Vec<f64>]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(rows.len() as u64);
+    for row in rows {
+        mix(row.len() as u64);
+        for v in row {
+            mix(v.to_bits());
+        }
+    }
+    h
+}
+
+/// FNV-1a over the case structure the diagnosis reads (ids, series bits,
+/// metrics bits) — byte-stable equivalence across the two cut paths.
+fn fingerprint_case(case: &CaseData) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(case.records.len() as u64);
+    for t in &case.templates {
+        mix(t.id.0 as u64);
+        for v in t.series.execution_count.iter().chain(&t.series.total_rt_ms) {
+            mix(v.to_bits());
+        }
+    }
+    for v in case.metrics.active_session.iter().chain(&case.metrics.qps) {
+        mix(v.to_bits());
+    }
+    h
+}
+
+struct Replay {
+    case: CaseData,
+    /// Seconds spent in the collector's ingest slice.
+    ingest_s: f64,
+}
+
+/// Folds the stream under one cut kind and closes the window
+/// `[dur_s - window_s, dur_s]`.
+fn replay(
+    specs: &[TemplateSpec],
+    events: &[TelemetryEvent],
+    dur_s: i64,
+    window_s: i64,
+    cut: CutKind,
+) -> Replay {
+    let mut stream: Vec<TelemetryEvent> = events.to_vec();
+    let mut agg = IncrementalAggregator::new(
+        specs,
+        IncrementalConfig::default().with_retention(window_s.max(60)).with_cut(cut),
+    );
+    let mut ingest_s = 0.0f64;
+    let mut i = 0;
+    while i < stream.len() {
+        if let Some((second, len)) = query_run(&stream, i) {
+            let s0 = Instant::now();
+            agg.ingest_query_run(second, &stream[i..i + len]);
+            ingest_s += s0.elapsed().as_secs_f64();
+            i += len;
+        } else {
+            let ev = std::mem::replace(&mut stream[i], TelemetryEvent::Tick { second: i64::MIN });
+            let s0 = Instant::now();
+            agg.ingest(ev);
+            ingest_s += s0.elapsed().as_secs_f64();
+            i += 1;
+        }
+    }
+    Replay { case: agg.snapshot(dur_s - window_s, dur_s), ingest_s }
+}
+
+/// The reference assembly: re-derive every row, normalize, gate via one
+/// Pearson per template over the window's seconds.
+fn assemble_reference(case: &CaseData) -> (Vec<Vec<f64>>, Vec<f64>, usize) {
+    let rows: Vec<Vec<f64>> = case.templates.iter().map(|t| t.series.per_minute()).collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|v| v.as_slice()).collect();
+    let matrix = NormalizedMatrix::from_series(&refs);
+    let gate: Vec<f64> = case
+        .templates
+        .iter()
+        .map(|t| pearson(&t.series.execution_count, &case.metrics.active_session))
+        .collect();
+    (rows, gate, matrix.row_len())
+}
+
+/// The incremental assembly: normalize the rows the snapshot already
+/// carries; the gate is already there.
+fn assemble_incremental(cut: &WindowCut) -> usize {
+    NormalizedMatrix::from_series(&cut.row_refs()).row_len()
+}
+
+struct SweepPoint {
+    reference_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+    ingest_reference_ms: f64,
+    ingest_incremental_ms: f64,
+    moments_pushed: u64,
+    moments_evicted: u64,
+}
+
+/// One sweep point: replay under both cut kinds, assert the paths are
+/// fingerprint-identical, and time the assembly slice best-of-`reps`.
+fn measure(
+    specs: &[TemplateSpec],
+    events: &[TelemetryEvent],
+    dur_s: i64,
+    window_s: i64,
+    reps: usize,
+) -> SweepPoint {
+    let inc = replay(specs, events, dur_s, window_s, CutKind::Incremental);
+    let reference = replay(specs, events, dur_s, window_s, CutKind::Reference);
+    assert_eq!(
+        fingerprint_case(&inc.case),
+        fingerprint_case(&reference.case),
+        "the cut kinds folded different cases"
+    );
+    let cut = inc.case.cut.as_deref().expect("incremental replay carries a cut");
+    assert!(reference.case.cut.is_none(), "reference replay must not carry a cut");
+
+    let mut reference_s = f64::INFINITY;
+    let mut incremental_s = f64::INFINITY;
+    let mut ref_rows_fp = 0u64;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let (rows, gate, row_len) = assemble_reference(&reference.case);
+        reference_s = reference_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(gate.len(), rows.len());
+        ref_rows_fp = fingerprint_rows(&rows);
+
+        let t0 = Instant::now();
+        let inc_row_len = assemble_incremental(cut);
+        incremental_s = incremental_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(inc_row_len, row_len, "matrix shapes diverged");
+    }
+    assert_eq!(
+        fingerprint_rows(&cut.minute_rows),
+        ref_rows_fp,
+        "incremental rows diverged from the reference derivation"
+    );
+
+    SweepPoint {
+        reference_ms: reference_s * 1e3,
+        incremental_ms: incremental_s * 1e3,
+        speedup: reference_s / incremental_s,
+        ingest_reference_ms: reference.ingest_s * 1e3,
+        ingest_incremental_ms: inc.ingest_s * 1e3,
+        moments_pushed: cut.moments_pushed,
+        moments_evicted: cut.moments_evicted,
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn gate_mode(committed_path: &str, reps: usize) -> ! {
+    let text = std::fs::read_to_string(committed_path)
+        .unwrap_or_else(|e| panic!("cannot read {committed_path}: {e}"));
+    let committed: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {committed_path}: {e}"));
+    let smoke = &committed["smoke"];
+    let w = &smoke["workload"];
+    let (templates, qps, dur_s, window_s) = (
+        w["templates"].as_u64().expect("smoke.workload.templates") as usize,
+        w["qps"].as_u64().expect("smoke.workload.qps") as usize,
+        w["duration_s"].as_i64().expect("smoke.workload.duration_s"),
+        w["window_s"].as_i64().expect("smoke.workload.window_s"),
+    );
+    let committed_speedup =
+        smoke["incremental_speedup"].as_f64().expect("smoke.incremental_speedup");
+
+    let specs = synthetic_specs(templates);
+    let events = synthetic_stream(templates, qps, dur_s, 0xC0FFEE);
+    let p = measure(&specs, &events, dur_s, window_s, reps);
+    let floor = 0.8 * committed_speedup;
+    eprintln!(
+        "case_cut_smoke: reference {:.3}ms, incremental {:.3}ms -> speedup {:.2} \
+         (committed {committed_speedup:.2}, floor {floor:.2})",
+        p.reference_ms, p.incremental_ms, p.speedup,
+    );
+    if p.speedup < floor {
+        eprintln!(
+            "case_cut_smoke: FAIL — incremental cut-assembly advantage regressed >20% vs \
+             {committed_path}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("case_cut_smoke: OK");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(p) = args.iter().position(|a| a == "--gate") {
+        let path = args.get(p + 1).expect("--gate needs a committed summary path").clone();
+        let reps = args.get(p + 2).and_then(|s| s.parse().ok()).unwrap_or(5);
+        gate_mode(&path, reps);
+    }
+
+    let qps: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let mut entries = Vec::new();
+    for templates in [500usize, 1500, 3000] {
+        let specs = synthetic_specs(templates);
+        for window_s in [180i64, 420] {
+            // Run past the window so retention actually evicts.
+            let dur_s = window_s + 240;
+            let events = synthetic_stream(templates, qps, dur_s, 0xC0FFEE);
+            let p = measure(&specs, &events, dur_s, window_s, reps);
+            println!(
+                "{templates} templates x {window_s}s: reference {:.3}ms, incremental {:.3}ms \
+                 -> speedup {:.1}x (ingest {:.2}ms vs {:.2}ms, {} pushed / {} evicted)",
+                p.reference_ms,
+                p.incremental_ms,
+                p.speedup,
+                p.ingest_reference_ms,
+                p.ingest_incremental_ms,
+                p.moments_pushed,
+                p.moments_evicted,
+            );
+            entries.push(serde_json::json!({
+                "templates": templates,
+                "window_s": window_s,
+                "reference_cut_ms": (p.reference_ms * 1e3).round() / 1e3,
+                "incremental_cut_ms": (p.incremental_ms * 1e3).round() / 1e3,
+                "speedup": (p.speedup * 10.0).round() / 10.0,
+                "ingest_reference_ms": (p.ingest_reference_ms * 1e2).round() / 1e2,
+                "ingest_incremental_ms": (p.ingest_incremental_ms * 1e2).round() / 1e2,
+                "moments_pushed": p.moments_pushed,
+                "moments_evicted": p.moments_evicted,
+            }));
+        }
+    }
+
+    let out = serde_json::json!({
+        "bench": "case_cut",
+        "git_rev": git_rev(),
+        "workload": { "qps": qps, "reps": reps },
+        "entries": entries,
+    });
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/case_cut.json";
+    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serialize") + "\n")
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}

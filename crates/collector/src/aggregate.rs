@@ -68,6 +68,45 @@ pub struct TemplateData {
     pub record_idx: Vec<u32>,
 }
 
+/// Precomputed per-template cut state carried on a [`CaseData`] when the
+/// incremental cut path is active (`CutKind::Incremental`).
+///
+/// The rows are the 1-minute execution-count series every template would
+/// get from [`TemplateSeries::per_minute`], assembled during the snapshot's
+/// single cell sweep instead of one `O(window)` re-scan per template —
+/// minute counts are integer-valued sums of `1.0` accumulated in ascending
+/// second order, so they are bit-identical to the reference derivation and
+/// the diagnosis output cannot depend on which path produced them.
+///
+/// The gate scores are template↔active-session Pearson correlations
+/// assembled in `O(1)` per template from the running ingest-time moments
+/// (see `IncrementalAggregator`). They are advisory — candidate ranking
+/// hints and observability, never substituted into the exact §V/§VI
+/// scoring math.
+#[derive(Debug, Clone, Default)]
+pub struct WindowCut {
+    /// First absolute minute of the rows (`ts / 60` for aligned windows).
+    pub minute_start: i64,
+    /// Per-template 1-minute execution counts, parallel to
+    /// [`CaseData::templates`] (sorted by `SqlId`); `n_seconds / 60`
+    /// complete minutes each.
+    pub minute_rows: Vec<Vec<f64>>,
+    /// Advisory per-template Pearson vs the active-session metric over the
+    /// window's seconds, parallel to [`CaseData::templates`].
+    pub gate: Vec<f64>,
+    /// Running-moment updates applied at ingest to build this state.
+    pub moments_pushed: u64,
+    /// Running-moment contributions evicted past the retention horizon.
+    pub moments_evicted: u64,
+}
+
+impl WindowCut {
+    /// Borrowed minute rows in `&[&[f64]]` shape for matrix assembly.
+    pub fn row_refs(&self) -> Vec<&[f64]> {
+        self.minute_rows.iter().map(|r| r.as_slice()).collect()
+    }
+}
+
 /// Everything the root-cause pipeline needs about one collection window.
 #[derive(Debug, Clone)]
 pub struct CaseData {
@@ -81,6 +120,9 @@ pub struct CaseData {
     pub records: Vec<QueryRecord>,
     /// Per-template aggregates, in a stable order (sorted by `SqlId`).
     pub templates: Vec<TemplateData>,
+    /// Precomputed minute rows + gate scores when the incremental cut path
+    /// produced this case; `None` on the reference/batch path.
+    pub cut: Option<Box<WindowCut>>,
 }
 
 impl CaseData {
@@ -161,7 +203,7 @@ pub fn aggregate_case(
     templates.sort_by_key(|t| t.id);
 
     let metrics = slice_metrics(metrics, ts, te);
-    CaseData { ts, te, catalog, metrics, records, templates }
+    CaseData { ts, te, catalog, metrics, records, templates, cut: None }
 }
 
 /// Restricts instance metrics to `[ts, te)`, zeroing any non-finite sample

@@ -119,7 +119,9 @@ pub struct DenseRowMut<'a> {
 }
 
 impl DenseRowMut<'_> {
-    /// Folds one record into `slot`.
+    /// Folds one record into `slot`, returning the cell's execution count
+    /// *before* this record (`0.0` for a freshly touched cell) — the
+    /// running-moment tracker turns that into an O(1) evict + push delta.
     ///
     /// New cells start at `(0.0, 0.0, 0.0)` and are accumulated with `+=`
     /// rather than assigned from the first record: `0.0 + (-0.0)` is
@@ -127,7 +129,7 @@ impl DenseRowMut<'_> {
     /// bits as it always has (a direct assignment would store `-0.0`,
     /// which serializes differently).
     #[inline]
-    pub fn add(&mut self, slot: u32, rt_ms: f64, rows: f64) {
+    pub fn add(&mut self, slot: u32, rt_ms: f64, rows: f64) -> f64 {
         let p = &mut self.pos.pos[slot as usize];
         let cell = if *p >> IDX_BITS == self.pos.epoch {
             &mut self.data[(*p & IDX_MASK) as usize].1
@@ -136,9 +138,11 @@ impl DenseRowMut<'_> {
             self.data.push((slot, (0.0, 0.0, 0.0)));
             &mut self.data.last_mut().expect("just pushed").1
         };
+        let prev = cell.0;
         cell.0 += 1.0;
         cell.1 += rt_ms;
         cell.2 += rows;
+        prev
     }
 }
 
@@ -301,10 +305,11 @@ impl CellStore {
         }
     }
 
-    /// Folds one record into `(idx, slot)`.
+    /// Folds one record into `(idx, slot)`, returning the cell's
+    /// execution count before this record.
     #[inline]
-    pub fn add(&mut self, idx: usize, slot: u32, rt_ms: f64, rows: f64) {
-        self.row_mut(idx).add(slot, rt_ms, rows);
+    pub fn add(&mut self, idx: usize, slot: u32, rt_ms: f64, rows: f64) -> f64 {
+        self.row_mut(idx).add(slot, rt_ms, rows)
     }
 
     /// The cell at `(idx, slot)`, `None` when no record ever touched it.
@@ -353,16 +358,19 @@ pub enum RowMut<'a> {
 
 impl RowMut<'_> {
     /// Folds one record into the row: `count += 1`, `rt += rt_ms`,
-    /// `rows += rows_examined`.
+    /// `rows += rows_examined`. Returns the row's execution count for
+    /// `slot` before this record (`0.0` for a freshly touched cell).
     #[inline]
-    pub fn add(&mut self, slot: u32, rt_ms: f64, rows: f64) {
+    pub fn add(&mut self, slot: u32, rt_ms: f64, rows: f64) -> f64 {
         match self {
             RowMut::Dense(row) => row.add(slot, rt_ms, rows),
             RowMut::Hashed(map) => {
                 let cell = map.entry(slot).or_insert((0.0, 0.0, 0.0));
+                let prev = cell.0;
                 cell.0 += 1.0;
                 cell.1 += rt_ms;
                 cell.2 += rows;
+                prev
             }
         }
     }
@@ -404,6 +412,17 @@ mod tests {
             }
             assert_eq!(store.get(0, 0), Some((3.0, 3.0, 6.0)));
             assert_eq!(store.get(0, 1), Some((2.0, 2.0, 4.0)));
+        }
+    }
+
+    #[test]
+    fn add_returns_the_previous_execution_count() {
+        for mut store in both() {
+            store.push_back();
+            assert_eq!(store.add(0, 2, 1.0, 0.0), 0.0, "fresh cell");
+            assert_eq!(store.add(0, 2, 1.0, 0.0), 1.0);
+            assert_eq!(store.add(0, 2, 1.0, 0.0), 2.0);
+            assert_eq!(store.add(0, 1, 1.0, 0.0), 0.0, "other slot is independent");
         }
     }
 

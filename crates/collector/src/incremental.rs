@@ -36,6 +36,19 @@
 //! history folding reuses one slot-indexed scratch buffer instead of
 //! building a map per minute.
 //!
+//! ## The incremental cut
+//!
+//! With [`CutKind::Incremental`] (the default), the aggregator also keeps
+//! *running* per-template moments at ingest — per-slot execution-count
+//! moments, count·session co-sums, and global session moments — evicted in
+//! step with retention. A `snapshot` then carries a
+//! [`WindowCut`](crate::WindowCut): every template's 1-minute matrix row
+//! (bucketed during the sweep the snapshot already runs, bit-identical to
+//! `TemplateSeries::per_minute`) plus an advisory template↔session Pearson
+//! gate assembled from the sums in O(templates). [`CutKind::Reference`]
+//! turns all of it off and leaves each cut to re-derive rows from the raw
+//! series.
+//!
 //! `snapshot` is assembled from running state, not a re-scan: one sweep
 //! over the window's touched cells yields every template's execution-count
 //! moments ([`MomentAccumulator`]), after which each template's window
@@ -59,7 +72,7 @@
 //! either cell-store kind. The engine crate's golden replay tests pin this
 //! contract.
 
-use crate::aggregate::{CaseData, TemplateData, TemplateSeries};
+use crate::aggregate::{CaseData, TemplateData, TemplateSeries, WindowCut};
 use crate::catalog::TemplateCatalog;
 use crate::cellstore::{Cell, CellStore, CellStoreKind, RowMut};
 use crate::history::HistoryStore;
@@ -67,10 +80,25 @@ use pinsql_dbsim::probe::ProbeLog;
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::{InstanceMetrics, MetricsSample, QueryRecord, TelemetryEvent};
 use pinsql_sqlkit::SqlId;
-use pinsql_timeseries::{MomentAccumulator, WireError, WireReader, WireWriter};
+use pinsql_timeseries::{
+    CoMomentAccumulator, CutKind, MomentAccumulator, WireError, WireReader, WireWriter,
+};
 use pinsql_workload::TemplateSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Non-finite telemetry reads as 0 everywhere the cut moments touch it —
+/// the same rule [`window_metrics`](IncrementalAggregator::snapshot) and
+/// the batch slicer apply, so the running sums agree with what a window
+/// re-scan would see.
+#[inline]
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
 
 /// Tuning for the incremental aggregator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -90,11 +118,21 @@ pub struct IncrementalConfig {
     /// enormous sparse catalogs).
     #[serde(default)]
     pub cell_store: CellStoreKind,
+    /// Whether window cuts carry running-moment state assembled at ingest
+    /// (`Incremental`, the default) or leave every cut to re-derive its
+    /// rows from the raw series (`Reference`).
+    #[serde(default)]
+    pub cut: CutKind,
 }
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        Self { retention_s: 7200, history_origin_min: 0, cell_store: CellStoreKind::Dense }
+        Self {
+            retention_s: 7200,
+            history_origin_min: 0,
+            cell_store: CellStoreKind::Dense,
+            cut: CutKind::default(),
+        }
     }
 }
 
@@ -115,6 +153,12 @@ impl IncrementalConfig {
     /// Builder-style cell-store override.
     pub fn with_cell_store(mut self, kind: CellStoreKind) -> Self {
         self.cell_store = kind;
+        self
+    }
+
+    /// Builder-style cut-path override.
+    pub fn with_cut(mut self, cut: CutKind) -> Self {
+        self.cut = cut;
         self
     }
 }
@@ -215,6 +259,77 @@ impl MinuteAcc {
     }
 }
 
+/// Running per-template moment state behind [`CutKind::Incremental`].
+///
+/// Maintained in O(1) per record and per metric sample, evicted in step
+/// with retention, so a window cut assembles its template↔session gate
+/// Pearson scores from sums (total minus the out-of-window remainder)
+/// instead of re-scanning the window. The per-slot count moments are
+/// integer-valued (sums of per-second execution counts), so push/evict
+/// round-trips are exact and the running state never drifts; the
+/// count·session co-sums are real-valued and back only the *advisory*
+/// gate, so their tolerance is pinned by property tests rather than
+/// bit-identity.
+#[derive(Debug, Clone, Default)]
+struct CutTracker {
+    /// Live iff the config says `CutKind::Incremental`.
+    enabled: bool,
+    /// Per-slot moments of per-second execution counts over the seconds
+    /// the template has a resident cell in.
+    counts: Vec<MomentAccumulator>,
+    /// Per-slot Σ count·session over the same seconds (an absent metric
+    /// sample reads 0; corrected in place when the sample lands).
+    sxy: Vec<f64>,
+    /// Active-session moments over resident metric seconds, non-finite
+    /// samples read as 0 like `window_metrics`.
+    sessions: MomentAccumulator,
+    /// Moment updates applied (records + metric samples) since birth.
+    pushed: u64,
+    /// Contributions evicted past the retention horizon since birth.
+    evicted: u64,
+}
+
+impl CutTracker {
+    fn new(enabled: bool, n_slots: usize) -> Self {
+        let n = if enabled { n_slots } else { 0 };
+        Self {
+            enabled,
+            counts: vec![MomentAccumulator::default(); n],
+            sxy: vec![0.0; n],
+            sessions: MomentAccumulator::default(),
+            pushed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// One record landed on `slot`, whose cell previously held `prev`
+    /// executions this second; `session` is the second's current reading.
+    /// The count moment swaps `prev → prev + 1` and the co-sum grows by
+    /// `(prev+1)·y − prev·y = y`.
+    #[inline]
+    fn on_record(&mut self, slot: u32, prev: f64, session: f64) {
+        if !self.enabled {
+            return;
+        }
+        let m = &mut self.counts[slot as usize];
+        if prev > 0.0 {
+            m.evict(prev);
+        }
+        m.push(prev + 1.0);
+        self.sxy[slot as usize] += session;
+        self.pushed += 1;
+    }
+
+    /// A cell holding `count` executions at a second reading `session`
+    /// left the retention horizon.
+    #[inline]
+    fn evict_cell(&mut self, slot: u32, count: f64, session: f64) {
+        self.counts[slot as usize].evict(count);
+        self.sxy[slot as usize] -= count * session;
+        self.evicted += 1;
+    }
+}
+
 /// The incremental, bounded-state aggregation engine.
 #[derive(Debug, Clone)]
 pub struct IncrementalAggregator {
@@ -251,6 +366,9 @@ pub struct IncrementalAggregator {
     /// Slot → position-in-`templates` scratch for `snapshot`, reused per
     /// call (`u32::MAX` = template absent from the window).
     slot_pos: Vec<u32>,
+    /// Running per-template cut moments (empty when the config says
+    /// [`CutKind::Reference`]).
+    cut_state: CutTracker,
 }
 
 impl IncrementalAggregator {
@@ -263,6 +381,7 @@ impl IncrementalAggregator {
     pub fn with_catalog(catalog: TemplateCatalog, cfg: IncrementalConfig) -> Self {
         assert!(cfg.retention_s >= 60, "retention must cover at least one full minute");
         let cells = CellStore::new(cfg.cell_store, catalog.n_slots());
+        let cut_state = CutTracker::new(cfg.cut == CutKind::Incremental, catalog.n_slots());
         Self {
             catalog,
             cfg,
@@ -279,6 +398,7 @@ impl IncrementalAggregator {
             minute_acc: MinuteAcc::default(),
             slot_hist: Vec::new(),
             slot_pos: Vec::new(),
+            cut_state,
         }
     }
 
@@ -351,7 +471,11 @@ impl IncrementalAggregator {
         self.stats.queries += 1;
         let slot = self.catalog.slot_of_spec(rec.spec);
         let idx = self.row_index(second);
-        self.cells.add(idx, slot, rec.response_ms, rec.examined_rows as f64);
+        let prev = self.cells.add(idx, slot, rec.response_ms, rec.examined_rows as f64);
+        if self.cut_state.enabled {
+            let session = self.session_at(second);
+            self.cut_state.on_record(slot, prev, session);
+        }
         let minute = second.div_euclid(60);
         if self.history_next_min.map_or(true, |next| minute >= next) {
             self.minute_acc.row_mut(minute, self.catalog.n_slots())[slot as usize] += 1.0;
@@ -387,8 +511,20 @@ impl IncrementalAggregator {
         }
         let idx = self.row_index(second);
         let minute = second.div_euclid(60);
-        let Self { cells, catalog, records, records_sorted, stats, minute_acc, history_next_min, .. } =
-            self;
+        // The whole run shares one second, so its session reading — the
+        // cut tracker's co-moment `y` — resolves once per run too.
+        let session = if self.cut_state.enabled { self.session_at(second) } else { 0.0 };
+        let Self {
+            cells,
+            catalog,
+            records,
+            records_sorted,
+            stats,
+            minute_acc,
+            history_next_min,
+            cut_state,
+            ..
+        } = self;
         // The whole run lands in one minute; resolve its history counts
         // row once (None when the minute already folded — a late run the
         // history feed must not double-count).
@@ -406,7 +542,8 @@ impl IncrementalAggregator {
                 records_sorted,
                 stats,
                 |slot, rt, rows| {
-                    row.add(slot, rt, rows);
+                    let prev = row.add(slot, rt, rows);
+                    cut_state.on_record(slot, prev, session);
                     if let Some(h) = hist.as_deref_mut() {
                         h[slot as usize] += 1.0;
                     }
@@ -421,9 +558,11 @@ impl IncrementalAggregator {
                 stats,
                 |slot, rt, rows| {
                     let cell = map.entry(slot).or_insert((0.0, 0.0, 0.0));
+                    let prev = cell.0;
                     cell.0 += 1.0;
                     cell.1 += rt;
                     cell.2 += rows;
+                    cut_state.on_record(slot, prev, session);
                     if let Some(h) = hist.as_deref_mut() {
                         h[slot as usize] += 1.0;
                     }
@@ -476,6 +615,7 @@ impl IncrementalAggregator {
         let second = sample.second;
         if self.metrics.is_empty() {
             self.metrics_start = second;
+            self.on_session_change(second, None, finite(sample.active_session));
             self.metrics.push_back(sample);
         } else if second < self.metrics_start {
             self.stats.late += 1;
@@ -484,16 +624,48 @@ impl IncrementalAggregator {
             let idx = (second - self.metrics_start) as usize;
             while self.metrics.len() < idx {
                 let missing = self.metrics_start + self.metrics.len() as i64;
+                // A zero-filled gap is a cut no-op beyond the resident
+                // count: an absent second already read as session 0.
+                self.on_session_change(missing, None, 0.0);
                 self.metrics.push_back(MetricsSample { second: missing, ..Default::default() });
             }
             if idx < self.metrics.len() {
+                let old = finite(self.metrics[idx].active_session);
+                self.on_session_change(second, Some(old), finite(sample.active_session));
                 self.metrics[idx] = sample;
             } else {
+                self.on_session_change(second, None, finite(sample.active_session));
                 self.metrics.push_back(sample);
             }
         }
         // A sample for second `s` is published once `s` has fully elapsed.
         self.advance_watermark(second + 1);
+    }
+
+    /// Cut-moment bookkeeping for a metric second becoming resident
+    /// (`old = None`) or being replaced: the session moments move
+    /// `old → new`, and every template with a resident cell at `second`
+    /// gets its co-sum corrected by `count·(new − old)` — one sweep of
+    /// that second's compact cell row, the same cost ingesting the row
+    /// paid.
+    fn on_session_change(&mut self, second: i64, old: Option<f64>, new: f64) {
+        if !self.cut_state.enabled {
+            return;
+        }
+        if let Some(old) = old {
+            self.cut_state.sessions.evict(old);
+        }
+        self.cut_state.sessions.push(new);
+        self.cut_state.pushed += 1;
+        let delta = new - old.unwrap_or(0.0);
+        if delta != 0.0 {
+            if let Some(idx) = self.cell_index(second) {
+                let Self { cells, cut_state, .. } = self;
+                cells.for_each(idx, |slot, cell| {
+                    cut_state.sxy[slot as usize] += cell.0 * delta;
+                });
+            }
+        }
     }
 
     /// Advances the watermark: folds completed minutes into the history
@@ -592,6 +764,7 @@ impl IncrementalAggregator {
             })
             .collect();
 
+        let want_cut = self.cut_state.enabled;
         let Self { records: ring, records_sorted, slot_pos, catalog, cells, cells_start, .. } =
             &mut *self;
         let cells_start = *cells_start;
@@ -641,11 +814,22 @@ impl IncrementalAggregator {
         // Series values come straight from the cells: each `(template,
         // second)` cell was accumulated record-by-record at ingest, in the
         // same order the batch aggregator sums, so assignment (not
-        // re-accumulation) preserves bit-identity.
+        // re-accumulation) preserves bit-identity. With the incremental cut
+        // on, the same sweep buckets each template's counts into complete
+        // minutes — ascending seconds, zeros contributing nothing, exactly
+        // the partial sums `TemplateSeries::per_minute` produces — so no
+        // per-template re-scan ever derives the matrix rows.
+        let n_minutes = n / 60;
+        let mut minute_rows: Vec<Vec<f64>> = if want_cut {
+            templates.iter().map(|_| vec![0.0; n_minutes]).collect()
+        } else {
+            Vec::new()
+        };
         let lo = ts.max(cells_start);
         let hi = te.min(cells_start + cells.len() as i64);
         for s in lo..hi {
             let idx = (s - ts) as usize;
+            let bucket = idx / 60;
             cells.for_each((s - cells_start) as usize, |slot, cell| {
                 let pos = slot_pos[slot as usize];
                 if pos != u32::MAX {
@@ -653,9 +837,37 @@ impl IncrementalAggregator {
                     series.execution_count[idx] = cell.0;
                     series.total_rt_ms[idx] = cell.1;
                     series.examined_rows[idx] = cell.2;
+                    if want_cut && bucket < n_minutes {
+                        minute_rows[pos as usize][bucket] += cell.0;
+                    }
                 }
             });
         }
+
+        // The sort below reorders `templates`, so the cut rows pair with
+        // their ids first and sort the same way — they must stay parallel.
+        let cut = if want_cut && minute_rows.len() == templates.len() {
+            let gate = self.window_gate(ts, te, &touched);
+            let mut entries: Vec<(SqlId, Vec<f64>, f64)> = Vec::with_capacity(templates.len());
+            for ((tpl, row), g) in templates.iter().zip(minute_rows).zip(gate) {
+                entries.push((tpl.id, row, g));
+            }
+            entries.sort_by_key(|(id, _, _)| *id);
+            let mut cut = WindowCut {
+                minute_start: ts.div_euclid(60),
+                minute_rows: Vec::with_capacity(entries.len()),
+                gate: Vec::with_capacity(entries.len()),
+                moments_pushed: self.cut_state.pushed,
+                moments_evicted: self.cut_state.evicted,
+            };
+            for (_, row, g) in entries {
+                cut.minute_rows.push(row);
+                cut.gate.push(g);
+            }
+            Some(Box::new(cut))
+        } else {
+            None
+        };
 
         templates.sort_by_key(|t| t.id);
 
@@ -666,6 +878,69 @@ impl IncrementalAggregator {
             metrics: self.window_metrics(ts, te),
             records,
             templates,
+            cut,
+        }
+    }
+
+    /// Advisory template↔active-session Pearson for every window template,
+    /// assembled from the running ingest-time moments. Window sums are the
+    /// resident totals minus the contributions of resident seconds
+    /// *outside* `[ts, te)` (the complement trick), so the work is bounded
+    /// by the retention slack plus one pass over the templates — never by
+    /// the window itself.
+    fn window_gate(&self, ts: i64, te: i64, touched: &[(u32, MomentAccumulator)]) -> Vec<f64> {
+        let n_slots = self.catalog.n_slots();
+        let mut out_counts = vec![MomentAccumulator::default(); n_slots];
+        let mut out_sxy = vec![0.0f64; n_slots];
+        let mut out_sessions = MomentAccumulator::default();
+        for s in self.cells_start..self.cells_start + self.cells.len() as i64 {
+            if s >= ts && s < te {
+                continue;
+            }
+            let session = self.session_at(s);
+            self.cells.for_each((s - self.cells_start) as usize, |slot, cell| {
+                out_counts[slot as usize].push(cell.0);
+                out_sxy[slot as usize] += cell.0 * session;
+            });
+        }
+        for s in self.metrics_start..self.metrics_start + self.metrics.len() as i64 {
+            if s >= ts && s < te {
+                continue;
+            }
+            out_sessions
+                .push(finite(self.metrics[(s - self.metrics_start) as usize].active_session));
+        }
+        let mut win_sessions = self.cut_state.sessions;
+        win_sessions.unmerge(&out_sessions);
+        // Pearson over the window's full length: absent seconds are zeros,
+        // which contribute nothing to any sum, so passing `te − ts` as `n`
+        // *is* the zero-filled series.
+        let n_win = (te - ts) as u64;
+        touched
+            .iter()
+            .map(|&(slot, _)| {
+                let mut m = self.cut_state.counts[slot as usize];
+                m.unmerge(&out_counts[slot as usize]);
+                let sxy = self.cut_state.sxy[slot as usize] - out_sxy[slot as usize];
+                CoMomentAccumulator::from_sums(
+                    n_win,
+                    m.sum(),
+                    win_sessions.sum(),
+                    m.sum_sq(),
+                    win_sessions.sum_sq(),
+                    sxy,
+                )
+                .pearson()
+            })
+            .collect()
+    }
+
+    /// The active-session reading for a second, 0 while its sample is
+    /// absent (never collected, gap-filled-then-replaced, or evicted).
+    fn session_at(&self, second: i64) -> f64 {
+        match Self::index_of(self.metrics_start, self.metrics.len(), second) {
+            Some(idx) => finite(self.metrics[idx].active_session),
+            None => 0.0,
         }
     }
 
@@ -818,6 +1093,14 @@ impl IncrementalAggregator {
     fn enforce_retention(&mut self) {
         let horizon = self.watermark - self.cfg.retention_s;
         while !self.cells.is_empty() && self.cells_start < horizon {
+            if self.cut_state.enabled {
+                // Cell rows pop before metric rows (below), so the session
+                // reading each count was folded against is still resident
+                // here — the co-sum unwinds with the exact `y` it grew by.
+                let session = self.session_at(self.cells_start);
+                let Self { cells, cut_state, .. } = self;
+                cells.for_each(0, |slot, cell| cut_state.evict_cell(slot, cell.0, session));
+            }
             self.cells.pop_front();
             self.cells_start += 1;
             self.stats.evictions += 1;
@@ -826,6 +1109,14 @@ impl IncrementalAggregator {
             self.cells_start = self.cells_start.max(horizon);
         }
         while !self.metrics.is_empty() && self.metrics_start < horizon {
+            if self.cut_state.enabled {
+                // The second's cell row is already gone, so only the
+                // session moments shrink; the per-slot co-sums hold no
+                // contribution from it anymore.
+                let old = finite(self.metrics.front().expect("checked non-empty").active_session);
+                self.cut_state.sessions.evict(old);
+                self.cut_state.evicted += 1;
+            }
             self.metrics.pop_front();
             self.metrics_start += 1;
             self.stats.evictions += 1;
@@ -844,6 +1135,123 @@ impl IncrementalAggregator {
             // stops poisoning the binary-search fast path forever.
             self.records_sorted = true;
         }
+    }
+
+    /// The active cut path.
+    pub fn cut(&self) -> CutKind {
+        self.cfg.cut
+    }
+
+    /// Running cut-moment counters `(pushed, evicted)` for observability;
+    /// both zero on the reference path.
+    pub fn cut_moments(&self) -> (u64, u64) {
+        (self.cut_state.pushed, self.cut_state.evicted)
+    }
+
+    /// Flips the cut path at runtime (daemon config pushes): switching to
+    /// `Incremental` rebuilds the running moments from the resident rings,
+    /// switching to `Reference` drops them. A no-op when already on `kind`.
+    pub fn set_cut(&mut self, kind: CutKind) {
+        if self.cfg.cut == kind {
+            return;
+        }
+        self.cfg.cut = kind;
+        self.rebuild_cut_state();
+    }
+
+    /// Rebuilds the running cut moments from the resident cell and metric
+    /// rings — the switch-on path for [`set_cut`](Self::set_cut) and the
+    /// fallback for checkpoints that predate the cut-state section. On the
+    /// reference path this just drops any tracker state.
+    pub fn rebuild_cut_state(&mut self) {
+        if self.cfg.cut != CutKind::Incremental {
+            self.cut_state = CutTracker::default();
+            return;
+        }
+        let mut t = CutTracker::new(true, self.catalog.n_slots());
+        for s in self.cells_start..self.cells_start + self.cells.len() as i64 {
+            let session = self.session_at(s);
+            self.cells.for_each((s - self.cells_start) as usize, |slot, cell| {
+                t.counts[slot as usize].push(cell.0);
+                t.sxy[slot as usize] += cell.0 * session;
+                t.pushed += 1;
+            });
+        }
+        for sample in &self.metrics {
+            t.sessions.push(finite(sample.active_session));
+            t.pushed += 1;
+        }
+        self.cut_state = t;
+    }
+
+    /// Serializes the running cut-moment state. This is deliberately *not*
+    /// part of [`write_snapshot`](Self::write_snapshot): the engine
+    /// checkpoints it as its own versioned envelope section, so the
+    /// aggregator body stays decodable by pre-cut readers. All sums travel
+    /// as raw bits; a restore through [`read_cut_state`](Self::read_cut_state)
+    /// re-serializes byte-identically.
+    pub fn write_cut_state(&self, w: &mut WireWriter) {
+        w.put_u8(match self.cfg.cut {
+            CutKind::Reference => 0,
+            CutKind::Incremental => 1,
+        });
+        let t = &self.cut_state;
+        w.put_len(t.counts.len());
+        for m in &t.counts {
+            w.put_u64(m.count());
+            w.put_f64(m.sum());
+            w.put_f64(m.sum_sq());
+        }
+        for &v in &t.sxy {
+            w.put_f64(v);
+        }
+        w.put_u64(t.sessions.count());
+        w.put_f64(t.sessions.sum());
+        w.put_f64(t.sessions.sum_sq());
+        w.put_u64(t.pushed);
+        w.put_u64(t.evicted);
+    }
+
+    /// Restores the cut path and running moments written by
+    /// [`write_cut_state`](Self::write_cut_state), replacing whatever the
+    /// aggregator currently holds. Corruption is a typed [`WireError`]:
+    /// an unknown cut tag is a `BadTag`, a slot-count mismatch against the
+    /// catalog is a `Mismatch`, truncation is the reader's underflow error.
+    pub fn read_cut_state(&mut self, r: &mut WireReader) -> Result<(), WireError> {
+        let kind = match r.get_u8()? {
+            0 => CutKind::Reference,
+            1 => CutKind::Incremental,
+            v => return Err(WireError::BadTag { what: "cut kind", value: v as u64 }),
+        };
+        let n = r.get_len(24)?;
+        let expect = if kind == CutKind::Incremental { self.catalog.n_slots() } else { 0 };
+        if n != expect {
+            return Err(WireError::Mismatch {
+                what: "cut state",
+                detail: format!("{n} slot moments, expected {expect}"),
+            });
+        }
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(MomentAccumulator::from_sums(r.get_u64()?, r.get_f64()?, r.get_f64()?));
+        }
+        let mut sxy = Vec::with_capacity(n);
+        for _ in 0..n {
+            sxy.push(r.get_f64()?);
+        }
+        let sessions = MomentAccumulator::from_sums(r.get_u64()?, r.get_f64()?, r.get_f64()?);
+        let pushed = r.get_u64()?;
+        let evicted = r.get_u64()?;
+        self.cfg.cut = kind;
+        self.cut_state = CutTracker {
+            enabled: kind == CutKind::Incremental,
+            counts,
+            sxy,
+            sessions,
+            pushed,
+            evicted,
+        };
+        Ok(())
     }
 
     /// Serializes the aggregator's complete online state into `w` (the
@@ -1083,9 +1491,18 @@ impl IncrementalAggregator {
             }
             acc_rows.push_back(counts);
         }
-        Ok(Self {
+        // The body predates the cut knob, so the restored aggregator comes
+        // up on the default path with moments rebuilt from the rings; the
+        // engine's snapshot envelope overwrites both from its own cut
+        // section when one is present.
+        let mut agg = Self {
             catalog,
-            cfg: IncrementalConfig { retention_s, history_origin_min, cell_store },
+            cfg: IncrementalConfig {
+                retention_s,
+                history_origin_min,
+                cell_store,
+                cut: CutKind::default(),
+            },
             records,
             records_sorted,
             cells,
@@ -1099,7 +1516,10 @@ impl IncrementalAggregator {
             minute_acc: MinuteAcc { start: acc_start, rows: acc_rows, free: Vec::new() },
             slot_hist: Vec::new(),
             slot_pos: Vec::new(),
-        })
+            cut_state: CutTracker::default(),
+        };
+        agg.rebuild_cut_state();
+        Ok(agg)
     }
 
     /// The aggregator's configuration (the engine's snapshot envelope

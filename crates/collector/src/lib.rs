@@ -35,7 +35,7 @@ pub mod incremental;
 pub mod logstore;
 pub mod stream;
 
-pub use aggregate::{aggregate_case, CaseData, TemplateData, TemplateSeries};
+pub use aggregate::{aggregate_case, CaseData, TemplateData, TemplateSeries, WindowCut};
 pub use catalog::{TemplateCatalog, TemplateInfo};
 pub use cellstore::{CellStore, CellStoreKind};
 pub use history::{HistorySeries, HistoryStore};

@@ -31,5 +31,5 @@ pub use confirm::{confirm_level_shifts, ConfirmConfig};
 pub use detector::{detect_features, DetectorConfig};
 pub use features::{Feature, FeatureKind};
 pub use online::{OnlineDetectorBank, OnlineFeatureDetector};
-pub use pinsql_timeseries::KernelKind;
+pub use pinsql_timeseries::{CutKind, KernelKind};
 pub use phenomenon::{classify, MetricFeature, Phenomenon, PhenomenonConfig, PhenomenonRule};

@@ -17,7 +17,7 @@
 //! header flips, trailing garbage, future versions).
 
 use crate::fleet::FleetConfig;
-use crate::snapshot::{decode_kernel, kernel_tag};
+use crate::snapshot::{cut_tag, decode_cut, decode_kernel, kernel_tag};
 use pinsql::{ConfigEpoch, PinSqlDelta};
 use pinsql_obs::{FleetRollup, HealthRollup, RegionRollup};
 use pinsql_timeseries::{WireError, WireReader, WireWriter};
@@ -348,6 +348,13 @@ fn write_delta(w: &mut WireWriter, d: &FleetDelta) {
     put_opt_f64(w, d.pinsql.tukey_k);
     put_opt_f64(w, d.pinsql.rsql_score_min);
     put_opt_u64(w, d.pinsql.parallelism.map(|v| v as u64));
+    match d.pinsql.cut {
+        Some(c) => {
+            w.put_bool(true);
+            w.put_u8(cut_tag(c));
+        }
+        None => w.put_bool(false),
+    }
 }
 
 fn read_delta(r: &mut WireReader<'_>) -> Result<FleetDelta, WireError> {
@@ -381,6 +388,7 @@ fn read_delta(r: &mut WireReader<'_>) -> Result<FleetDelta, WireError> {
             tukey_k: get_opt_f64(r)?,
             rsql_score_min: get_opt_f64(r)?,
             parallelism: get_opt_u64(r)?.map(|v| v as usize),
+            cut: if r.get_bool()? { Some(decode_cut(r.get_u8()?)?) } else { None },
         },
     })
 }
@@ -456,7 +464,7 @@ fn read_rollup_tree(r: &mut WireReader<'_>) -> Result<FleetRollup, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinsql_detect::KernelKind;
+    use pinsql_detect::{CutKind, KernelKind};
     use pinsql_obs::HealthSnapshot;
 
     fn full_delta() -> FleetDelta {
@@ -473,6 +481,7 @@ mod tests {
                 tukey_k: Some(2.5),
                 rsql_score_min: Some(0.5),
                 parallelism: Some(2),
+                cut: Some(CutKind::Reference),
             },
         }
     }
@@ -539,6 +548,7 @@ mod tests {
         assert_eq!(cfg.regions, 3);
         assert_eq!(cfg.pinsql.tau, 0.9);
         assert_eq!(cfg.pinsql.parallelism, 2);
+        assert_eq!(cfg.pinsql.cut, CutKind::Reference);
 
         let mut untouched = FleetConfig::default();
         FleetDelta::default().apply(&mut untouched);

@@ -102,6 +102,7 @@ impl<'a, O: Observer> FleetDaemon<'a, O> {
             .map(|(i, sc)| {
                 OnlineInstance::with_observer(sc, cfg.delta_s, obs.fork(&format!("inst{i}")))
                     .with_kernel(cfg.kernel)
+                    .with_cut(cfg.pinsql.cut)
             })
             .collect();
         Self {
@@ -291,11 +292,14 @@ impl<'a, O: Observer> FleetDaemon<'a, O> {
         }
         delta.apply(&mut self.cfg);
         self.epoch = epoch;
-        // Kernel and δ_s live inside each pipeline; hot-swap them at the
-        // quiesce point (bit-identical — see the module docs).
+        // Kernel, δ_s, and the cut path live inside each pipeline;
+        // hot-swap them at the quiesce point (bit-identical — see the
+        // module docs; a cut flip rebuilds the running moments from the
+        // resident rings).
         for inst in &mut self.instances {
             inst.set_kernel(self.cfg.kernel);
             inst.set_delta_s(self.cfg.delta_s);
+            inst.set_cut(self.cfg.pinsql.cut);
         }
         if O::ENABLED {
             self.obs.add(Counter::ConfigPushes, 1);

@@ -51,7 +51,7 @@ use crate::snapshot::InstanceSnapshot;
 use pinsql::{ConfigEpoch, Diagnosis, PinSql, PinSqlConfig};
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_obs::{
     Counter, FleetHealth, FleetRollup, HealthSnapshot, NoopObserver, Observer, Stage,
 };
@@ -393,6 +393,7 @@ impl FleetEngine {
 
             let delta_s = self.cfg.delta_s;
             let kernel = self.cfg.kernel;
+            let cut = self.cfg.pinsql.cut;
             type ShardOut = Result<(f64, Vec<(usize, PhaseOut)>), WireError>;
             let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
                 let handles: Vec<_> = groups
@@ -406,7 +407,8 @@ impl FleetEngine {
                             obs.fork(&format!("p{phase}shard{s}"))
                         };
                         scope.spawn(move || -> ShardOut {
-                            let (merge_s, done) = ingest_phase_shard(group, delta_s, kernel, lane)?;
+                            let (merge_s, done) =
+                                ingest_phase_shard(group, delta_s, kernel, cut, lane)?;
                             let out = done
                                 .into_iter()
                                 .map(|(idx, inst)| {
@@ -482,6 +484,7 @@ impl FleetEngine {
 
         let delta_s = self.cfg.delta_s;
         let kernel = self.cfg.kernel;
+        let cut = self.cfg.pinsql.cut;
         let mut snapshots: Vec<Option<InstanceSnapshot>> = (0..n).map(|_| None).collect();
         let shard_results: Vec<Vec<(usize, InstanceSnapshot)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
@@ -491,7 +494,7 @@ impl FleetEngine {
                 .map(|(s, group)| {
                     let lane = obs.fork(&format!("shard{s}"));
                     scope.spawn(move || {
-                        let (_, done) = ingest_phase_shard(group, delta_s, kernel, lane)
+                        let (_, done) = ingest_phase_shard(group, delta_s, kernel, cut, lane)
                             .expect("fresh instances carry no snapshot to decode");
                         done.into_iter().map(|(idx, inst)| (idx, inst.snapshot())).collect()
                     })
@@ -561,6 +564,7 @@ impl FleetEngine {
 
         let delta_s = self.cfg.delta_s;
         let kernel = self.cfg.kernel;
+        let cut = self.cfg.pinsql.cut;
         let mut artifacts: Vec<Option<InstanceArtifacts>> = (0..n).map(|_| None).collect();
         type ShardOut = Result<(f64, Vec<(usize, InstanceArtifacts)>), WireError>;
         let shard_results: Vec<ShardOut> = std::thread::scope(|scope| {
@@ -571,7 +575,8 @@ impl FleetEngine {
                 .map(|(s, group)| {
                     let lane = obs.fork(&format!("shard{s}"));
                     scope.spawn(move || -> ShardOut {
-                        let (merge_s, done) = ingest_phase_shard(group, delta_s, kernel, lane)?;
+                        let (merge_s, done) =
+                            ingest_phase_shard(group, delta_s, kernel, cut, lane)?;
                         Ok((
                             merge_s,
                             done.into_iter()
@@ -738,6 +743,7 @@ fn ingest_phase_shard<'a, O: Observer>(
     work: Vec<Work<'a>>,
     delta_s: i64,
     kernel: KernelKind,
+    cut: CutKind,
     obs: O,
 ) -> Result<(f64, Vec<(usize, OnlineInstance<'a, O>)>), WireError> {
     let mut indices = Vec::with_capacity(work.len());
@@ -746,10 +752,12 @@ fn ingest_phase_shard<'a, O: Observer>(
     for w in work {
         indices.push(w.idx);
         instances.push(match &w.snap {
+            // A restore resumes under the cut the checkpoint carries (the
+            // daemon's config-push path re-applies its own delta after).
             Some(snap) => OnlineInstance::restore_with_observer(w.scenario, snap, obs.clone())?,
-            None => {
-                OnlineInstance::with_observer(w.scenario, delta_s, obs.clone()).with_kernel(kernel)
-            }
+            None => OnlineInstance::with_observer(w.scenario, delta_s, obs.clone())
+                .with_kernel(kernel)
+                .with_cut(cut),
         });
         streams.push(w.events);
     }

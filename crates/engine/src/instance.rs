@@ -24,7 +24,7 @@ use pinsql_collector::{
 };
 use pinsql_dbsim::telemetry::query_run;
 use pinsql_dbsim::TelemetryEvent;
-use pinsql_detect::{classify, KernelKind, OnlineDetectorBank, PhenomenonConfig};
+use pinsql_detect::{classify, CutKind, KernelKind, OnlineDetectorBank, PhenomenonConfig};
 use pinsql_obs::{Counter, Gauge, HealthSnapshot, NoopObserver, Observer, Stage};
 use pinsql_scenario::materialize::MINUTES_ORIGIN;
 use pinsql_scenario::{
@@ -125,15 +125,42 @@ impl<'a, O: Observer> OnlineInstance<'a, O> {
 
     /// Replaces the aggregator's cell-store representation (bit-identical
     /// either way; snapshots record the kind and restore rebuilds it).
-    /// Call before the first event — the aggregator is rebuilt empty.
+    /// Call before the first event — the aggregator is rebuilt empty
+    /// (preserving the cut-path choice).
     pub fn with_cell_store(mut self, kind: CellStoreKind) -> Self {
         debug_assert_eq!(self.events, 0, "cell store must be chosen before ingestion");
         let retention = self.scenario.cfg.window_s + 120;
+        let cut = self.aggregator.cut();
         self.aggregator = IncrementalAggregator::new(
             &self.scenario.workload.specs,
-            IncrementalConfig::default().with_retention(retention).with_cell_store(kind),
+            IncrementalConfig::default()
+                .with_retention(retention)
+                .with_cell_store(kind)
+                .with_cut(cut),
         );
         self
+    }
+
+    /// Selects the window-cut path (bit-identical either way; the knob
+    /// feeds the equivalence suites). Safe at any point — flipping on a
+    /// live pipeline rebuilds the running moments from resident state.
+    pub fn with_cut(mut self, cut: CutKind) -> Self {
+        self.aggregator.set_cut(cut);
+        self
+    }
+
+    /// Hot-swaps the window-cut path on a **live** pipeline — the daemon's
+    /// config-push path. Switching to [`CutKind::Incremental`] rebuilds
+    /// the running moments from the resident rings, so the next case cut
+    /// is exactly what a cold start under `cut` would have produced
+    /// (pinned by the `daemon_equivalence` matrix).
+    pub fn set_cut(&mut self, cut: CutKind) {
+        self.aggregator.set_cut(cut);
+    }
+
+    /// The active window-cut path.
+    pub fn cut(&self) -> CutKind {
+        self.aggregator.cut()
     }
 
     /// Folds one telemetry event into the pipeline: every event reaches
@@ -304,6 +331,7 @@ impl<'a, O: Observer> OnlineInstance<'a, O> {
         );
         w.put_section(|w| self.aggregator.write_snapshot(w));
         w.put_section(|w| self.bank.write_snapshot(w));
+        w.put_section(|w| self.aggregator.write_cut_state(w));
         let snap = InstanceSnapshot::from_trusted(w.into_bytes());
         if O::ENABLED {
             self.obs.span(Stage::SnapshotWrite, n0, self.obs.now_ns());
@@ -327,14 +355,22 @@ impl<'a, O: Observer> OnlineInstance<'a, O> {
     ) -> Result<Self, WireError> {
         let n0 = if O::ENABLED { obs.now_ns() } else { 0 };
         let mut r = WireReader::new(snap.as_bytes());
-        let (kernel, cells, meta) = snapshot::read_header(&mut r)?;
+        let (version, kernel, cells, meta) = snapshot::read_header(&mut r)?;
         let mut agg_r = r.get_section()?;
-        let aggregator =
+        let mut aggregator =
             IncrementalAggregator::read_snapshot(&scenario.workload.specs, &mut agg_r)?;
         agg_r.finish("aggregator section")?;
         let mut bank_r = r.get_section()?;
         let bank = OnlineDetectorBank::read_snapshot(&mut bank_r)?;
         bank_r.finish("detector bank section")?;
+        if version >= 2 {
+            // v2+: the running cut moments travel in their own section;
+            // v1 blobs fall back to the rebuild `read_snapshot` already
+            // performed from the resident rings.
+            let mut cut_r = r.get_section()?;
+            aggregator.read_cut_state(&mut cut_r)?;
+            cut_r.finish("cut state section")?;
+        }
         r.finish("instance snapshot")?;
         // Header tags let readers route a blob without a body decode;
         // cross-checking them here means a spliced blob cannot restore.
@@ -402,9 +438,15 @@ impl<'a, O: Observer> OnlineInstance<'a, O> {
         let phenomena = classify(&features, &PhenomenonConfig::default());
         let (window, detected, anomaly_type) =
             select_case_window(&phenomena, self.scenario, self.delta_s);
+        let c0 = if O::ENABLED { self.obs.now_ns() } else { 0 };
         let case = self.aggregator.snapshot(window.ts(), window.te());
         if O::ENABLED {
-            self.obs.span(Stage::WindowCut, n0, self.obs.now_ns());
+            let n1 = self.obs.now_ns();
+            self.obs.span(Stage::CaseCut, c0, n1);
+            self.obs.span(Stage::WindowCut, n0, n1);
+            let (pushed, evicted) = self.aggregator.cut_moments();
+            self.obs.add(Counter::CutMomentsPushed, pushed);
+            self.obs.add(Counter::CutMomentsEvicted, evicted);
         }
         let truth = label_truth(self.scenario, &case, &window);
         let history = case_history(self.scenario, &window);
@@ -448,7 +490,7 @@ pub fn replay_diagnose_with_kernel(
     kernel: KernelKind,
 ) -> (LabeledCase, Diagnosis) {
     let events = materialize_events(scenario, None);
-    let mut inst = OnlineInstance::new(scenario, delta_s).with_kernel(kernel);
+    let mut inst = OnlineInstance::new(scenario, delta_s).with_kernel(kernel).with_cut(cfg.cut);
     inst.ingest_stream(events);
     let lc = inst.close_case();
     let d = PinSql::new(cfg.clone()).diagnose(&lc.case, &lc.window, &lc.history, lc.minutes_origin);
@@ -466,7 +508,7 @@ pub fn replay_diagnose_observed<O: Observer>(
     obs: &O,
 ) -> (LabeledCase, Diagnosis) {
     let events = materialize_events(scenario, None);
-    let mut inst = OnlineInstance::with_observer(scenario, delta_s, obs.clone());
+    let mut inst = OnlineInstance::with_observer(scenario, delta_s, obs.clone()).with_cut(cfg.cut);
     inst.ingest_stream(events);
     let lc = inst.close_case();
     let d = PinSql::new(cfg.clone()).diagnose_observed(

@@ -56,4 +56,4 @@ pub use fleet::{
 pub use instance::{
     replay_diagnose, replay_diagnose_observed, replay_diagnose_with_kernel, OnlineInstance,
 };
-pub use snapshot::{InstanceSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{InstanceSnapshot, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! magic   "PSNP"            4 bytes
-//! version u16               currently 1 (future versions are rejected
+//! version u16               currently 2 (future versions are rejected
 //!                           with a typed `FutureVersion`, never a panic)
 //! kernel  u8                detector kernel kind tag
 //! cells   u8                cell-store kind tag
@@ -24,7 +24,14 @@
 //!                           segment-open flag, case open/close counters
 //! section aggregator        `IncrementalAggregator::write_snapshot` body
 //! section detector bank     `OnlineDetectorBank::write_snapshot` body
+//! section cut state (v2+)   `IncrementalAggregator::write_cut_state`
+//!                           body: cut kind tag + running moments
 //! ```
+//!
+//! Version 1 blobs (no cut-state section) still restore: the running
+//! moments are rebuilt from the aggregator's resident rings under the
+//! default [`CutKind`], so a pre-cut checkpoint resumes on the fast path
+//! with nothing lost.
 //!
 //! The header kind tags duplicate tags inside the sections on purpose:
 //! a reader can route a blob (e.g. group checkpoints by kernel) without
@@ -38,13 +45,15 @@
 //! truncation point of a golden blob to pin this.
 
 use pinsql_collector::CellStoreKind;
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_timeseries::{WireError, WireReader, WireWriter};
 
 /// The four magic bytes opening every instance snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PSNP";
 /// Newest snapshot wire version this build writes and reads.
-pub const SNAPSHOT_VERSION: u16 = 1;
+pub const SNAPSHOT_VERSION: u16 = 2;
+/// Oldest snapshot wire version this build still restores.
+pub const MIN_SNAPSHOT_VERSION: u16 = 1;
 
 /// Header length: magic + version + kernel tag + cell-store tag.
 const HEADER_LEN: usize = 8;
@@ -70,10 +79,7 @@ impl InstanceSnapshot {
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, WireError> {
         let mut r = WireReader::new(&bytes);
         r.expect_magic(SNAPSHOT_MAGIC)?;
-        let version = r.get_u16()?;
-        if version > SNAPSHOT_VERSION {
-            return Err(WireError::FutureVersion { found: version, supported: SNAPSHOT_VERSION });
-        }
+        check_version(r.get_u16()?)?;
         decode_kernel(r.get_u8()?)?;
         decode_cellstore(r.get_u8()?)?;
         Ok(Self { bytes })
@@ -114,6 +120,21 @@ impl InstanceSnapshot {
     pub fn cellstore_kind(&self) -> CellStoreKind {
         decode_cellstore(self.bytes[7]).expect("validated at construction")
     }
+
+    /// The wire version the blob was written at.
+    pub fn version(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[4], self.bytes[5]])
+    }
+}
+
+fn check_version(version: u16) -> Result<u16, WireError> {
+    if version > SNAPSHOT_VERSION {
+        return Err(WireError::FutureVersion { found: version, supported: SNAPSHOT_VERSION });
+    }
+    if version < MIN_SNAPSHOT_VERSION {
+        return Err(WireError::BadTag { what: "snapshot version", value: version as u64 });
+    }
+    Ok(version)
 }
 
 /// The instance-level scalars carried alongside the aggregator and bank.
@@ -156,6 +177,21 @@ fn decode_cellstore(tag: u8) -> Result<CellStoreKind, WireError> {
     }
 }
 
+pub(crate) fn cut_tag(cut: CutKind) -> u8 {
+    match cut {
+        CutKind::Reference => 0,
+        CutKind::Incremental => 1,
+    }
+}
+
+pub(crate) fn decode_cut(tag: u8) -> Result<CutKind, WireError> {
+    match tag {
+        0 => Ok(CutKind::Reference),
+        1 => Ok(CutKind::Incremental),
+        t => Err(WireError::BadTag { what: "cut kind", value: t as u64 }),
+    }
+}
+
 /// Writes the envelope header plus the instance-meta section; the caller
 /// (instance.rs) appends the aggregator and bank sections.
 pub(crate) fn write_header(
@@ -178,16 +214,14 @@ pub(crate) fn write_header(
 }
 
 /// Reads the envelope header plus the instance-meta section, returning the
-/// declared kind tags for the caller to cross-check against the decoded
-/// body sections.
+/// wire version (so the caller knows which trailing sections to expect)
+/// and the declared kind tags for the caller to cross-check against the
+/// decoded body sections.
 pub(crate) fn read_header(
     r: &mut WireReader<'_>,
-) -> Result<(KernelKind, CellStoreKind, InstanceMeta), WireError> {
+) -> Result<(u16, KernelKind, CellStoreKind, InstanceMeta), WireError> {
     r.expect_magic(SNAPSHOT_MAGIC)?;
-    let version = r.get_u16()?;
-    if version > SNAPSHOT_VERSION {
-        return Err(WireError::FutureVersion { found: version, supported: SNAPSHOT_VERSION });
-    }
+    let version = check_version(r.get_u16()?)?;
     let kernel = decode_kernel(r.get_u8()?)?;
     let cells = decode_cellstore(r.get_u8()?)?;
     let mut meta_r = r.get_section()?;
@@ -199,7 +233,7 @@ pub(crate) fn read_header(
         cases_closed: meta_r.get_u64()?,
     };
     meta_r.finish("instance meta")?;
-    Ok((kernel, cells, meta))
+    Ok((version, kernel, cells, meta))
 }
 
 #[cfg(test)]
@@ -227,8 +261,9 @@ mod tests {
     fn header_round_trips() {
         let bytes = golden_header();
         let mut r = WireReader::new(&bytes);
-        let (kernel, cells, meta) = read_header(&mut r).unwrap();
+        let (version, kernel, cells, meta) = read_header(&mut r).unwrap();
         r.finish("header").unwrap();
+        assert_eq!(version, SNAPSHOT_VERSION);
         assert_eq!(kernel, KernelKind::Fast);
         assert_eq!(cells, CellStoreKind::Dense);
         assert_eq!(
@@ -273,6 +308,32 @@ mod tests {
         assert!(matches!(
             read_header(&mut WireReader::new(&bad_cells)),
             Err(WireError::BadTag { what: "cellstore kind", value: 9 })
+        ));
+    }
+
+    #[test]
+    fn header_accepts_previous_version_and_rejects_zero() {
+        let mut v1 = golden_header();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let (version, ..) = read_header(&mut WireReader::new(&v1)).unwrap();
+        assert_eq!(version, 1);
+
+        let mut v0 = golden_header();
+        v0[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            read_header(&mut WireReader::new(&v0)),
+            Err(WireError::BadTag { what: "snapshot version", value: 0 })
+        ));
+    }
+
+    #[test]
+    fn cut_tags_round_trip() {
+        for cut in [CutKind::Reference, CutKind::Incremental] {
+            assert_eq!(decode_cut(cut_tag(cut)).unwrap(), cut);
+        }
+        assert!(matches!(
+            decode_cut(9),
+            Err(WireError::BadTag { what: "cut kind", value: 9 })
         ));
     }
 

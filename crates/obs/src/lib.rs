@@ -55,6 +55,11 @@ pub enum Stage {
     DetectorStep,
     /// Case close: window selection plus the `CaseData` snapshot cut.
     WindowCut,
+    /// Just the `CaseData` snapshot cut — assembling the retained rings
+    /// (and, on the incremental path, the precomputed minute rows and
+    /// gate scores) into the diagnosis input. A sub-span of
+    /// [`WindowCut`](Stage::WindowCut).
+    CaseCut,
     /// §IV-C individual active-session estimation.
     SessionEstimate,
     /// §V H-SQL impact ranking.
@@ -80,11 +85,12 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, pipeline order (index = discriminant).
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::IngestMerge,
         Stage::CellFold,
         Stage::DetectorStep,
         Stage::WindowCut,
+        Stage::CaseCut,
         Stage::SessionEstimate,
         Stage::Hsql,
         Stage::Rsql,
@@ -104,6 +110,7 @@ impl Stage {
             Stage::CellFold => "cell_fold",
             Stage::DetectorStep => "detector_step",
             Stage::WindowCut => "window_cut",
+            Stage::CaseCut => "case_cut",
             Stage::SessionEstimate => "session_estimate",
             Stage::Hsql => "hsql_rank",
             Stage::Rsql => "rsql_identify",
@@ -161,10 +168,15 @@ pub enum Counter {
     DaemonRestarts,
     /// Control-wire frames decoded by the agent.
     ControlFrames,
+    /// Per-second samples pushed into the running cut moments.
+    CutMomentsPushed,
+    /// Samples evicted from the running cut moments (retention or
+    /// delta-update replacement).
+    CutMomentsEvicted,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::EventsIngested,
         Counter::QueriesIngested,
         Counter::MalformedDropped,
@@ -183,6 +195,8 @@ impl Counter {
         Counter::ConfigRejected,
         Counter::DaemonRestarts,
         Counter::ControlFrames,
+        Counter::CutMomentsPushed,
+        Counter::CutMomentsEvicted,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -207,6 +221,8 @@ impl Counter {
             Counter::ConfigRejected => "config_rejected",
             Counter::DaemonRestarts => "daemon_restarts",
             Counter::ControlFrames => "control_frames",
+            Counter::CutMomentsPushed => "cut_moments_pushed",
+            Counter::CutMomentsEvicted => "cut_moments_evicted",
         }
     }
 
@@ -273,5 +289,9 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Stage::COUNT);
+        let mut cnames: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        cnames.sort_unstable();
+        cnames.dedup();
+        assert_eq!(cnames.len(), Counter::COUNT);
     }
 }

@@ -3,6 +3,7 @@
 //! the resident fleet daemon pushes at runtime ([`ConfigEpoch`],
 //! [`PinSqlDelta`]).
 
+use pinsql_timeseries::CutKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -55,6 +56,9 @@ pub struct PinSqlDelta {
     pub rsql_score_min: Option<f64>,
     /// Worker threads for the parallel diagnosis hot paths.
     pub parallelism: Option<usize>,
+    /// Window-cut assembly path (incremental running moments vs reference
+    /// re-scan).
+    pub cut: Option<CutKind>,
 }
 
 impl PinSqlDelta {
@@ -82,6 +86,9 @@ impl PinSqlDelta {
         }
         if let Some(v) = self.parallelism {
             cfg.parallelism = v;
+        }
+        if let Some(v) = self.cut {
+            cfg.cut = v;
         }
     }
 }
@@ -162,6 +169,14 @@ pub struct PinSqlConfig {
     /// reports an empty set instead of its least-bad candidate.
     #[serde(default = "default_rsql_score_min")]
     pub rsql_score_min: f64,
+    /// How a window cut assembles the per-template minute trends the
+    /// clustering consumes: [`CutKind::Incremental`] (the default) reuses
+    /// rows precomputed from running ingest-time moments when the case
+    /// carries them; [`CutKind::Reference`] always re-derives them from the
+    /// raw series. Both produce bit-identical diagnoses — the knob trades
+    /// per-cut recompute cost only.
+    #[serde(default)]
+    pub cut: CutKind,
     /// Ablation switches (all off for full PinSQL).
     pub ablation: Ablation,
 }
@@ -180,6 +195,7 @@ impl Default for PinSqlConfig {
             history_days: vec![1, 3, 7],
             parallelism: 0,
             rsql_score_min: default_rsql_score_min(),
+            cut: CutKind::default(),
             ablation: Ablation::default(),
         }
     }
@@ -221,6 +237,12 @@ impl PinSqlConfig {
         self
     }
 
+    /// Builder-style cut-path override.
+    pub fn with_cut(mut self, cut: CutKind) -> Self {
+        self.cut = cut;
+        self
+    }
+
     /// The resolved worker-thread count (`parallelism`, with `0` mapped to
     /// the machine's available cores).
     pub fn effective_parallelism(&self) -> usize {
@@ -244,6 +266,7 @@ mod tests {
         assert_eq!(c.history_days, vec![1, 3, 7]);
         assert_eq!(c.parallelism, 0, "default parallelism is all-cores (0)");
         assert_eq!(c.rsql_score_min, 0.35);
+        assert_eq!(c.cut, CutKind::Incremental, "incremental cut is the default");
         assert_eq!(c.ablation, Ablation::default());
     }
 
@@ -286,6 +309,7 @@ mod tests {
             tau: Some(0.9),
             rsql_score_min: Some(0.5),
             parallelism: Some(2),
+            cut: Some(CutKind::Reference),
             ..PinSqlDelta::default()
         };
         assert!(!delta.is_empty());
@@ -294,6 +318,7 @@ mod tests {
         assert_eq!(cfg.tau, 0.9);
         assert_eq!(cfg.rsql_score_min, 0.5);
         assert_eq!(cfg.parallelism, 2);
+        assert_eq!(cfg.cut, CutKind::Reference);
         // Untouched knobs keep the base values.
         assert_eq!(cfg.kc, base.kc);
         assert_eq!(cfg.tau_c, base.tau_c);

@@ -32,6 +32,18 @@ use pinsql_timeseries::{
 /// Division guard for the session share.
 const SHARE_EPS: f64 = 1e-9;
 
+/// Anomaly-window slice bounds within the collection window, both ends
+/// clamped to the case length: a detection window inconsistent with the
+/// aggregated data (possible under degraded telemetry) must yield an empty
+/// slice, not an out-of-bounds panic. Shared by the H-SQL mass slice and
+/// the R-SQL Top-RT ablation so the two stages can never disagree on the
+/// clamp rule.
+pub(crate) fn anomaly_bounds(case: &CaseData, window: &AnomalyWindow) -> (usize, usize) {
+    let a_lo = ((window.anomaly_start - window.ts()).max(0) as usize).min(case.n_seconds());
+    let a_hi = ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
+    (a_lo, a_hi)
+}
+
 /// The H-SQL ranking plus per-level diagnostics.
 #[derive(Debug, Clone)]
 pub struct HsqlRanking {
@@ -73,12 +85,7 @@ pub fn rank_hsqls(
     let ab = cfg.ablation;
     let parallelism = cfg.effective_parallelism();
 
-    // Anomaly-window slice bounds within the collection window. Both ends
-    // are clamped to the case length: a detection window inconsistent with
-    // the aggregated data (possible under degraded telemetry) must yield an
-    // empty mass slice, not an out-of-bounds panic.
-    let a_lo = ((window.anomaly_start - window.ts()).max(0) as usize).min(case.n_seconds());
-    let a_hi = ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
+    let (a_lo, a_hi) = anomaly_bounds(case, window);
 
     // Trend level. Per-template scores are independent, so both weighted-
     // correlation loops fan out; the merge is by template index, keeping

@@ -19,12 +19,14 @@
 //!    execution count with the instance session.
 
 use crate::config::PinSqlConfig;
-use crate::hsql::HsqlRanking;
+use crate::hsql::{anomaly_bounds, HsqlRanking};
 use crate::session_estimate::SessionEstimates;
 use pinsql_collector::{CaseData, HistoryStore};
 use pinsql_detect::AnomalyWindow;
 use pinsql_timeseries::resample::{downsample, Downsample};
-use pinsql_timeseries::{connected_components_par, par_map, pearson, tukey_fences, TimeSeries};
+use pinsql_timeseries::{
+    par_map, pearson, tukey_fences, CorrelationGraph, CutKind, NormalizedMatrix, TimeSeries,
+};
 
 /// Everything the R-SQL stage produces (kept for diagnostics and tests).
 #[derive(Debug, Clone)]
@@ -73,13 +75,33 @@ pub fn identify_rsqls(
     // dominant cost at paper-scale template counts; both fan out over
     // independent units (templates / pair-loop rows) with index-ordered
     // merges, so the clustering is identical at every parallelism level.
-    let tpl_minutes: Vec<Vec<f64>> =
-        par_map(n, parallelism, |i| case.templates[i].series.per_minute());
+    //
+    // With the incremental cut the per-template minute rows arrive
+    // precomputed on the case — assembled from running ingest-time moments
+    // during the snapshot's single cell sweep, bit-identical to
+    // `per_minute` — so the O(templates × window) resampling pass (and its
+    // n transient allocations) disappears. Either way the series normalize
+    // into ONE `NormalizedMatrix` handed to the graph build, instead of
+    // re-collecting slice refs inside every clustering call.
+    let cut = (cfg.cut == CutKind::Incremental)
+        .then(|| case.cut.as_deref())
+        .flatten()
+        .filter(|c| c.minute_rows.len() == n);
+    let tpl_minutes: Vec<Vec<f64>> = match cut {
+        Some(_) => Vec::new(),
+        None => par_map(n, parallelism, |i| case.templates[i].series.per_minute()),
+    };
+    let tpl_rows: Vec<&[f64]> = match cut {
+        Some(c) => c.minute_rows.iter().map(|r| r.as_slice()).collect(),
+        None => tpl_minutes.iter().map(|v| v.as_slice()).collect(),
+    };
     let helper_series: Vec<Vec<f64>> = helper_nodes(case);
     let mut series_refs: Vec<&[f64]> = Vec::with_capacity(n + helper_series.len());
-    series_refs.extend(tpl_minutes.iter().map(|v| v.as_slice()));
+    series_refs.extend(tpl_rows.iter().copied());
     series_refs.extend(helper_series.iter().map(|v| v.as_slice()));
-    let raw_components = connected_components_par(&series_refs, cfg.tau, parallelism);
+    let matrix = NormalizedMatrix::from_series(&series_refs);
+    let raw_components =
+        CorrelationGraph::from_matrix(&matrix, cfg.tau, parallelism).components();
     let mut clusters: Vec<Vec<usize>> = raw_components
         .into_iter()
         .map(|c| c.into_iter().filter(|&i| i < n).collect::<Vec<_>>())
@@ -91,10 +113,7 @@ pub fn identify_rsqls(
         if cfg.ablation.no_direct_cause_ranking {
             // Top-RT stand-in: total response time over the anomaly window.
             // Both bounds clamped to the case length (see `rank_hsqls`).
-            let a_lo =
-                ((window.anomaly_start - window.ts()).max(0) as usize).min(case.n_seconds());
-            let a_hi =
-                ((window.anomaly_end - window.ts()).max(0) as usize).min(case.n_seconds());
+            let (a_lo, a_hi) = anomaly_bounds(case, window);
             c.iter()
                 .map(|&i| {
                     case.templates[i].series.total_rt_ms[a_lo..a_hi.max(a_lo)]
@@ -136,7 +155,8 @@ pub fn identify_rsqls(
         candidates.clone()
     } else {
         let keep = par_map(candidates.len(), parallelism, |ci| {
-            verify_history(case, candidates[ci], window, history, minutes_origin, cfg)
+            let i = candidates[ci];
+            verify_history(case, i, tpl_rows[i], window, history, minutes_origin, cfg)
         });
         candidates.iter().zip(keep).filter(|(_, k)| *k).map(|(&i, _)| i).collect()
     };
@@ -158,7 +178,7 @@ pub fn identify_rsqls(
     .into_values();
     let mut ranked: Vec<(usize, f64)> = par_map(final_set.len(), parallelism, |fi| {
         let i = final_set[fi];
-        (i, pearson(&tpl_minutes[i], &session_min))
+        (i, pearson(tpl_rows[i], &session_min))
     });
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
@@ -180,7 +200,10 @@ fn helper_nodes(case: &CaseData) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// §VI's two-rule history check for one template.
+/// §VI's two-rule history check for one template, over its 1-minute
+/// execution counts `per_min` (precomputed by the caller — either the
+/// case's incremental cut rows or a fresh `per_minute` derivation; they
+/// are bit-identical).
 ///
 /// Rule (i): the execution count has an upward Tukey outlier inside the
 /// anomaly window, relative to the rest of the collection window.
@@ -189,12 +212,12 @@ fn helper_nodes(case: &CaseData) -> Vec<Vec<f64>> {
 fn verify_history(
     case: &CaseData,
     idx: usize,
+    per_min: &[f64],
     window: &AnomalyWindow,
     history: &HistoryStore,
     minutes_origin: i64,
     cfg: &PinSqlConfig,
 ) -> bool {
-    let per_min = case.templates[idx].series.per_minute();
     let total_min = per_min.len() as i64;
     let am_lo = ((window.anomaly_start - window.ts()) / 60).clamp(0, total_min);
     let am_hi = ((window.anomaly_end - window.ts() + 59) / 60).clamp(am_lo, total_min);
@@ -385,9 +408,11 @@ mod tests {
         let (case, window) = rsql_case();
         let cfg = test_cfg();
         let other = idx_of(&case, 2);
+        let per_min = case.templates[other].series.per_minute();
         assert!(!verify_history(
             &case,
             other,
+            &per_min,
             &window,
             &HistoryStore::new(),
             1_000_000,

@@ -57,6 +57,36 @@ impl KernelKind {
     }
 }
 
+/// How a case cut assembles its per-template minute trends and gate
+/// correlations.
+///
+/// Both kinds produce bit-identical diagnosis output (pinned by the golden
+/// corpus across shards × fanout × kernel × cut): the incremental path
+/// buckets the same integer execution counts into the same minute rows the
+/// reference path derives by re-scanning the window, and both feed the one
+/// shared [`crate::NormalizedMatrix::from_series`] normalization.
+/// `Reference` exists as the re-scan formulation the equivalence suites
+/// diff against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CutKind {
+    /// Rebuild minute trends by re-scanning the window at every cut.
+    Reference,
+    /// Assemble the cut from running per-template moments kept at ingest.
+    #[default]
+    Incremental,
+}
+
+impl CutKind {
+    /// Stable lowercase label for bench output and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            CutKind::Reference => "reference",
+            CutKind::Incremental => "incremental",
+        }
+    }
+}
+
 /// Sum of a slice in eight independent lanes plus a serial tail.
 ///
 /// Fixed association order — deterministic across call sites and builds,
@@ -219,6 +249,13 @@ pub struct MomentAccumulator {
 }
 
 impl MomentAccumulator {
+    /// Reconstructs an accumulator from exported sums (checkpoint restore;
+    /// the inverse of reading [`count`](Self::count) / [`sum`](Self::sum) /
+    /// [`sum_sq`](Self::sum_sq)).
+    pub fn from_sums(n: u64, sum: f64, sumsq: f64) -> Self {
+        Self { n, sum, sumsq }
+    }
+
     /// Folds one observation in.
     #[inline]
     pub fn push(&mut self, x: f64) {
@@ -243,6 +280,18 @@ impl MomentAccumulator {
         self.n += other.n;
         self.sum += other.sum;
         self.sumsq += other.sumsq;
+    }
+
+    /// Removes another accumulator's observations (exact inverse of
+    /// [`merge`](Self::merge) for integer-valued data) — the complement
+    /// trick: window moments are the resident total minus the out-of-window
+    /// remainder, without walking the window itself.
+    #[inline]
+    pub fn unmerge(&mut self, other: &Self) {
+        debug_assert!(self.n >= other.n, "unmerge more observations than folded in");
+        self.n -= other.n;
+        self.sum -= other.sum;
+        self.sumsq -= other.sumsq;
     }
 
     /// Resets to the empty state (for scratch reuse).
@@ -279,6 +328,150 @@ impl MomentAccumulator {
     pub fn variance(&self) -> Option<f64> {
         let mean = self.mean()?;
         Some((self.sumsq / self.n as f64 - mean * mean).max(0.0))
+    }
+}
+
+/// Running bivariate moments of an `(x, y)` pair stream with eviction —
+/// everything a Pearson correlation needs, updatable in O(1) per
+/// observation.
+///
+/// Backs the collector's incremental cut gate: per-template co-moments of
+/// (execution count, session metric) accumulate at ingest, so the
+/// template↔metric correlation that gates H-SQL candidate selection is a
+/// handful of field reads at cut time instead of a window scan. Push/evict
+/// and merge/unmerge are exact inverses for integer-valued data; mixed
+/// real-valued streams instead lean on periodic renormalization (pinned by
+/// the `cut_props` drift suite).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoMomentAccumulator {
+    n: u64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+}
+
+impl CoMomentAccumulator {
+    /// Builds directly from raw sums (for assembling a window view out of
+    /// separately maintained marginal and cross moments).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_sums(n: u64, sx: f64, sy: f64, sxx: f64, syy: f64, sxy: f64) -> Self {
+        Self { n, sx, sy, sxx, syy, sxy }
+    }
+
+    /// Folds one `(x, y)` observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+    }
+
+    /// Removes one previously-pushed observation.
+    #[inline]
+    pub fn evict(&mut self, x: f64, y: f64) {
+        debug_assert!(self.n > 0, "evict from empty co-accumulator");
+        self.n -= 1;
+        self.sx -= x;
+        self.sy -= y;
+        self.sxx -= x * x;
+        self.syy -= y * y;
+        self.sxy -= x * y;
+    }
+
+    /// Folds another accumulator's observations in.
+    #[inline]
+    pub fn merge(&mut self, other: &Self) {
+        self.n += other.n;
+        self.sx += other.sx;
+        self.sy += other.sy;
+        self.sxx += other.sxx;
+        self.syy += other.syy;
+        self.sxy += other.sxy;
+    }
+
+    /// Removes another accumulator's observations — the complement trick,
+    /// see [`MomentAccumulator::unmerge`].
+    #[inline]
+    pub fn unmerge(&mut self, other: &Self) {
+        debug_assert!(self.n >= other.n, "unmerge more observations than folded in");
+        self.n -= other.n;
+        self.sx -= other.sx;
+        self.sy -= other.sy;
+        self.sxx -= other.sxx;
+        self.syy -= other.syy;
+        self.sxy -= other.sxy;
+    }
+
+    /// Resets to the empty state (for scratch reuse).
+    #[inline]
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Observations folded in.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of `x` observations.
+    #[inline]
+    pub fn sum_x(&self) -> f64 {
+        self.sx
+    }
+
+    /// Sum of `y` observations.
+    #[inline]
+    pub fn sum_y(&self) -> f64 {
+        self.sy
+    }
+
+    /// Sum of `x²`.
+    #[inline]
+    pub fn sum_xx(&self) -> f64 {
+        self.sxx
+    }
+
+    /// Sum of `y²`.
+    #[inline]
+    pub fn sum_yy(&self) -> f64 {
+        self.syy
+    }
+
+    /// Sum of `x·y`.
+    #[inline]
+    pub fn sum_xy(&self) -> f64 {
+        self.sxy
+    }
+
+    /// Pearson correlation of the folded stream, clamped to `[-1, 1]`;
+    /// `0.0` for degenerate input (fewer than two observations, zero
+    /// variance on either side, or cancellation-poisoned sums), matching
+    /// [`crate::stats::pearson`]'s degenerate-input contract.
+    pub fn pearson(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let cov = self.sxy / n - (self.sx / n) * (self.sy / n);
+        let var_x = (self.sxx / n - (self.sx / n) * (self.sx / n)).max(0.0);
+        let var_y = (self.syy / n - (self.sy / n) * (self.sy / n)).max(0.0);
+        let denom = (var_x * var_y).sqrt();
+        if !denom.is_finite() || denom <= f64::EPSILON * f64::EPSILON {
+            return 0.0;
+        }
+        let r = cov / denom;
+        if r.is_finite() {
+            r.clamp(-1.0, 1.0)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -435,6 +628,117 @@ mod tests {
         assert!((var - 8.0 / 3.0).abs() < 1e-12);
         acc.clear();
         assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    fn moment_accumulator_unmerge_inverts_merge_on_counts() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 29) % 83) as f64).collect();
+        let mut total = MomentAccumulator::default();
+        let mut head = MomentAccumulator::default();
+        for (i, &x) in xs.iter().enumerate() {
+            total.push(x);
+            if i < 120 {
+                head.push(x);
+            }
+        }
+        let mut tail = total;
+        tail.unmerge(&head);
+        let mut expect = MomentAccumulator::default();
+        for &x in &xs[120..] {
+            expect.push(x);
+        }
+        assert_eq!(tail.count(), expect.count());
+        assert_eq!(tail.sum().to_bits(), expect.sum().to_bits());
+        assert_eq!(tail.sum_sq().to_bits(), expect.sum_sq().to_bits());
+    }
+
+    #[test]
+    fn co_moments_match_direct_pearson() {
+        let xs = lcg_series(3, 240);
+        let ys = lcg_series(9, 240);
+        let mut acc = CoMomentAccumulator::default();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            acc.push(x, y);
+        }
+        let direct = crate::stats::pearson(&xs, &ys);
+        assert!((acc.pearson() - direct).abs() < 1e-9, "{} vs {direct}", acc.pearson());
+    }
+
+    #[test]
+    fn co_moments_evict_and_unmerge_are_exact_on_counts() {
+        // Integer-valued pairs (the collector's execution counts against
+        // integer-ish session samples): the inverse ops are bit-exact.
+        let pairs: Vec<(f64, f64)> =
+            (0..400).map(|i| (((i * 13) % 57) as f64, ((i * 7) % 91) as f64)).collect();
+        let mut acc = CoMomentAccumulator::default();
+        let mut head = CoMomentAccumulator::default();
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            acc.push(x, y);
+            if i < 150 {
+                head.push(x, y);
+            }
+        }
+        let mut by_unmerge = acc;
+        by_unmerge.unmerge(&head);
+        let mut by_evict = acc;
+        for &(x, y) in &pairs[..150] {
+            by_evict.evict(x, y);
+        }
+        let mut expect = CoMomentAccumulator::default();
+        for &(x, y) in &pairs[150..] {
+            expect.push(x, y);
+        }
+        for got in [by_unmerge, by_evict] {
+            assert_eq!(got.count(), expect.count());
+            assert_eq!(got.sum_x().to_bits(), expect.sum_x().to_bits());
+            assert_eq!(got.sum_y().to_bits(), expect.sum_y().to_bits());
+            assert_eq!(got.sum_xx().to_bits(), expect.sum_xx().to_bits());
+            assert_eq!(got.sum_yy().to_bits(), expect.sum_yy().to_bits());
+            assert_eq!(got.sum_xy().to_bits(), expect.sum_xy().to_bits());
+        }
+
+        let mut merged = by_unmerge;
+        merged.merge(&head);
+        assert_eq!(merged, acc);
+
+        let rebuilt = CoMomentAccumulator::from_sums(
+            acc.count(),
+            acc.sum_x(),
+            acc.sum_y(),
+            acc.sum_xx(),
+            acc.sum_yy(),
+            acc.sum_xy(),
+        );
+        assert_eq!(rebuilt, acc);
+    }
+
+    #[test]
+    fn co_moments_degenerate_inputs_yield_zero() {
+        let mut empty = CoMomentAccumulator::default();
+        assert_eq!(empty.pearson(), 0.0);
+        empty.push(1.0, 2.0);
+        assert_eq!(empty.pearson(), 0.0, "a single pair has no correlation");
+
+        let mut constant_x = CoMomentAccumulator::default();
+        for i in 0..10 {
+            constant_x.push(4.0, i as f64);
+        }
+        assert_eq!(constant_x.pearson(), 0.0, "zero variance on x");
+
+        let mut cleared = constant_x;
+        cleared.clear();
+        assert_eq!(cleared, CoMomentAccumulator::default());
+    }
+
+    #[test]
+    fn cut_kind_defaults_and_labels() {
+        assert_eq!(CutKind::default(), CutKind::Incremental);
+        assert_eq!(CutKind::Incremental.label(), "incremental");
+        assert_eq!(CutKind::Reference.label(), "reference");
+        let json = serde_json::to_string(&CutKind::Incremental).unwrap();
+        assert_eq!(json, "\"incremental\"");
+        let back: CutKind = serde_json::from_str("\"reference\"").unwrap();
+        assert_eq!(back, CutKind::Reference);
     }
 
     #[test]

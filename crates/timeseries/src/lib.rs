@@ -56,7 +56,7 @@ pub mod wire;
 
 pub use changepoint::{has_change_point, pettitt, Pettitt};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use kernels::{KernelKind, MomentAccumulator};
+pub use kernels::{CoMomentAccumulator, CutKind, KernelKind, MomentAccumulator};
 pub use graph::{
     connected_components, connected_components_par, CorrelationGraph, UnionFind,
 };

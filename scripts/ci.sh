@@ -16,11 +16,13 @@
 #                     restore-latency sanity gate
 #   daemon_smoke      resident daemon: control-wire hardening, daemon
 #                     equivalence matrix, push-pause / restart gate
+#   case_cut_smoke    incremental window cut: running-moment property
+#                     suite + cut-assembly speedup regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//' >&2
+  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//' >&2
 }
 
 # End-to-end chaos: a tiny run that exercises perturbation + diagnosis
@@ -83,10 +85,20 @@ daemon_smoke() {
   cargo run --release -q -p pinsql-bench --bin daemon -- --gate
 }
 
+# Incremental window cut: the running-moment property suite (cut rows
+# bit-identical to the reference derivation under random/perturbed/
+# evicting/restored streams) and the bench-bin gate that keeps the
+# machine-neutral reference-over-incremental cut-assembly speedup from
+# regressing >20% against the committed summary.
+case_cut_smoke() {
+  cargo test -q --test cut_props
+  cargo run --release -q -p pinsql-bench --bin case_cut -- --gate BENCH_case_cut.json
+}
+
 target="${1:-all}"
 
 case "$target" in
-  robustness_smoke|fleet_smoke|scaling_smoke|obs_smoke|kernel_smoke|snapshot_smoke|daemon_smoke)
+  robustness_smoke|fleet_smoke|scaling_smoke|obs_smoke|kernel_smoke|snapshot_smoke|daemon_smoke|case_cut_smoke)
     cargo build --release
     "$target"
     exit 0
@@ -113,5 +125,6 @@ obs_smoke
 kernel_smoke
 snapshot_smoke
 daemon_smoke
+case_cut_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

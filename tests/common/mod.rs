@@ -9,7 +9,7 @@
 #![allow(dead_code)]
 
 use pinsql::{Diagnosis, PinSql, PinSqlConfig};
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_engine::{FleetConfig, FleetRun};
 use pinsql_scenario::{
     generate_base, inject, materialize, AnomalyKind, LabeledCase, Scenario, ScenarioConfig,
@@ -147,23 +147,33 @@ pub struct MatrixPoint {
     pub shards: usize,
     pub fanout: usize,
     pub kernel: KernelKind,
+    pub cut: CutKind,
 }
 
 impl MatrixPoint {
-    /// Failure-message label: `shards 2, fanout 4, kernel fast`.
+    /// Failure-message label: `shards 2, fanout 4, kernel fast, cut incremental`.
     pub fn label(&self) -> String {
-        format!("shards {}, fanout {}, kernel {}", self.shards, self.fanout, self.kernel.label())
+        format!(
+            "shards {}, fanout {}, kernel {}, cut {}",
+            self.shards,
+            self.fanout,
+            self.kernel.label(),
+            self.cut.label()
+        )
     }
 }
 
 /// The full matrix every fleet-shaped equivalence suite runs:
-/// shards {1, 2, 4} × fanout {1, 4} × both detector kernels.
+/// shards {1, 2, 4} × fanout {1, 4} × both detector kernels × both
+/// window-cut paths.
 pub fn matrix_points() -> Vec<MatrixPoint> {
     let mut points = Vec::new();
     for shards in [1usize, 2, 4] {
         for fanout in [1usize, 4] {
             for kernel in [KernelKind::Fast, KernelKind::Reference] {
-                points.push(MatrixPoint { shards, fanout, kernel });
+                for cut in [CutKind::Incremental, CutKind::Reference] {
+                    points.push(MatrixPoint { shards, fanout, kernel, cut });
+                }
             }
         }
     }
@@ -174,6 +184,7 @@ pub fn matrix_points() -> Vec<MatrixPoint> {
 pub fn golden_fleet_config(p: MatrixPoint) -> FleetConfig {
     FleetConfig {
         delta_s: GOLDEN_DELTA_S,
+        pinsql: PinSqlConfig::default().with_cut(p.cut),
         fanout: p.fanout,
         shards: p.shards,
         kernel: p.kernel,

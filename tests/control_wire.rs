@@ -14,7 +14,7 @@
 //! * trailing bytes both inside the body section and after the frame.
 
 use pinsql::{ConfigEpoch, PinSqlDelta};
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_engine::{
     ControlMsg, ControlResp, DaemonState, FleetDelta, CONTROL_MAGIC, CONTROL_VERSION,
 };
@@ -39,6 +39,7 @@ fn full_push_frame() -> Vec<u8> {
                 tukey_k: Some(2.0),
                 rsql_score_min: Some(0.4),
                 parallelism: Some(2),
+                cut: Some(CutKind::Incremental),
             },
         },
     }

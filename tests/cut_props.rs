@@ -1,0 +1,286 @@
+//! Property tests for the incremental window cut.
+//!
+//! The contract under test: for any ingest stream, an instance running
+//! with [`CutKind::Incremental`] closes its case carrying a
+//! [`WindowCut`] whose per-template 1-minute rows are **bit-identical**
+//! to what the reference path re-derives from the raw series
+//! (`TemplateSeries::per_minute`), whose normalized matrix matches
+//! `NormalizedMatrix::from_series` row for row, and whose advisory gate
+//! is always a finite value in `[-1, 1]` — while everything *outside*
+//! the cut is byte-for-byte the same as a [`CutKind::Reference`] run.
+//! Streams come from seeded random generators (out-of-order arrivals,
+//! ±inf/NaN records), chaos-perturbed scenario telemetry, constant
+//! workloads, retention-evicting long windows, and mid-window
+//! snapshot/restore splits.
+
+use pinsql_collector::{CaseData, CellStoreKind, WindowCut};
+use pinsql_dbsim::{MetricsSample, QueryRecord, TelemetryEvent};
+use pinsql_detect::CutKind;
+use pinsql_engine::{InstanceSnapshot, OnlineInstance};
+use pinsql_scenario::{
+    generate_base, inject, materialize_events, AnomalyKind, PerturbConfig, Scenario,
+    ScenarioConfig,
+};
+use pinsql_timeseries::NormalizedMatrix;
+use pinsql_workload::SpecId;
+use proptest::prelude::*;
+
+const DELTA_S: i64 = 60;
+
+/// A small positive scenario: big enough for real detector activity,
+/// small enough for hundreds of proptest round-trips.
+fn small_scenario(seed: u64) -> Scenario {
+    let cfg = ScenarioConfig {
+        seed,
+        n_business: 4,
+        n_giants: 1,
+        root_rate: (1.0, 3.0),
+        giant_rate: (6.0, 10.0),
+        window_s: 240,
+        anomaly_start: 120,
+        anomaly_end: 180,
+        cores: 2.0,
+        io_channels: 4.0,
+    };
+    let base = generate_base(&cfg);
+    inject(&base, &cfg, AnomalyKind::BusinessSpike)
+}
+
+/// The cut's rows equal the per-template reference derivation bit for
+/// bit, and normalizing them reproduces `from_series` exactly.
+fn assert_cut_is_reference_exact(case: &CaseData, what: &str) -> WindowCut {
+    let cut = case.cut.as_deref().unwrap_or_else(|| panic!("{what}: incremental cut missing"));
+    assert_eq!(cut.minute_rows.len(), case.templates.len(), "{what}: row count");
+    assert_eq!(cut.gate.len(), case.templates.len(), "{what}: gate count");
+    assert_eq!(cut.minute_start, case.ts.div_euclid(60), "{what}: minute origin");
+    assert!(cut.moments_pushed >= cut.moments_evicted, "{what}: eviction exceeds pushes");
+
+    let per_minutes: Vec<Vec<f64>> =
+        case.templates.iter().map(|t| t.series.per_minute()).collect();
+    for (i, per_min) in per_minutes.iter().enumerate() {
+        assert_eq!(cut.minute_rows[i].len(), per_min.len(), "{what}: row {i} length");
+        for (m, (a, b)) in cut.minute_rows[i].iter().zip(per_min).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what}: template {i} minute {m}: cut {a} vs per_minute {b}"
+            );
+        }
+        assert!(
+            cut.gate[i].is_finite() && (-1.0..=1.0).contains(&cut.gate[i]),
+            "{what}: gate {i} out of range: {}",
+            cut.gate[i]
+        );
+    }
+
+    let cut_matrix = NormalizedMatrix::from_series(&cut.row_refs());
+    let refs: Vec<&[f64]> = per_minutes.iter().map(|v| v.as_slice()).collect();
+    let ref_matrix = NormalizedMatrix::from_series(&refs);
+    assert_eq!(cut_matrix.row_len(), ref_matrix.row_len(), "{what}: matrix row length");
+    for i in 0..per_minutes.len() {
+        match (cut_matrix.row(i), ref_matrix.row(i)) {
+            (Some(a), Some(b)) => {
+                for (m, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{what}: matrix row {i} col {m}");
+                }
+            }
+            (None, None) => {}
+            (a, b) => panic!(
+                "{what}: matrix row {i} validity diverged (cut {:?}, reference {:?})",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+    cut.clone()
+}
+
+/// Everything *outside* the cut is identical across the two cut paths.
+fn assert_case_eq_modulo_cut(a: &CaseData, b: &CaseData, what: &str) {
+    assert_eq!(a.ts, b.ts, "{what}: ts");
+    assert_eq!(a.te, b.te, "{what}: te");
+    assert_eq!(a.records, b.records, "{what}: records");
+    assert_eq!(a.templates.len(), b.templates.len(), "{what}: template count");
+    for (x, y) in a.templates.iter().zip(&b.templates) {
+        assert_eq!(x.id, y.id, "{what}: template id");
+        assert_eq!(x.series.execution_count, y.series.execution_count, "{what}: {:?}", x.id);
+        assert_eq!(x.series.total_rt_ms, y.series.total_rt_ms, "{what}: {:?}", x.id);
+    }
+    assert_eq!(a.metrics.active_session, b.metrics.active_session, "{what}: active_session");
+}
+
+/// Runs one stream through both cut paths and checks the full contract.
+fn check_stream(scenario: &Scenario, events: &[TelemetryEvent], dense: bool, what: &str) {
+    let cells = if dense { CellStoreKind::Dense } else { CellStoreKind::Hashed };
+    let mk = |cut: CutKind| {
+        OnlineInstance::new(scenario, DELTA_S).with_cell_store(cells).with_cut(cut)
+    };
+
+    let mut inc = mk(CutKind::Incremental);
+    inc.ingest_stream(events.to_vec());
+    let lc = inc.close_case();
+
+    let mut reference = mk(CutKind::Reference);
+    reference.ingest_stream(events.to_vec());
+    let lc_ref = reference.close_case();
+
+    assert!(lc_ref.case.cut.is_none(), "{what}: reference path must not carry a cut");
+    assert_cut_is_reference_exact(&lc.case, what);
+    assert_case_eq_modulo_cut(&lc.case, &lc_ref.case, what);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Seeded random streams: arrivals in any order (including before the
+    /// ring start), a sprinkle of NaN/∞ records, interleaved metric
+    /// samples and ticks — the running moments always reproduce the
+    /// reference derivation exactly.
+    #[test]
+    fn random_streams_cut_exactly(
+        raw in prop::collection::vec(
+            // (spec, second, sub-ms, response, rows, corrupt)
+            (0usize..6, -3i64..90, 0.0f64..1000.0, 0.1f64..500.0, 0u64..100, 0u8..20),
+            1..200,
+        ),
+        tick_every in 1usize..30,
+        dense in any::<bool>(),
+    ) {
+        let scenario = small_scenario(7);
+        let mut events: Vec<TelemetryEvent> = Vec::new();
+        for (i, &(spec, sec, sub_ms, rt, rows, corrupt)) in raw.iter().enumerate() {
+            let (start_ms, response_ms) = match corrupt {
+                0 => (f64::NAN, rt),
+                1 => (sec as f64 * 1000.0 + sub_ms, f64::INFINITY),
+                2 => (f64::NEG_INFINITY, rt),
+                _ => (sec as f64 * 1000.0 + sub_ms, rt),
+            };
+            events.push(TelemetryEvent::Query(QueryRecord {
+                spec: SpecId(spec % scenario.workload.specs.len()),
+                start_ms,
+                response_ms,
+                examined_rows: rows,
+            }));
+            if i % tick_every == tick_every - 1 {
+                let hi = raw[..=i].iter().map(|r| r.1).max().unwrap_or(0).max(0);
+                events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
+                    second: hi,
+                    active_session: 2.0 + (i % 7) as f64,
+                    ..Default::default()
+                })));
+                events.push(TelemetryEvent::Tick { second: hi + 1 });
+            }
+        }
+        check_stream(&scenario, &events, dense, "random stream");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Chaos-perturbed real telemetry: dropped/duplicated/jittered/
+    /// reordered records and blanked metric seconds never desynchronize
+    /// the running moments from the raw series.
+    #[test]
+    fn perturbed_streams_cut_exactly(
+        pseed in 0u64..1_000,
+        skew in -50.0f64..50.0,
+        reorder in any::<bool>(),
+        dense in any::<bool>(),
+    ) {
+        let scenario = small_scenario(11);
+        let perturb = PerturbConfig {
+            seed: pseed,
+            drop_prob: 0.05,
+            duplicate_prob: 0.05,
+            jitter_ms: 30.0,
+            clock_skew_ms: skew,
+            reorder,
+            metric_blank_prob: 0.05,
+        };
+        let events = materialize_events(&scenario, Some(&perturb));
+        check_stream(&scenario, &events, dense, "perturbed stream");
+    }
+}
+
+/// A perfectly constant workload — zero variance on every template and
+/// on the session metric — yields degenerate-but-finite gate scores and
+/// exact constant rows.
+#[test]
+fn constant_stream_cut_is_exact_and_degenerate_gate_is_finite() {
+    let scenario = small_scenario(3);
+    let n_specs = scenario.workload.specs.len();
+    let mut events: Vec<TelemetryEvent> = Vec::new();
+    for s in 0..240i64 {
+        for q in 0..2 {
+            events.push(TelemetryEvent::Query(QueryRecord {
+                spec: SpecId(q % n_specs),
+                start_ms: s as f64 * 1000.0 + q as f64 * 400.0,
+                response_ms: 5.0,
+                examined_rows: 10,
+            }));
+        }
+        events.push(TelemetryEvent::Metrics(Box::new(MetricsSample {
+            second: s,
+            active_session: 4.0,
+            ..Default::default()
+        })));
+        events.push(TelemetryEvent::Tick { second: s + 1 });
+    }
+    check_stream(&scenario, &events, true, "constant stream");
+    check_stream(&scenario, &events, false, "constant stream (hashed)");
+}
+
+/// A stream that runs far past the retention horizon: early seconds are
+/// evicted from the rings, the eviction counter advances, and the cut at
+/// close still matches the reference derivation over what remains.
+#[test]
+fn eviction_past_the_window_stays_exact() {
+    let scenario = small_scenario(5);
+    let events = materialize_events(&scenario, None);
+    // window_s 240 with a 60 s look-back: three quarters of the stream
+    // must age out of the rings before the case closes.
+    let mut inst = OnlineInstance::new(&scenario, DELTA_S).with_cut(CutKind::Incremental);
+    inst.ingest_stream(events.clone());
+    let lc = inst.close_case();
+    let cut = assert_cut_is_reference_exact(&lc.case, "evicting stream");
+    assert!(cut.moments_pushed > 0, "long stream must push moments");
+    assert!(cut.moments_evicted > 0, "a 240 s stream under a 60 s look-back must evict");
+    check_stream(&scenario, &events, true, "evicting stream (vs reference)");
+}
+
+/// Snapshot mid-window, restore through the untrusted byte path, drain
+/// the tail: the restored instance's cut is bit-identical to the one
+/// from an instance that never snapshotted.
+#[test]
+fn snapshot_restore_mid_window_preserves_the_cut() {
+    let scenario = small_scenario(9);
+    let events = materialize_events(&scenario, None);
+    for frac in [0.25f64, 0.5, 0.85] {
+        let split = ((events.len() as f64) * frac) as usize;
+        let mk = || OnlineInstance::new(&scenario, DELTA_S).with_cut(CutKind::Incremental);
+
+        let mut baseline = mk();
+        baseline.ingest_stream(events.clone());
+        let lc_base = baseline.close_case();
+
+        let mut live = mk();
+        live.ingest_stream(events[..split].to_vec());
+        let snap = InstanceSnapshot::from_bytes(live.snapshot().into_bytes())
+            .expect("own bytes revalidate");
+        let mut restored =
+            OnlineInstance::restore(&scenario, &snap).expect("own snapshot restores");
+        assert_eq!(restored.cut(), CutKind::Incremental, "split {split}: cut kind survives");
+        restored.ingest_stream(events[split..].to_vec());
+        let lc_restored = restored.close_case();
+
+        let what = format!("restored at {split}");
+        let cut_base = assert_cut_is_reference_exact(&lc_base.case, "baseline");
+        let cut_restored = assert_cut_is_reference_exact(&lc_restored.case, &what);
+        assert_case_eq_modulo_cut(&lc_restored.case, &lc_base.case, &what);
+        assert_eq!(cut_restored.minute_rows, cut_base.minute_rows, "{what}: rows");
+        for (i, (a, b)) in cut_restored.gate.iter().zip(&cut_base.gate).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: gate {i}");
+        }
+    }
+}

@@ -23,7 +23,7 @@ use common::{
     scenario_for, GOLDEN_DELTA_S,
 };
 use pinsql::{ConfigEpoch, PinSqlConfig, PinSqlDelta};
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_engine::{
     ControlMsg, ControlResp, FleetConfig, FleetDaemon, FleetDelta, FleetReport, FleetServer,
 };
@@ -35,9 +35,18 @@ fn perturbed_config(golden: &FleetConfig) -> FleetConfig {
         KernelKind::Fast => KernelKind::Reference,
         KernelKind::Reference => KernelKind::Fast,
     };
+    let other_cut = match golden.pinsql.cut {
+        CutKind::Incremental => CutKind::Reference,
+        CutKind::Reference => CutKind::Incremental,
+    };
     FleetConfig {
         delta_s: 120,
-        pinsql: PinSqlConfig { tau: 0.5, rsql_score_min: 0.9, ..PinSqlConfig::default() },
+        pinsql: PinSqlConfig {
+            tau: 0.5,
+            rsql_score_min: 0.9,
+            cut: other_cut,
+            ..PinSqlConfig::default()
+        },
         fanout: golden.fanout % 2 + 1,
         shards: 3,
         kernel: other_kernel,
@@ -58,6 +67,7 @@ fn restoring_delta(golden: &FleetConfig) -> FleetDelta {
         pinsql: PinSqlDelta {
             tau: Some(defaults.tau),
             rsql_score_min: Some(defaults.rsql_score_min),
+            cut: Some(golden.pinsql.cut),
             ..PinSqlDelta::default()
         },
     }

@@ -4,12 +4,12 @@
 //! Every manifest entry's scenario is replayed event-by-event through
 //! `pinsql_engine::replay_diagnose` — the incremental collector, the
 //! online detector bank, and the case-close snapshot — at diagnosis
-//! parallelism {1, 4} × detector kernel {fast, reference}, and the
-//! resulting `Snapshot` JSON is compared **byte-for-byte** against the
-//! batch pipeline's output (and against the stored
-//! `tests/golden/<name>.json` when one exists). Scores are serialized as
-//! `f64` bit patterns, so a single ULP of drift anywhere in the online
-//! path fails this suite.
+//! parallelism {1, 4} × detector kernel {fast, reference} × window-cut
+//! path {incremental, reference}, and the resulting `Snapshot` JSON is
+//! compared **byte-for-byte** against the batch pipeline's output (and
+//! against the stored `tests/golden/<name>.json` when one exists). Scores
+//! are serialized as `f64` bit patterns, so a single ULP of drift
+//! anywhere in the online path fails this suite.
 
 mod common;
 
@@ -18,7 +18,7 @@ use common::{
     GOLDEN_DELTA_S,
 };
 use pinsql::PinSqlConfig;
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_engine::{replay_diagnose, replay_diagnose_with_kernel};
 
 #[test]
@@ -29,29 +29,36 @@ fn online_replay_matches_batch_on_every_golden_case() {
     for (entry, batch_json) in manifest.iter().zip(&batch_jsons) {
         let scenario = scenario_for(entry);
         for parallelism in [1usize, 4] {
-            let cfg = PinSqlConfig::default().with_parallelism(parallelism);
-            let (lc, d) = replay_diagnose(&scenario, GOLDEN_DELTA_S, &cfg);
-            assert_case_matches_batch(
-                entry,
-                batch_json,
-                &lc,
-                &d,
-                &format!("online replay (parallelism {parallelism})"),
-            );
-
-            for kernel in [KernelKind::Fast, KernelKind::Reference] {
-                let (lc, d) =
-                    replay_diagnose_with_kernel(&scenario, GOLDEN_DELTA_S, &cfg, kernel);
+            for cut in [CutKind::Incremental, CutKind::Reference] {
+                let cfg =
+                    PinSqlConfig::default().with_parallelism(parallelism).with_cut(cut);
+                let (lc, d) = replay_diagnose(&scenario, GOLDEN_DELTA_S, &cfg);
                 assert_case_matches_batch(
                     entry,
                     batch_json,
                     &lc,
                     &d,
                     &format!(
-                        "online replay (parallelism {parallelism}, kernel {})",
-                        kernel.label()
+                        "online replay (parallelism {parallelism}, cut {})",
+                        cut.label()
                     ),
                 );
+
+                for kernel in [KernelKind::Fast, KernelKind::Reference] {
+                    let (lc, d) =
+                        replay_diagnose_with_kernel(&scenario, GOLDEN_DELTA_S, &cfg, kernel);
+                    assert_case_matches_batch(
+                        entry,
+                        batch_json,
+                        &lc,
+                        &d,
+                        &format!(
+                            "online replay (parallelism {parallelism}, kernel {}, cut {})",
+                            kernel.label(),
+                            cut.label()
+                        ),
+                    );
+                }
             }
         }
 

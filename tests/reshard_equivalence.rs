@@ -16,11 +16,16 @@ use common::{
     assert_fleet_matches_batch, batch_reference_jsons, golden_fleet_config, load_manifest,
     reversed, scenario_for, snapshot_of, MatrixPoint,
 };
-use pinsql_detect::KernelKind;
+use pinsql_detect::{CutKind, KernelKind};
 use pinsql_engine::{FleetEngine, ReshardPlan, ReshardStep};
 
 fn engine(shards: usize, fanout: usize, kernel: KernelKind) -> FleetEngine {
-    FleetEngine::new(golden_fleet_config(MatrixPoint { shards, fanout, kernel }))
+    FleetEngine::new(golden_fleet_config(MatrixPoint {
+        shards,
+        fanout,
+        kernel,
+        cut: CutKind::default(),
+    }))
 }
 
 #[test]
