@@ -39,6 +39,7 @@ pub mod ps;
 pub mod record;
 pub mod telemetry;
 pub mod trace;
+pub mod wire;
 
 pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
 pub use config::{PfsConfig, SimConfig};
@@ -47,3 +48,4 @@ pub use metrics::InstanceMetrics;
 pub use record::QueryRecord;
 pub use telemetry::{interleave, query_run, MetricsSample, TelemetryEvent};
 pub use trace::Trace;
+pub use wire::{decode_event, encode_event};

@@ -18,6 +18,9 @@
 
 use crate::fleet::FleetConfig;
 use crate::snapshot::{cut_tag, decode_cut, decode_kernel, kernel_tag};
+use crate::wire::{
+    get_opt_f64, get_opt_i64, get_opt_u64, put_opt_f64, put_opt_i64, put_opt_u64, WireFormat,
+};
 use pinsql::{ConfigEpoch, PinSqlDelta};
 use pinsql_obs::{FleetRollup, HealthRollup, RegionRollup};
 use pinsql_timeseries::{WireError, WireReader, WireWriter};
@@ -31,6 +34,16 @@ pub const CONTROL_VERSION: u16 = 1;
 
 /// Bytes before the body section: magic (4) + version (2) + tag (1).
 pub const CONTROL_HEADER_LEN: usize = 7;
+
+/// The `PCTL` envelope identity under the shared [`WireFormat`] dialect.
+/// Any version at or below [`CONTROL_VERSION`] decodes (the format has
+/// never broken compatibility, so there is no floor).
+const CONTROL_FORMAT: WireFormat = WireFormat {
+    magic: CONTROL_MAGIC,
+    version: CONTROL_VERSION,
+    min_version: 0,
+    version_what: "control version",
+};
 
 /// Where the agent's lifecycle state machine sits. Transitions:
 /// `Starting → Running ⇄ Draining`, `Running/Draining → Restarting →
@@ -274,60 +287,11 @@ impl ControlResp {
 }
 
 fn write_frame_header(w: &mut WireWriter, tag: u8) {
-    w.put_bytes_raw(&CONTROL_MAGIC);
-    w.put_u16(CONTROL_VERSION);
-    w.put_u8(tag);
+    CONTROL_FORMAT.write_frame_header(w, tag);
 }
 
 fn read_frame_header(r: &mut WireReader<'_>) -> Result<u8, WireError> {
-    r.expect_magic(CONTROL_MAGIC)?;
-    let version = r.get_u16()?;
-    if version > CONTROL_VERSION {
-        return Err(WireError::FutureVersion { found: version, supported: CONTROL_VERSION });
-    }
-    r.get_u8()
-}
-
-fn put_opt_u64(w: &mut WireWriter, v: Option<u64>) {
-    match v {
-        Some(x) => {
-            w.put_bool(true);
-            w.put_u64(x);
-        }
-        None => w.put_bool(false),
-    }
-}
-
-fn get_opt_u64(r: &mut WireReader<'_>) -> Result<Option<u64>, WireError> {
-    Ok(if r.get_bool()? { Some(r.get_u64()?) } else { None })
-}
-
-fn put_opt_i64(w: &mut WireWriter, v: Option<i64>) {
-    match v {
-        Some(x) => {
-            w.put_bool(true);
-            w.put_i64(x);
-        }
-        None => w.put_bool(false),
-    }
-}
-
-fn get_opt_i64(r: &mut WireReader<'_>) -> Result<Option<i64>, WireError> {
-    Ok(if r.get_bool()? { Some(r.get_i64()?) } else { None })
-}
-
-fn put_opt_f64(w: &mut WireWriter, v: Option<f64>) {
-    match v {
-        Some(x) => {
-            w.put_bool(true);
-            w.put_f64(x);
-        }
-        None => w.put_bool(false),
-    }
-}
-
-fn get_opt_f64(r: &mut WireReader<'_>) -> Result<Option<f64>, WireError> {
-    Ok(if r.get_bool()? { Some(r.get_f64()?) } else { None })
+    CONTROL_FORMAT.read_frame_header(r)
 }
 
 fn write_delta(w: &mut WireWriter, d: &FleetDelta) {

@@ -83,19 +83,37 @@ impl<'a> FleetDaemon<'a> {
     pub fn spawn(cfg: FleetConfig, scenarios: &'a [Scenario]) -> Self {
         Self::spawn_observed(cfg, scenarios, NoopObserver)
     }
+
+    /// Boots a **hollow** agent: live pipelines, empty streams. Telemetry
+    /// arrives later over the `PEVT` ingest wire
+    /// ([`offer_events`](FleetDaemon::offer_events)) instead of being
+    /// materialized up front — the deployment shape behind
+    /// [`crate::transport::IngestSink`].
+    pub fn spawn_hollow(cfg: FleetConfig, scenarios: &'a [Scenario]) -> Self {
+        Self::spawn_hollow_observed(cfg, scenarios, NoopObserver)
+    }
 }
 
 impl<'a, O: Observer> FleetDaemon<'a, O> {
     /// [`spawn`](FleetDaemon::spawn) under an explicit observer; each
     /// instance records on its own `inst{i}` lane.
     pub fn spawn_observed(cfg: FleetConfig, scenarios: &'a [Scenario], obs: O) -> Self {
+        Self::spawn_inner(cfg, scenarios, obs, true)
+    }
+
+    fn spawn_inner(cfg: FleetConfig, scenarios: &'a [Scenario], obs: O, materialize: bool) -> Self {
         assert!(!scenarios.is_empty(), "fleet daemon needs at least one scenario");
         assert!(cfg.shards >= 1, "FleetConfig.shards must be >= 1");
         assert!(cfg.regions >= 1, "FleetConfig.regions must be >= 1");
         let n = scenarios.len();
         // `Starting` covers this whole constructor: materialize the
-        // streams, then build one live pipeline per instance.
-        let streams = par_map(n, cfg.fanout, |i| materialize_events(&scenarios[i], None));
+        // streams (unless the agent is hollow and fed over the wire),
+        // then build one live pipeline per instance.
+        let streams = if materialize {
+            par_map(n, cfg.fanout, |i| materialize_events(&scenarios[i], None))
+        } else {
+            (0..n).map(|_| Vec::new()).collect()
+        };
         let instances = scenarios
             .iter()
             .enumerate()
@@ -118,6 +136,73 @@ impl<'a, O: Observer> FleetDaemon<'a, O> {
             obs,
             cfg,
         }
+    }
+
+    /// [`spawn_hollow`](FleetDaemon::spawn_hollow) under an explicit
+    /// observer.
+    pub fn spawn_hollow_observed(cfg: FleetConfig, scenarios: &'a [Scenario], obs: O) -> Self {
+        Self::spawn_inner(cfg, scenarios, obs, false)
+    }
+
+    /// Appends wire-delivered telemetry to one instance's pending stream.
+    /// The events fold at the next [`advance_to`](FleetDaemon::advance_to)
+    /// boundary, exactly like a materialized stream's prefix.
+    ///
+    /// The inputs are untrusted (they crossed a process boundary):
+    /// an unknown instance id or a batch that would break the stream's
+    /// event-time order — the invariant the boundary split relies on —
+    /// comes back as a typed error and leaves the agent untouched.
+    pub fn offer_events(
+        &mut self,
+        instance: usize,
+        events: Vec<TelemetryEvent>,
+    ) -> Result<(), WireError> {
+        if self.state != DaemonState::Running {
+            return Err(WireError::Mismatch {
+                what: "daemon state",
+                detail: format!("events offered in state {}", self.state),
+            });
+        }
+        let Some(stream) = self.streams.get_mut(instance) else {
+            return Err(WireError::Mismatch {
+                what: "event batch instance",
+                detail: format!("instance {instance} outside fleet of {}", self.streams.len()),
+            });
+        };
+        let mut last = stream.last().map(TelemetryEvent::time_ms);
+        for ev in &events {
+            let t = ev.time_ms();
+            if last.is_some_and(|l| t < l) {
+                return Err(WireError::Mismatch {
+                    what: "event stream order",
+                    detail: format!(
+                        "instance {instance} event at {t}ms behind buffered tail {}ms",
+                        last.unwrap_or_default()
+                    ),
+                });
+            }
+            last = Some(t);
+        }
+        stream.extend(events);
+        Ok(())
+    }
+
+    /// Events offered (or left from materialized streams) but not yet
+    /// folded by a boundary — the queue depth the ingest-wire credit
+    /// window bounds.
+    pub fn buffered_events(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// The agent's observer handle (for layers — like the ingest sink —
+    /// that record alongside the daemon).
+    pub(crate) fn obs(&self) -> &O {
+        &self.obs
+    }
+
+    /// Fleet size (instances hosted).
+    pub fn n_instances(&self) -> usize {
+        self.instances.len()
     }
 
     /// Current lifecycle state.

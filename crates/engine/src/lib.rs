@@ -43,6 +43,8 @@ pub mod daemon;
 pub mod fleet;
 pub mod instance;
 pub mod snapshot;
+pub mod transport;
+pub mod wire;
 
 pub use control::{
     ControlMsg, ControlResp, DaemonState, FleetDelta, CONTROL_HEADER_LEN, CONTROL_MAGIC,
@@ -57,3 +59,8 @@ pub use instance::{
     replay_diagnose, replay_diagnose_observed, replay_diagnose_with_kernel, OnlineInstance,
 };
 pub use snapshot::{InstanceSnapshot, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use transport::{
+    pipe_pair, plan_frames, recv_hello, run_source, serve_agent, ByteConn, IngestSink, PipeConn,
+    RegionServer, SourcePlan, SourceStats, TcpConn, TransportError,
+};
+pub use wire::{EventFrame, EVENT_HEADER_LEN, EVENT_MAGIC, EVENT_VERSION};

@@ -44,6 +44,7 @@
 //! a silently wrong instance. The `snapshot_wire` suite walks every
 //! truncation point of a golden blob to pin this.
 
+use crate::wire::WireFormat;
 use pinsql_collector::CellStoreKind;
 use pinsql_detect::{CutKind, KernelKind};
 use pinsql_timeseries::{WireError, WireReader, WireWriter};
@@ -54,6 +55,14 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PSNP";
 pub const SNAPSHOT_VERSION: u16 = 2;
 /// Oldest snapshot wire version this build still restores.
 pub const MIN_SNAPSHOT_VERSION: u16 = 1;
+
+/// The `PSNP` envelope identity under the shared [`WireFormat`] dialect.
+const SNAPSHOT_FORMAT: WireFormat = WireFormat {
+    magic: SNAPSHOT_MAGIC,
+    version: SNAPSHOT_VERSION,
+    min_version: MIN_SNAPSHOT_VERSION,
+    version_what: "snapshot version",
+};
 
 /// Header length: magic + version + kernel tag + cell-store tag.
 const HEADER_LEN: usize = 8;
@@ -78,8 +87,7 @@ impl InstanceSnapshot {
     /// full decode. Restore validates everything else.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, WireError> {
         let mut r = WireReader::new(&bytes);
-        r.expect_magic(SNAPSHOT_MAGIC)?;
-        check_version(r.get_u16()?)?;
+        SNAPSHOT_FORMAT.read_magic_version(&mut r)?;
         decode_kernel(r.get_u8()?)?;
         decode_cellstore(r.get_u8()?)?;
         Ok(Self { bytes })
@@ -125,16 +133,6 @@ impl InstanceSnapshot {
     pub fn version(&self) -> u16 {
         u16::from_le_bytes([self.bytes[4], self.bytes[5]])
     }
-}
-
-fn check_version(version: u16) -> Result<u16, WireError> {
-    if version > SNAPSHOT_VERSION {
-        return Err(WireError::FutureVersion { found: version, supported: SNAPSHOT_VERSION });
-    }
-    if version < MIN_SNAPSHOT_VERSION {
-        return Err(WireError::BadTag { what: "snapshot version", value: version as u64 });
-    }
-    Ok(version)
 }
 
 /// The instance-level scalars carried alongside the aggregator and bank.
@@ -200,8 +198,7 @@ pub(crate) fn write_header(
     cells: CellStoreKind,
     meta: InstanceMeta,
 ) {
-    w.put_bytes_raw(&SNAPSHOT_MAGIC);
-    w.put_u16(SNAPSHOT_VERSION);
+    SNAPSHOT_FORMAT.write_magic_version(w);
     w.put_u8(kernel_tag(kernel));
     w.put_u8(cellstore_tag(cells));
     w.put_section(|w| {
@@ -220,8 +217,7 @@ pub(crate) fn write_header(
 pub(crate) fn read_header(
     r: &mut WireReader<'_>,
 ) -> Result<(u16, KernelKind, CellStoreKind, InstanceMeta), WireError> {
-    r.expect_magic(SNAPSHOT_MAGIC)?;
-    let version = check_version(r.get_u16()?)?;
+    let version = SNAPSHOT_FORMAT.read_magic_version(r)?;
     let kernel = decode_kernel(r.get_u8()?)?;
     let cells = decode_cellstore(r.get_u8()?)?;
     let mut meta_r = r.get_section()?;

@@ -81,11 +81,14 @@ pub enum Stage {
     /// One graceful daemon restart: drain, serialize, rebuild the fleet
     /// from bytes.
     DaemonRestart,
+    /// Decoding and applying one `PEVT` ingest frame at the sink (batch
+    /// buffering, watermark folds, ack minting).
+    IngestWire,
 }
 
 impl Stage {
     /// All stages, pipeline order (index = discriminant).
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 15] = [
         Stage::IngestMerge,
         Stage::CellFold,
         Stage::DetectorStep,
@@ -100,6 +103,7 @@ impl Stage {
         Stage::Reshard,
         Stage::ConfigApply,
         Stage::DaemonRestart,
+        Stage::IngestWire,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -120,6 +124,7 @@ impl Stage {
             Stage::Reshard => "reshard",
             Stage::ConfigApply => "config_apply",
             Stage::DaemonRestart => "daemon_restart",
+            Stage::IngestWire => "ingest_wire",
         }
     }
 
@@ -173,10 +178,17 @@ pub enum Counter {
     /// Samples evicted from the running cut moments (retention or
     /// delta-update replacement).
     CutMomentsEvicted,
+    /// `PEVT` ingest-wire frames decoded by the sink.
+    EventFrames,
+    /// Telemetry events that arrived over the ingest wire.
+    EventsWired,
+    /// Source reconnects resumed from a sink `Hello` (the unacked window
+    /// was replayed).
+    TransportResumes,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::EventsIngested,
         Counter::QueriesIngested,
         Counter::MalformedDropped,
@@ -197,6 +209,9 @@ impl Counter {
         Counter::ControlFrames,
         Counter::CutMomentsPushed,
         Counter::CutMomentsEvicted,
+        Counter::EventFrames,
+        Counter::EventsWired,
+        Counter::TransportResumes,
     ];
     pub const COUNT: usize = Self::ALL.len();
 
@@ -223,6 +238,9 @@ impl Counter {
             Counter::ControlFrames => "control_frames",
             Counter::CutMomentsPushed => "cut_moments_pushed",
             Counter::CutMomentsEvicted => "cut_moments_evicted",
+            Counter::EventFrames => "event_frames",
+            Counter::EventsWired => "events_wired",
+            Counter::TransportResumes => "transport_resumes",
         }
     }
 

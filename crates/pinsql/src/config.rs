@@ -250,6 +250,65 @@ impl PinSqlConfig {
     }
 }
 
+/// Sizing policy for the cross-process ingest transport (the `PEVT` wire
+/// between a telemetry source and a daemon-hosting agent).
+///
+/// These are deployment knobs, not diagnosis knobs: any policy yields the
+/// same diagnoses (the equivalence suite pins that); the policy only
+/// trades memory bound against batching efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportPolicy {
+    /// Events the sink will buffer per connection before withholding
+    /// credits — the hard per-connection memory bound and the total credit
+    /// pool a source draws on.
+    pub queue_capacity: usize,
+    /// Events a source packs into one `Batch` frame (the last frame of a
+    /// stream may be shorter).
+    pub batch_events: usize,
+    /// Largest frame either endpoint will accept on the byte stream;
+    /// larger length prefixes are a torn/hostile stream, not a read.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for TransportPolicy {
+    fn default() -> Self {
+        Self { queue_capacity: 8192, batch_events: 256, max_frame_bytes: 1 << 22 }
+    }
+}
+
+impl TransportPolicy {
+    /// Builder-style queue-capacity override.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Builder-style batch-size override.
+    pub fn with_batch_events(mut self, batch_events: usize) -> Self {
+        self.batch_events = batch_events;
+        self
+    }
+
+    /// A policy is usable only if a full batch fits inside the credit
+    /// window — otherwise a compliant source could block forever waiting
+    /// for credits the sink can never grant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_events == 0 {
+            return Err("batch_events must be at least 1".into());
+        }
+        if self.queue_capacity < self.batch_events {
+            return Err(format!(
+                "queue_capacity {} cannot admit one batch of {} events",
+                self.queue_capacity, self.batch_events
+            ));
+        }
+        if self.max_frame_bytes < 64 {
+            return Err(format!("max_frame_bytes {} below minimum frame size", self.max_frame_bytes));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +386,21 @@ mod tests {
 
         let json = serde_json::to_string(&delta).unwrap();
         assert_eq!(serde_json::from_str::<PinSqlDelta>(&json).unwrap(), delta);
+    }
+
+    #[test]
+    fn transport_policy_defaults_and_validation() {
+        let p = TransportPolicy::default();
+        assert!(p.validate().is_ok());
+        assert!(p.queue_capacity >= p.batch_events);
+        assert!(TransportPolicy::default().with_batch_events(0).validate().is_err());
+        assert!(TransportPolicy::default()
+            .with_queue_capacity(1)
+            .with_batch_events(2)
+            .validate()
+            .is_err());
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<TransportPolicy>(&json).unwrap(), p);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod report;
 pub mod rsql;
 pub mod session_estimate;
 
-pub use config::{Ablation, ConfigEpoch, EstimatorKind, PinSqlConfig, PinSqlDelta};
+pub use config::{Ablation, ConfigEpoch, EstimatorKind, PinSqlConfig, PinSqlDelta, TransportPolicy};
 pub use hsql::{rank_hsqls, HsqlRanking};
 pub use pipeline::{Diagnosis, PinSql, RankedTemplate, StageTimings};
 pub use repair::{

@@ -18,11 +18,14 @@
 #                     equivalence matrix, push-pause / restart gate
 #   case_cut_smoke    incremental window cut: running-moment property
 #                     suite + cut-assembly speedup regression gate
+#   transport_smoke   cross-process ingest: PEVT wire hardening,
+#                     loopback transport equivalence + backpressure
+#                     faults, throughput/latency sanity gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//' >&2
+  sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//' >&2
 }
 
 # End-to-end chaos: a tiny run that exercises perturbation + diagnosis
@@ -95,10 +98,25 @@ case_cut_smoke() {
   cargo run --release -q -p pinsql-bench --bin case_cut -- --gate BENCH_case_cut.json
 }
 
+# Cross-process ingest transport: engine wire/transport unit tests, the
+# PEVT adversarial suite with its committed golden frame, the loopback
+# transport-equivalence matrix (byte-identical to run_full, mid-stream
+# reconnect included), the backpressure/fault-injection soak, then the
+# bench-bin gate that keeps the credit/memory bounds and the p99
+# frame-latency ceiling honest.
+transport_smoke() {
+  cargo test -q -p pinsql-engine transport
+  cargo test -q -p pinsql-engine wire
+  cargo test -q --test event_wire
+  cargo test -q --test transport_equivalence
+  cargo test -q --test backpressure
+  cargo run --release -q -p pinsql-bench --bin transport -- --gate
+}
+
 target="${1:-all}"
 
 case "$target" in
-  robustness_smoke|fleet_smoke|scaling_smoke|obs_smoke|kernel_smoke|snapshot_smoke|daemon_smoke|case_cut_smoke)
+  robustness_smoke|fleet_smoke|scaling_smoke|obs_smoke|kernel_smoke|snapshot_smoke|daemon_smoke|case_cut_smoke|transport_smoke)
     cargo build --release
     "$target"
     exit 0
@@ -126,5 +144,6 @@ kernel_smoke
 snapshot_smoke
 daemon_smoke
 case_cut_smoke
+transport_smoke
 cargo test -q
 cargo clippy --workspace -- -D warnings

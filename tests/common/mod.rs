@@ -213,9 +213,23 @@ pub fn assert_fleet_matches_batch(
     scenarios: &[Scenario],
     batch_jsons: &[String],
     what: &str,
+    run: impl FnMut(MatrixPoint, &[Scenario]) -> FleetRun,
+) {
+    assert_fleet_matches_batch_at(&matrix_points(), manifest, scenarios, batch_jsons, what, run);
+}
+
+/// [`assert_fleet_matches_batch`] over an explicit set of matrix points —
+/// for suites whose axis is orthogonal to fanout (the transport suite
+/// runs shards × kernels and lets the default matrix pin fanout).
+pub fn assert_fleet_matches_batch_at(
+    points: &[MatrixPoint],
+    manifest: &[ManifestEntry],
+    scenarios: &[Scenario],
+    batch_jsons: &[String],
+    what: &str,
     mut run: impl FnMut(MatrixPoint, &[Scenario]) -> FleetRun,
 ) {
-    for p in matrix_points() {
+    for &p in points {
         let out = run(p, scenarios);
         assert_eq!(out.cases.len(), manifest.len(), "{what} ({}): case count", p.label());
         for (i, entry) in manifest.iter().enumerate() {
@@ -228,6 +242,34 @@ pub fn assert_fleet_matches_batch(
             );
         }
     }
+}
+
+/// Drives one connection of the socketed ingest path over the in-memory
+/// loopback: the agent serves `sink` on one end while the source drives
+/// `plan` on the other, each on its own thread. `cut_after` arms the
+/// source→sink byte-level fault before any traffic flows. Returns the
+/// (source, agent) results; a clean run is `(Ok, Ok)`.
+pub fn drive_loopback<O: pinsql_obs::Observer>(
+    sink: &mut pinsql_engine::IngestSink<'_, O>,
+    plan: &mut pinsql_engine::SourcePlan,
+    max_frame_bytes: usize,
+    cut_after: Option<usize>,
+) -> (
+    Result<(), pinsql_engine::TransportError>,
+    Result<(), pinsql_engine::TransportError>,
+) {
+    let (mut source_conn, mut agent_conn) = pinsql_engine::pipe_pair(max_frame_bytes);
+    if let Some(bytes) = cut_after {
+        source_conn.cut_outbound_after(bytes);
+    }
+    std::thread::scope(|s| {
+        let agent = s.spawn(move || pinsql_engine::serve_agent(&mut agent_conn, sink));
+        let src = pinsql_engine::run_source(&mut source_conn, plan);
+        // Dropping the source's end closes its outbound direction, so a
+        // serve loop that is still healthy sees a clean close and returns.
+        drop(source_conn);
+        (src, agent.join().expect("agent thread panicked"))
+    })
 }
 
 /// `assignment[i]` under the engine's static contiguous layout.

@@ -1,0 +1,295 @@
+//! Transport equivalence: the socketed ingest path is behaviorally
+//! invisible.
+//!
+//! All 16 manifest scenarios stream through the real cross-process leg —
+//! a [`SourcePlan`] over materialized per-instance event streams, the
+//! in-memory loopback [`ByteConn`], and an [`IngestSink`] hosting a
+//! hollow [`FleetDaemon`] — across shards {1, 2, 4} × both detector
+//! kernels. Every case's `Snapshot` JSON must match the uninterrupted
+//! batch pipeline **byte-for-byte**: framing, batching, credit-driven
+//! folds, and Advance watermarks leave no trace in the diagnosis.
+//!
+//! On top of the clean path the suite pins the fault-injection leg (a
+//! mid-frame cut inside the anomaly window, resumed on a second
+//! connection with replay — still byte-identical), the `std::net` TCP
+//! transport against the same references, and the region server's
+//! rollup merge over many agents' `PCTL` health queries.
+
+mod common;
+
+use common::{
+    assert_fleet_matches_batch_at, batch_reference_jsons, drive_loopback, golden_fleet_config,
+    load_manifest, scenario_for, MatrixPoint,
+};
+use pinsql::TransportPolicy;
+use pinsql_detect::{CutKind, KernelKind};
+use pinsql_engine::{
+    pipe_pair, plan_frames, recv_hello, serve_agent, EventFrame, FleetDaemon, FleetEngine,
+    FleetRun, IngestSink, RegionServer, SourcePlan, TcpConn, TransportError,
+};
+use pinsql_scenario::{materialize_events, Scenario};
+
+/// Advance cadence (event-time seconds) the suites stream under.
+const ADVANCE_EVERY_S: i64 = 60;
+
+/// The transport axis: shards × kernels. Fanout and the window-cut path
+/// are orthogonal to the wire and pinned by the default matrix suites.
+fn transport_points() -> Vec<MatrixPoint> {
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4] {
+        for kernel in [KernelKind::Fast, KernelKind::Reference] {
+            points.push(MatrixPoint { shards, fanout: 1, kernel, cut: CutKind::Incremental });
+        }
+    }
+    points
+}
+
+/// Streams `scenarios` through one loopback connection into a hollow
+/// daemon under `p`'s config and returns the finished run.
+fn loopback_run(p: MatrixPoint, scenarios: &[Scenario]) -> FleetRun {
+    let streams: Vec<_> = scenarios.iter().map(|s| materialize_events(s, None)).collect();
+    let policy = TransportPolicy::default();
+    let mut plan = SourcePlan::new(plan_frames(&streams, &policy, ADVANCE_EVERY_S));
+    let mut sink = IngestSink::new(FleetDaemon::spawn_hollow(golden_fleet_config(p), scenarios), policy);
+
+    let (src, agent) = drive_loopback(&mut sink, &mut plan, policy.max_frame_bytes, None);
+    src.expect("source completes");
+    agent.expect("agent sees a clean close");
+    assert!(plan.finished(), "every frame sent and acked");
+    assert!(sink.fin_received(), "the stream declared itself complete");
+    assert_eq!(plan.stats.events_sent, streams.iter().map(Vec::len).sum::<usize>() as u64);
+    assert!(!plan.stats.watermark_regressed, "sink watermarks are monotone");
+    sink.finish()
+}
+
+#[test]
+fn socketed_loopback_run_matches_batch_on_every_golden_case() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let batch_jsons = batch_reference_jsons(&manifest);
+
+    assert_fleet_matches_batch_at(
+        &transport_points(),
+        &manifest,
+        &scenarios,
+        &batch_jsons,
+        "loopback transport run",
+        |p, sc| loopback_run(p, sc),
+    );
+}
+
+/// The crash drill: the source→sink stream tears *mid-frame* somewhere
+/// inside the anomaly window; a second connection resumes from the
+/// sink's `Hello`, replays the unacked window, and the finished run is
+/// still byte-identical on every golden case.
+#[test]
+fn mid_stream_reconnect_replays_and_stays_byte_identical() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let batch_jsons = batch_reference_jsons(&manifest);
+    let p = MatrixPoint {
+        shards: 2,
+        fanout: 1,
+        kernel: KernelKind::Fast,
+        cut: CutKind::Incremental,
+    };
+
+    let streams: Vec<_> = scenarios.iter().map(|s| materialize_events(s, None)).collect();
+    let policy = TransportPolicy::default();
+    let frames = plan_frames(&streams, &policy, ADVANCE_EVERY_S);
+
+    // Cut deep inside the plan — past the anomaly onset, mid-frame: half
+    // the framed bytes plus two, which always lands inside a length
+    // prefix or a body.
+    let framed_bytes: usize = frames.iter().map(|f| 4 + f.to_bytes().len()).sum();
+    let cut_at = framed_bytes / 2 + 2;
+
+    let mut plan = SourcePlan::new(frames);
+    let mut sink = IngestSink::new(FleetDaemon::spawn_hollow(golden_fleet_config(p), &scenarios), policy);
+
+    let (src, agent) = drive_loopback(&mut sink, &mut plan, policy.max_frame_bytes, Some(cut_at));
+    assert!(src.is_err(), "the source must notice the dead stream");
+    match agent {
+        // The usual shape: the cut lands mid-frame and the agent reports
+        // the torn read. (A boundary cut shows as a clean close instead.)
+        Err(TransportError::Torn { got, want }) => assert!(got < want),
+        Ok(()) => {}
+        Err(other) => panic!("agent died with an unexpected error: {other}"),
+    }
+    assert!(!plan.finished(), "the cut left unsent or unacked frames");
+
+    // Second connection: clean pipe, same plan, same sink.
+    let (src, agent) = drive_loopback(&mut sink, &mut plan, policy.max_frame_bytes, None);
+    src.expect("resumed source completes");
+    agent.expect("agent sees a clean close after resume");
+    assert!(plan.finished());
+    assert_eq!(plan.stats.resumes, 1, "exactly one reconnect resume");
+    assert!(sink.fin_received());
+
+    let out = sink.finish();
+    for (i, entry) in manifest.iter().enumerate() {
+        common::assert_case_matches_batch(
+            entry,
+            &batch_jsons[i],
+            &out.cases[i],
+            &out.diagnoses[i],
+            "reconnected transport run",
+        );
+    }
+}
+
+/// The deployment transport: the same protocol over real `std::net`
+/// sockets. A smoke subset keeps the suite fast — the full matrix is
+/// pinned over the loopback, which shares every code path above the
+/// [`pinsql_engine::ByteConn`] seam.
+#[test]
+fn tcp_transport_smoke_matches_run_full() {
+    let manifest = load_manifest();
+    let entries: Vec<_> = manifest.into_iter().take(4).collect();
+    let scenarios: Vec<_> = entries.iter().map(scenario_for).collect();
+    let p = MatrixPoint {
+        shards: 2,
+        fanout: 1,
+        kernel: KernelKind::Fast,
+        cut: CutKind::Incremental,
+    };
+    let cfg = golden_fleet_config(p);
+
+    let streams: Vec<_> = scenarios.iter().map(|s| materialize_events(s, None)).collect();
+    let policy = TransportPolicy::default();
+    let mut plan = SourcePlan::new(plan_frames(&streams, &policy, ADVANCE_EVERY_S));
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    let wired = std::thread::scope(|s| {
+        let agent = s.spawn(|| {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = TcpConn::new(stream, policy.max_frame_bytes);
+            let mut sink =
+                IngestSink::new(FleetDaemon::spawn_hollow(cfg.clone(), &scenarios), policy);
+            serve_agent(&mut conn, &mut sink).expect("agent serves to a clean close");
+            assert!(sink.fin_received());
+            sink.finish()
+        });
+        let mut conn = TcpConn::connect(addr, policy.max_frame_bytes).expect("connect");
+        pinsql_engine::run_source(&mut conn, &mut plan).expect("source completes over TCP");
+        drop(conn);
+        agent.join().expect("agent thread")
+    });
+    assert!(plan.finished());
+
+    let direct = FleetEngine::new(cfg).run_full(&scenarios);
+    for (i, entry) in entries.iter().enumerate() {
+        let wired_json = serde_json::to_string_pretty(&common::snapshot_of(
+            entry,
+            &wired.cases[i],
+            &wired.diagnoses[i],
+        ))
+        .expect("serialize");
+        let direct_json = serde_json::to_string_pretty(&common::snapshot_of(
+            entry,
+            &direct.cases[i],
+            &direct.diagnoses[i],
+        ))
+        .expect("serialize");
+        assert_eq!(wired_json, direct_json, "{}: TCP run diverged from run_full", entry.name);
+    }
+}
+
+/// The region layer: many agents, one merged rollup tree. Each agent
+/// hosts a slice of the fleet; the region server polls each over the
+/// `PCTL` plane of the same connection the ingest wire uses, and the
+/// merged tree re-aggregates exactly.
+#[test]
+fn region_server_merges_rollups_from_many_agents() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().map(scenario_for).collect();
+    let policy = TransportPolicy::default();
+    let mut region = RegionServer::new();
+
+    let mut total_events = 0u64;
+    for slice in scenarios.chunks(8) {
+        let streams: Vec<_> = slice.iter().map(|s| materialize_events(s, None)).collect();
+        let mut plan = SourcePlan::new(plan_frames(&streams, &policy, ADVANCE_EVERY_S));
+        let cfg = golden_fleet_config(MatrixPoint {
+            shards: 2,
+            fanout: 1,
+            kernel: KernelKind::Fast,
+            cut: CutKind::Incremental,
+        });
+        let mut sink = IngestSink::new(FleetDaemon::spawn_hollow(cfg, slice), policy);
+
+        // Stream the slice in, then poll health on a fresh connection.
+        let (src, agent) = drive_loopback(&mut sink, &mut plan, policy.max_frame_bytes, None);
+        src.expect("source completes");
+        agent.expect("agent clean close");
+
+        let (mut client, mut server) = pipe_pair(policy.max_frame_bytes);
+        std::thread::scope(|s| {
+            let agent = s.spawn(|| {
+                let _ = serve_agent(&mut server, &mut sink);
+            });
+            let (next_seq, _credits, _watermark) =
+                recv_hello(&mut client).expect("agent leads with its hello");
+            assert!(next_seq > 1, "the agent remembers the applied stream");
+            let rollup = region.poll_agent(&mut client).expect("health query over PCTL");
+            assert_eq!(rollup.instances() as usize, slice.len());
+            total_events += rollup.total.events_total;
+            drop(client);
+            agent.join().expect("agent thread");
+        });
+    }
+
+    assert_eq!(region.agents(), 2, "one rollup per agent");
+    let tree = region.tree();
+    assert_eq!(tree.instances() as usize, scenarios.len(), "merge covers the whole fleet");
+    assert!(tree.is_consistent(), "merged regions re-aggregate to the merged total");
+    assert_eq!(tree.total.events_total, total_events, "merge is an exact sum");
+}
+
+/// Protocol-role and sequence discipline over raw frames: a sink-minted
+/// frame sent at the sink, a sequence gap, and a credit overrun are each
+/// refused with the typed error — and the daemon survives all three.
+#[test]
+fn protocol_violations_are_typed_and_survivable() {
+    let manifest = load_manifest();
+    let scenarios: Vec<_> = manifest.iter().take(1).map(scenario_for).collect();
+    let cfg = golden_fleet_config(MatrixPoint {
+        shards: 1,
+        fanout: 1,
+        kernel: KernelKind::Fast,
+        cut: CutKind::Incremental,
+    });
+    let policy = TransportPolicy { queue_capacity: 64, batch_events: 16, ..TransportPolicy::default() };
+    let mut sink = IngestSink::new(FleetDaemon::spawn_hollow(cfg, &scenarios), policy);
+    let tick = |second: i64| pinsql_dbsim::TelemetryEvent::Tick { second };
+
+    // Role violation: an Ack arriving at the sink.
+    let ack = EventFrame::Ack { seq: 1, credits: 1, watermark: 0 }.to_bytes();
+    let err = sink.handle_event_frame(&ack).expect_err("sink-minted frame refused");
+    assert!(format!("{err}").contains("role"), "typed role error, got {err}");
+
+    // Sequence gap: seq 2 before seq 1.
+    let gap = EventFrame::Batch { seq: 2, instance: 0, events: vec![tick(0)] }.to_bytes();
+    let err = sink.handle_event_frame(&gap).expect_err("gap refused");
+    assert!(format!("{err}").contains("gap"), "typed gap error, got {err}");
+
+    // Credit overrun: one batch bigger than the whole queue.
+    let flood = EventFrame::Batch {
+        seq: 1,
+        instance: 0,
+        events: (0..65).map(|_| tick(0)).collect(),
+    }
+    .to_bytes();
+    let err = sink.handle_event_frame(&flood).expect_err("overrun refused");
+    assert!(format!("{err}").contains("overruns"), "typed credit error, got {err}");
+
+    // The sink survives: the real seq 1 still applies and acks.
+    let ok = EventFrame::Batch { seq: 1, instance: 0, events: vec![tick(0)] }.to_bytes();
+    let reply = sink.handle_event_frame(&ok).expect("valid frame still lands");
+    match EventFrame::from_bytes(&reply).expect("well-formed ack") {
+        EventFrame::Ack { seq, .. } => assert_eq!(seq, 1),
+        other => panic!("expected an ack, got {other:?}"),
+    }
+}
